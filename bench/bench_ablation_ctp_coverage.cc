@@ -1,0 +1,70 @@
+// Ablation: covered-set removal (Algorithm 2) vs CTP-aware survival
+// weighting (our extension, rrset/weighted_rr_collection.h).
+//
+// Removal semantics assume committed seeds are active with probability 1;
+// with CTPs around 1-3% this underestimates later seeds' marginals, so the
+// greedy keeps adding seeds and the realized revenue overshoots every
+// budget — the systematic overshoot visible in the paper's Fig. 5a. The
+// weighted variant discounts each RR set by the exact probability its root
+// is still inactive, making the internal revenue estimate unbiased. This
+// bench quantifies both effects: |internal - MC| estimation error and the
+// final MC-evaluated regret.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tirm;
+  using namespace tirm::bench;
+  Flags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.01,
+                                              /*default_eps=*/0.2);
+  config.Print(
+      "bench_ablation_ctp_coverage: Algorithm 2 removal vs CTP-aware "
+      "survival weighting");
+
+  for (const bool epinions : {false, true}) {
+    DatasetSpec spec =
+        epinions ? EpinionsLike(config.scale) : FlixsterLike(config.scale);
+    Rng rng(config.seed);
+    BuiltInstance built = BuildDataset(spec, rng);
+    std::printf("\n--- %s (kappa=3, lambda=0) ---\n", spec.name.c_str());
+    TablePrinter t({"variant", "MC regret", "% of budget",
+                    "mean |internal-MC| per ad", "seeds", "time (s)"});
+    for (const bool weighted : {false, true}) {
+      TirmOptions options = config.MakeTirmOptions();
+      options.ctp_aware_coverage = weighted;
+      ProblemInstance inst = built.MakeInstance(3, 0.0);
+      WallTimer timer;
+      Rng algo_rng(config.seed + 17);
+      TirmResult result = RunTirm(inst, options, algo_rng);
+      const double seconds = timer.Seconds();
+      RegretReport report = EvaluateChecked(inst, result.allocation, config,
+                                            weighted ? 1 : 0);
+      double est_err = 0.0;
+      for (int i = 0; i < inst.num_ads(); ++i) {
+        est_err += std::fabs(result.estimated_revenue[static_cast<std::size_t>(i)] -
+                             report.ads[static_cast<std::size_t>(i)].revenue);
+      }
+      est_err /= inst.num_ads();
+      t.AddRow({weighted ? "ctp-aware weighting (ours)" : "removal (Alg. 2)",
+                TablePrinter::Num(report.total_regret, 2),
+                TablePrinter::Num(100.0 * report.RegretFractionOfBudget(), 1),
+                TablePrinter::Num(est_err, 3),
+                TablePrinter::Int(static_cast<long long>(report.total_seeds)),
+                TablePrinter::Num(seconds, 2)});
+    }
+    t.Print();
+  }
+  std::printf(
+      "\nExpected: the weighted variant's internal estimates track the MC "
+      "truth and its regret\ndrops by a large factor; removal overshoots "
+      "(cf. the paper's Fig. 5a overshoot on FLIXSTER).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Ablation: RRC sets (direct CTP sampling) vs RR sets + delta-scaling.
+//
+// §5.2 argues that sampling RRC sets directly would need ~1/CTP more
+// samples for the same accuracy (OPT shrinks by the CTP factor), so TIRM
+// samples plain RR sets and scales marginals by delta (Theorem 5). This
+// bench measures both estimators against the MC ground truth at equal
+// sample counts: singleton-spread estimation error and wall time.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "diffusion/monte_carlo.h"
+#include "rrset/rr_sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace tirm;
+  using namespace tirm::bench;
+  Flags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.01);
+  config.Print("bench_ablation_estimator: RR+delta-scaling vs direct RRC");
+
+  Rng rng(config.seed);
+  BuiltInstance built = BuildDataset(EpinionsLike(config.scale), rng);
+  const Graph& g = *built.graph;
+  ProblemInstance inst = built.MakeInstance(1, 0.0);
+  const auto& probs = inst.EdgeProbsForAd(0);
+  const double delta = 0.02;  // representative CTP
+  const auto ctp = [delta](NodeId) { return delta; };
+
+  // Ground truth: MC spread (with CTP) for the top-degree node.
+  NodeId hub = 0;
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) > g.OutDegree(hub)) hub = u;
+  }
+  SpreadSimulator sim(g, probs);
+  Rng mc_rng(config.seed + 1);
+  const double truth =
+      sim.EstimateSpreadWithCtp(std::vector<NodeId>{hub}, ctp, 60000, mc_rng)
+          .mean();
+
+  TablePrinter t({"#samples", "RR+scale est", "RR err %", "RR time (s)",
+                  "RRC est", "RRC err %", "RRC time (s)"});
+  for (const int samples : {20000, 80000, 320000}) {
+    // RR + delta scaling.
+    WallTimer rr_timer;
+    RrSampler rr(g, probs);
+    Rng r1(config.seed + 2);
+    std::vector<NodeId> set;
+    std::size_t rr_hits = 0;
+    for (int i = 0; i < samples; ++i) {
+      rr.SampleInto(r1, set);
+      for (const NodeId v : set) {
+        if (v == hub) {
+          ++rr_hits;
+          break;
+        }
+      }
+    }
+    const double rr_est = delta * g.num_nodes() *
+                          static_cast<double>(rr_hits) / samples;
+    const double rr_time = rr_timer.Seconds();
+
+    // Direct RRC sampling.
+    WallTimer rrc_timer;
+    RrSampler rrc(g, probs, ctp);
+    Rng r2(config.seed + 3);
+    std::size_t rrc_hits = 0;
+    for (int i = 0; i < samples; ++i) {
+      rrc.SampleInto(r2, set);
+      for (const NodeId v : set) {
+        if (v == hub) {
+          ++rrc_hits;
+          break;
+        }
+      }
+    }
+    const double rrc_est =
+        static_cast<double>(g.num_nodes()) * rrc_hits / samples;
+    const double rrc_time = rrc_timer.Seconds();
+
+    t.AddRow({TablePrinter::Int(samples), TablePrinter::Num(rr_est, 4),
+              TablePrinter::Num(100.0 * std::fabs(rr_est - truth) /
+                                    std::max(truth, 1e-9), 1),
+              TablePrinter::Num(rr_time, 2), TablePrinter::Num(rrc_est, 4),
+              TablePrinter::Num(100.0 * std::fabs(rrc_est - truth) /
+                                    std::max(truth, 1e-9), 1),
+              TablePrinter::Num(rrc_time, 2)});
+  }
+  std::printf("MC ground truth sigma_ctp({hub}) = %.4f (delta = %.2f)\n\n",
+              truth, delta);
+  t.Print();
+  std::printf(
+      "\nExpected: both unbiased, but the RRC estimator's relative error is "
+      "~1/sqrt(delta) worse\nat equal samples (hub membership is delta times "
+      "rarer), confirming §5.2's design choice.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: sampling effort (epsilon / theta cap) vs regret, time, memory.
+//
+// Eq. 5 makes theta proportional to 1/eps^2; the theta cap bounds it
+// further. This bench sweeps eps and the cap on the Flixster-shaped
+// instance, reporting how much solution quality degrades as the RR sample
+// shrinks — the practical knob for running TIRM on small machines.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tirm;
+  using namespace tirm::bench;
+  Flags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.008);
+  config.Print("bench_ablation_theta: sampling effort vs quality");
+
+  Rng rng(config.seed);
+  BuiltInstance built = BuildDataset(FlixsterLike(config.scale), rng);
+  ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
+
+  TablePrinter t({"eps", "theta cap", "total RR sets", "regret",
+                  "% of budget", "seeds", "time (s)", "RR bytes"});
+  struct Setting {
+    double eps;
+    std::uint64_t cap;
+  };
+  const std::vector<Setting> settings = {
+      {0.5, 1 << 15}, {0.5, 1 << 17}, {0.25, 1 << 17},
+      {0.25, 1 << 19}, {0.1, 1 << 19},
+  };
+  for (const Setting& s : settings) {
+    TirmOptions options;
+    options.theta.epsilon = s.eps;
+    options.theta.theta_cap = s.cap;
+    WallTimer timer;
+    Rng algo_rng(config.seed + 17);
+    TirmResult result = RunTirm(inst, options, algo_rng);
+    const double seconds = timer.Seconds();
+    RegretReport report = EvaluateChecked(
+        inst, result.allocation, config,
+        static_cast<std::uint64_t>(s.eps * 100) + s.cap);
+    t.AddRow({TablePrinter::Num(s.eps, 2),
+              TablePrinter::Int(static_cast<long long>(s.cap)),
+              TablePrinter::Int(static_cast<long long>(result.total_rr_sets)),
+              TablePrinter::Num(report.total_regret, 1),
+              TablePrinter::Num(100.0 * report.RegretFractionOfBudget(), 1),
+              TablePrinter::Int(static_cast<long long>(report.total_seeds)),
+              TablePrinter::Num(seconds, 2),
+              HumanBytes(result.rr_memory_bytes)});
+  }
+  t.Print();
+  std::printf(
+      "\nExpected: regret improves (then saturates) as eps shrinks / the cap "
+      "rises, at linearly\nincreasing time and memory — the Theorem 6 "
+      "accuracy knob in action.\n");
+  return 0;
+}

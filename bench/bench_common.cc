@@ -1,0 +1,70 @@
+#include "bench/bench_common.h"
+
+namespace tirm {
+namespace bench {
+
+const char* const kAllAlgorithms[4] = {"myopic", "myopic+", "greedy-irie",
+                                       "tirm"};
+
+BenchConfig BenchConfig::FromFlags(const Flags& flags, double default_scale,
+                                   double default_eps) {
+  BenchConfig c;
+  c.scale = flags.GetDouble("scale", default_scale);
+  c.eval_sims =
+      static_cast<std::size_t>(flags.GetInt("eval_sims", 2000));
+  c.eps = flags.GetDouble("eps", default_eps);
+  c.theta_cap =
+      static_cast<std::uint64_t>(flags.GetInt("theta_cap", 1 << 18));
+  c.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2015));
+  c.irie_alpha = flags.GetDouble("irie_alpha", 0.8);
+  return c;
+}
+
+void BenchConfig::Print(const char* bench_name) const {
+  std::printf(
+      "== %s ==\n"
+      "config: scale=%.4g eval_sims=%zu eps=%.2f theta_cap=%llu seed=%llu\n"
+      "(paper settings: eval_sims=10000, eps=0.1 quality / 0.2 scalability,\n"
+      " no theta cap; raise via TIRM_EVAL_SIMS / TIRM_EPS / TIRM_THETA_CAP /\n"
+      " TIRM_SCALE env vars to approach them)\n\n",
+      bench_name, scale, eval_sims, eps,
+      static_cast<unsigned long long>(theta_cap),
+      static_cast<unsigned long long>(seed));
+}
+
+AlgoRun RunAlgorithm(const std::string& name, const ProblemInstance& instance,
+                     const BenchConfig& config) {
+  AlgoRun run;
+  WallTimer timer;
+  if (name == "myopic") {
+    run.allocation = MyopicAllocate(instance);
+  } else if (name == "myopic+") {
+    run.allocation = MyopicPlusAllocate(instance);
+  } else if (name == "greedy-irie") {
+    IrieOracle oracle(&instance, {.alpha = config.irie_alpha});
+    GreedyAllocator greedy(&instance, &oracle);
+    run.allocation = greedy.Run().allocation;
+  } else if (name == "tirm") {
+    Rng rng(config.seed + 17);
+    TirmResult result = RunTirm(instance, config.MakeTirmOptions(), rng);
+    run.allocation = std::move(result.allocation);
+    run.rr_memory_bytes = result.rr_memory_bytes;
+  } else {
+    TIRM_CHECK(false) << "unknown algorithm " << name;
+  }
+  run.seconds = timer.Seconds();
+  return run;
+}
+
+RegretReport EvaluateChecked(const ProblemInstance& instance,
+                             const Allocation& allocation,
+                             const BenchConfig& config, std::uint64_t salt) {
+  Status valid = ValidateAllocation(instance, allocation);
+  TIRM_CHECK(valid.ok()) << valid.ToString();
+  RegretEvaluator evaluator(&instance, {.num_sims = config.eval_sims});
+  Rng rng(config.seed + 0x9000 + salt);
+  return evaluator.Evaluate(allocation, rng);
+}
+
+}  // namespace bench
+}  // namespace tirm

@@ -1,0 +1,84 @@
+// Shared harness for the paper-table/figure benchmarks.
+//
+// Every bench binary runs with no arguments and prints (a) the experimental
+// configuration, (b) an aligned table mirroring the paper's rows/series,
+// and (c) a machine-readable CSV block. Knobs come from --flags or TIRM_*
+// environment variables (see common/flags.h):
+//
+//   TIRM_SCALE        dataset scale multiplier (default varies per bench)
+//   TIRM_EVAL_SIMS    Monte-Carlo evaluation runs (paper: 10000)
+//   TIRM_EPS          TIM/TIRM epsilon (paper: 0.1 quality / 0.2 scale)
+//   TIRM_THETA_CAP    per-ad RR-set cap (0 = uncapped)
+//   TIRM_SEED         master RNG seed
+
+#ifndef TIRM_BENCH_BENCH_COMMON_H_
+#define TIRM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "alloc/allocation.h"
+#include "alloc/greedy.h"
+#include "alloc/irie.h"
+#include "alloc/myopic.h"
+#include "alloc/regret_evaluator.h"
+#include "alloc/tirm.h"
+#include "common/flags.h"
+#include "common/memory_info.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "datasets/dataset.h"
+#include "graph/graph_stats.h"
+
+namespace tirm {
+namespace bench {
+
+/// Knobs shared by every bench, resolved from flags/env with per-bench
+/// defaults.
+struct BenchConfig {
+  double scale = 0.01;
+  std::size_t eval_sims = 2000;
+  double eps = 0.25;
+  std::uint64_t theta_cap = 1 << 18;
+  std::uint64_t seed = 2015;
+  double irie_alpha = 0.8;
+
+  static BenchConfig FromFlags(const Flags& flags, double default_scale,
+                               double default_eps = 0.25);
+
+  TirmOptions MakeTirmOptions() const {
+    TirmOptions o;
+    o.theta.epsilon = eps;
+    o.theta.theta_cap = theta_cap;
+    return o;
+  }
+
+  void Print(const char* bench_name) const;
+};
+
+/// Result of running one algorithm on one instance.
+struct AlgoRun {
+  Allocation allocation;
+  double seconds = 0.0;
+  std::size_t rr_memory_bytes = 0;  // TIRM only
+};
+
+/// Runs one named algorithm ("myopic", "myopic+", "greedy-irie", "tirm").
+AlgoRun RunAlgorithm(const std::string& name, const ProblemInstance& instance,
+                     const BenchConfig& config);
+
+/// The four paper algorithms in presentation order.
+extern const char* const kAllAlgorithms[4];
+
+/// Convenience: evaluates with MC and asserts validity (aborts on invalid —
+/// a bench must never report numbers for an invalid allocation).
+RegretReport EvaluateChecked(const ProblemInstance& instance,
+                             const Allocation& allocation,
+                             const BenchConfig& config, std::uint64_t salt);
+
+}  // namespace bench
+}  // namespace tirm
+
+#endif  // TIRM_BENCH_BENCH_COMMON_H_

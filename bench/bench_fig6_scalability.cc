@@ -1,0 +1,129 @@
+// Figure 6 (a-d): running time of TIRM and GREEDY-IRIE on the DBLP- and
+// LIVEJOURNAL-shaped instances.
+//   (a) DBLP: vary h (number of ads), budgets fixed;
+//   (b) DBLP: vary per-ad budget, h = 5;
+//   (c) LIVEJOURNAL: vary h (TIRM only — the paper excludes IRIE here
+//       because it did not finish within 48 hours for h >= 5);
+//   (d) LIVEJOURNAL: vary budget, h = 5 (TIRM only).
+//
+// Setup mirrors §6.2: Weighted Cascade, CPE = CTP = 1, lambda = 0,
+// kappa = 1, every ad shares the same topic distribution (full competition
+// for the same influencers). Expected shape: TIRM scales ~linearly in h and
+// stays flat in budget; GREEDY-IRIE grows super-linearly and is orders of
+// magnitude slower.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace tirm;
+using namespace tirm::bench;
+
+void RunSweep(const char* title, const DatasetSpec& spec,
+              const std::vector<int>& h_values,
+              const std::vector<double>& budget_values, double fixed_budget,
+              int fixed_h, bool include_irie, const BenchConfig& config) {
+  Rng rng(config.seed);
+
+  // ---- (a/c): vary h at fixed budget.
+  {
+    std::printf("\n--- %s: runtime vs #advertisers (budget %.0f) ---\n", title,
+                fixed_budget);
+    TablePrinter t({"h", "tirm (s)", "tirm seeds", "irie (s)", "irie seeds"});
+    for (const int h : h_values) {
+      Rng build_rng = rng.Fork(static_cast<std::uint64_t>(h));
+      BuiltInstance built =
+          BuildDataset(spec, build_rng, /*num_ads_override=*/h, fixed_budget);
+      ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
+      AlgoRun tirm_run = RunAlgorithm("tirm", inst, config);
+      std::vector<std::string> row = {
+          TablePrinter::Int(h), TablePrinter::Num(tirm_run.seconds, 2),
+          TablePrinter::Int(
+              static_cast<long long>(tirm_run.allocation.TotalSeeds()))};
+      if (include_irie) {
+        AlgoRun irie_run = RunAlgorithm("greedy-irie", inst, config);
+        row.push_back(TablePrinter::Num(irie_run.seconds, 2));
+        row.push_back(TablePrinter::Int(
+            static_cast<long long>(irie_run.allocation.TotalSeeds())));
+      } else {
+        row.push_back("(excluded)");
+        row.push_back("-");
+      }
+      t.AddRow(row);
+    }
+    t.Print();
+  }
+
+  // ---- (b/d): vary budget at fixed h.
+  {
+    std::printf("\n--- %s: runtime vs per-ad budget (h = %d) ---\n", title,
+                fixed_h);
+    TablePrinter t({"budget", "tirm (s)", "tirm seeds", "irie (s)",
+                    "irie seeds"});
+    for (const double budget : budget_values) {
+      Rng build_rng = rng.Fork(static_cast<std::uint64_t>(budget) + 7777);
+      BuiltInstance built =
+          BuildDataset(spec, build_rng, fixed_h, budget);
+      ProblemInstance inst = built.MakeInstance(1, 0.0);
+      AlgoRun tirm_run = RunAlgorithm("tirm", inst, config);
+      std::vector<std::string> row = {
+          TablePrinter::Num(budget, 0), TablePrinter::Num(tirm_run.seconds, 2),
+          TablePrinter::Int(
+              static_cast<long long>(tirm_run.allocation.TotalSeeds()))};
+      if (include_irie) {
+        AlgoRun irie_run = RunAlgorithm("greedy-irie", inst, config);
+        row.push_back(TablePrinter::Num(irie_run.seconds, 2));
+        row.push_back(TablePrinter::Int(
+            static_cast<long long>(irie_run.allocation.TotalSeeds())));
+      } else {
+        row.push_back("(excluded)");
+        row.push_back("-");
+      }
+      t.AddRow(row);
+    }
+    t.Print();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  // Scalability benches use the paper's eps = 0.2.
+  BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.02,
+                                              /*default_eps=*/0.2);
+  config.Print("bench_fig6_scalability: Fig. 6 running time (DBLP / LJ shaped)");
+
+  // DBLP (paper: budgets 5K at 317K nodes; h sweep 1..20; budget sweep to
+  // 30K). Scaled: budgets scale with the graph.
+  const double dblp_budget = 5000.0 * config.scale;
+  RunSweep("dblp-like (Fig. 6a/6b)", DblpLike(config.scale),
+           /*h_values=*/{1, 5, 10, 15},
+           /*budget_values=*/
+           {dblp_budget * 0.4, dblp_budget, dblp_budget * 2, dblp_budget * 4},
+           /*fixed_budget=*/dblp_budget, /*fixed_h=*/5,
+           /*include_irie=*/true, config);
+
+  // LIVEJOURNAL (paper: budgets 80K at 4.8M nodes; TIRM only).
+  const double lj_scale = config.scale / 10.0;
+  const double lj_budget = 80000.0 * lj_scale;
+  RunSweep("livejournal-like (Fig. 6c/6d)", LiveJournalLike(lj_scale),
+           /*h_values=*/{1, 5, 10, 15, 20},
+           /*budget_values=*/
+           {lj_budget * 0.5, lj_budget, lj_budget * 2, lj_budget * 3},
+           /*fixed_budget=*/lj_budget, /*fixed_h=*/5,
+           /*include_irie=*/false, config);
+
+  std::printf(
+      "\nPaper reference (scale 1.0, 2.4GHz Xeon): DBLP h=1 both ~60s, h=15 "
+      "TIRM 6x faster than\nGREEDY-IRIE; LJ h=1 TIRM 16 min vs IRIE 6 h; LJ "
+      "h=20 TIRM ~5 h, 4649 seeds.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the hot components:
+// RR-set sampling, RRC sampling, forward MC cascades, coverage-greedy
+// selection, IRIE rank iteration, graph generation and possible-world
+// sampling. These quantify the per-operation costs that the paper's
+// complexity discussion (§5) reasons about.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc/irie.h"
+#include "common/rng.h"
+#include "diffusion/monte_carlo.h"
+#include "diffusion/possible_world.h"
+#include "graph/generators.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+
+namespace {
+
+using namespace tirm;
+
+struct Fixture {
+  Graph graph;
+  std::vector<float> probs;
+
+  static const Fixture& Get() {
+    static const Fixture* f = [] {
+      auto* fx = new Fixture();
+      Rng rng(42);
+      fx->graph = RMatGraph(12, 60000, rng);  // 4096 nodes
+      EdgeProbabilities ep = EdgeProbabilities::WeightedCascade(fx->graph);
+      fx->probs.resize(fx->graph.num_edges());
+      for (EdgeId e = 0; e < fx->graph.num_edges(); ++e) {
+        fx->probs[e] = ep.Prob(e, 0);
+      }
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_RrSetSampling(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  RrSampler sampler(f.graph, f.probs);
+  Rng rng(1);
+  std::vector<NodeId> set;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    sampler.SampleInto(rng, set);
+    nodes += set.size();
+    benchmark::DoNotOptimize(set.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["avg_set_size"] =
+      static_cast<double>(nodes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RrSetSampling);
+
+void BM_RrcSetSampling(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const double delta = 0.02;
+  RrSampler sampler(f.graph, f.probs, [delta](NodeId) { return delta; });
+  Rng rng(2);
+  std::vector<NodeId> set;
+  for (auto _ : state) {
+    sampler.SampleInto(rng, set);
+    benchmark::DoNotOptimize(set.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RrcSetSampling);
+
+void BM_ForwardCascade(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  SpreadSimulator sim(f.graph, f.probs);
+  Rng rng(3);
+  std::vector<NodeId> seeds;
+  for (NodeId u = 0; u < f.graph.num_nodes(); u += 137) seeds.push_back(u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunOnce(seeds, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForwardCascade);
+
+void BM_PossibleWorldSampling(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Rng rng(4);
+  for (auto _ : state) {
+    PossibleWorld w = PossibleWorld::Sample(f.graph, f.probs, rng);
+    benchmark::DoNotOptimize(&w);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.graph.num_edges()));
+}
+BENCHMARK(BM_PossibleWorldSampling);
+
+void BM_CoverageGreedy(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const int num_sets = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    RrCollection collection(f.graph.num_nodes());
+    RrSampler sampler(f.graph, f.probs);
+    Rng rng(5);
+    std::vector<NodeId> set;
+    for (int i = 0; i < num_sets; ++i) {
+      sampler.SampleInto(rng, set);
+      collection.AddSet(set);
+    }
+    state.ResumeTiming();
+    CoverageHeap heap(&collection);
+    for (int k = 0; k < 50; ++k) {
+      const NodeId best = heap.PopBest([](NodeId) { return true; });
+      if (best == kInvalidNode) break;
+      collection.CommitSeed(best);
+    }
+  }
+  state.SetLabel("select 50 seeds");
+}
+BENCHMARK(BM_CoverageGreedy)->Arg(20000)->Arg(80000);
+
+void BM_IrieRankIteration(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  IrieEstimator irie(&f.graph, f.probs, {.alpha = 0.7, .rank_iterations = 20});
+  for (auto _ : state) {
+    irie.RecomputeRanks();
+    benchmark::DoNotOptimize(irie.Rank(0));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 20 *
+      static_cast<std::int64_t>(f.graph.num_edges()));
+}
+BENCHMARK(BM_IrieRankIteration);
+
+void BM_RMatGeneration(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    Graph g = RMatGraph(10, 10000, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_RMatGeneration);
+
+void BM_Eq1Mixing(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Rng rng(7);
+  EdgeProbabilities per_topic =
+      EdgeProbabilities::SampleExponential(f.graph, 10, 30.0, rng);
+  TopicDistribution gamma = TopicDistribution::Concentrated(10, 3, 0.91);
+  for (auto _ : state) {
+    auto mixed = per_topic.MixForAd(gamma);
+    benchmark::DoNotOptimize(mixed.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.graph.num_edges()));
+}
+BENCHMARK(BM_Eq1Mixing);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Quickstart: the paper's Fig. 1 worked example, end to end.
+//
+// Builds the 6-node gadget with four ads {a,b,c,d}, evaluates the two
+// allocations discussed in §1 (myopic A vs virality-aware B) with exact
+// possible-world enumeration, then lets TIRM find its own allocation and
+// reports the regret of all three.
+//
+//   ./quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "alloc/myopic.h"
+#include "alloc/regret.h"
+#include "alloc/regret_evaluator.h"
+#include "alloc/tirm.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "datasets/dataset.h"
+#include "diffusion/exact_spread.h"
+
+namespace {
+
+using namespace tirm;  // example code; the library itself never does this
+
+// Exact expected clicks sigma_i(S_i) by possible-world enumeration.
+double ExactAdSpread(const BuiltInstance& built, const ProblemInstance& inst,
+                     AdId ad, const std::vector<NodeId>& seeds) {
+  return ExactSpreadWithCtp(
+      *built.graph, inst.EdgeProbsForAd(ad), seeds,
+      [&inst, ad](NodeId u) { return inst.Delta(u, ad); });
+}
+
+void Report(const char* name, const ProblemInstance& inst,
+            const BuiltInstance& built,
+            const std::vector<std::vector<NodeId>>& seeds) {
+  std::vector<double> spreads(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    spreads[i] = ExactAdSpread(built, inst, static_cast<AdId>(i), seeds[i]);
+  }
+  RegretReport r = MakeRegretReport(inst, seeds, spreads);
+  std::printf("\n=== %s ===\n", name);
+  TablePrinter t({"ad", "seeds", "E[clicks]", "revenue", "budget", "regret"});
+  const char* ad_names[] = {"a", "b", "c", "d"};
+  for (std::size_t i = 0; i < r.ads.size(); ++i) {
+    t.AddRow({ad_names[i], TablePrinter::Int(static_cast<long long>(r.ads[i].num_seeds)),
+              TablePrinter::Num(r.ads[i].spread), TablePrinter::Num(r.ads[i].revenue),
+              TablePrinter::Num(r.ads[i].budget, 0),
+              TablePrinter::Num(r.ads[i].budget_regret)});
+  }
+  t.Print(stdout, /*with_csv=*/false);
+  std::printf("total expected clicks: %.2f   total regret: %.2f\n",
+              r.total_revenue, r.total_regret);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TIRM quickstart — Fig. 1 of Aslay et al., VLDB 2015\n");
+  BuiltInstance built = BuildFigure1Instance();
+  ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
+
+  // Allocation A (§1): every user gets ad a, the top-CTP ad. This is what
+  // MYOPIC produces.
+  Allocation myopic = MyopicAllocate(inst);
+  Report("Allocation A (myopic: maximize delta(u,i))", inst, built,
+         myopic.seeds);
+
+  // Allocation B (§1): leverage virality — a->{v1,v2}, b->{v3}, c->{v4,v5},
+  // d->{v6}. (Node ids: v1..v6 = 0..5.)
+  std::vector<std::vector<NodeId>> alloc_b = {{0, 1}, {2}, {3, 4}, {5}};
+  Report("Allocation B (virality-aware)", inst, built, alloc_b);
+
+  // TIRM finds its own allocation.
+  TirmOptions options;
+  options.theta.epsilon = 0.1;
+  options.theta.theta_min = 1 << 14;
+  options.theta.theta_cap = 1 << 17;
+  Rng rng(2015);
+  TirmResult result = RunTirm(inst, options, rng);
+  Report("TIRM allocation", inst, built, result.allocation.seeds);
+
+  std::printf(
+      "\nThe paper reports ~5.55 expected clicks / regret 6.6 for A and\n"
+      "~6.3 expected clicks / regret 2.7 for B (independence-approximated;\n"
+      "the numbers above are exact possible-world values).\n");
+  return 0;
+}

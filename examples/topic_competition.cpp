@@ -1,0 +1,103 @@
+// Topic competition: how topical closeness shapes the allocation.
+//
+// Two advertisers sell in the *same* topic (they compete for the same
+// influencers), a third sells in a different one. With per-topic influence
+// probabilities, the competing pair must split the high-value seeds of
+// their shared topic under the attention bound, while the third ad gets its
+// own topic's influencers cheaply — exactly the "ads close in topic space
+// compete" intuition of §1.
+//
+//   ./topic_competition [--scale=0.015] [--seed=11] [--eval_sims=3000]
+
+#include <cstdio>
+#include <vector>
+
+#include "alloc/regret_evaluator.h"
+#include "alloc/tirm.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "datasets/dataset.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace tirm;
+  Flags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double scale = flags.GetDouble("scale", 0.015);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+  const std::size_t eval_sims =
+      static_cast<std::size_t>(flags.GetInt("eval_sims", 3000));
+
+  // Build a 2-topic world: generate the graph per the Flixster recipe but
+  // with K = 2 and hand-crafted advertisers.
+  Rng rng(seed);
+  Graph graph = RMatGraph(
+      /*scale=*/10, static_cast<std::size_t>(425000 * scale), rng);
+  Rng prob_rng(seed + 1);
+  EdgeProbabilities probs =
+      EdgeProbabilities::SampleExponential(graph, /*num_topics=*/2,
+                                           /*rate=*/30.0, prob_rng);
+  Rng ctp_rng(seed + 2);
+  ClickProbabilities ctps = ClickProbabilities::SampleUniform(
+      graph.num_nodes(), 3, 0.01, 0.03, ctp_rng);
+
+  std::vector<Advertiser> ads(3);
+  // Ads 0 and 1: both concentrated on topic 0 — direct competitors.
+  ads[0].gamma = TopicDistribution::Concentrated(2, 0, 0.95);
+  ads[1].gamma = TopicDistribution::Concentrated(2, 0, 0.95);
+  // Ad 2: topic 1.
+  ads[2].gamma = TopicDistribution::Concentrated(2, 1, 0.95);
+  for (auto& a : ads) {
+    a.budget = 400.0 * scale * 10;
+    a.cpe = 5.0;
+  }
+
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph, &probs, &ctps, ads, /*kappa=*/1, /*lambda=*/0.0);
+  std::printf("graph: %s\n",
+              FormatGraphStats(ComputeGraphStats(graph)).c_str());
+  std::printf(
+      "ads 0 & 1 compete on topic A; ad 2 owns topic B. kappa = 1.\n\n");
+
+  TirmOptions options;
+  options.theta.epsilon = 0.25;
+  options.theta.theta_cap = 1 << 18;
+  Rng algo_rng(seed + 3);
+  TirmResult result = RunTirm(inst, options, algo_rng);
+
+  RegretEvaluator evaluator(&inst, {.num_sims = eval_sims});
+  Rng eval_rng(seed + 4);
+  RegretReport report = evaluator.Evaluate(result.allocation, eval_rng);
+
+  // Seed-set overlap diagnostics: competitors share zero seeds (kappa = 1)
+  // and split the topic-A influencer pool.
+  const auto& s0 = result.allocation.seeds[0];
+  const auto& s1 = result.allocation.seeds[1];
+  const auto& s2 = result.allocation.seeds[2];
+
+  TablePrinter t({"ad", "topic", "budget", "revenue(MC)", "regret", "seeds"});
+  const char* topics[3] = {"A", "A", "B"};
+  for (int i = 0; i < 3; ++i) {
+    const auto& ad = report.ads[static_cast<std::size_t>(i)];
+    t.AddRow({"ad" + std::to_string(i), topics[i],
+              TablePrinter::Num(ad.budget, 1), TablePrinter::Num(ad.revenue, 1),
+              TablePrinter::Num(ad.budget_regret, 2),
+              TablePrinter::Int(static_cast<long long>(ad.num_seeds))});
+  }
+  t.Print(stdout, /*with_csv=*/false);
+
+  std::printf(
+      "\nseed counts: ad0 %zu, ad1 %zu (competing pair), ad2 %zu\n"
+      "total regret: %.2f (%.1f%% of total budget)\n"
+      "Competing ads typically need *more* seeds each than the uncontested\n"
+      "ad at equal budgets: the second topic-A advertiser gets the leftover\n"
+      "influencers under the attention bound.\n",
+      s0.size(), s1.size(), s2.size(), report.total_regret,
+      100.0 * report.RegretFractionOfBudget());
+  return 0;
+}

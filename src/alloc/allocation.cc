@@ -1,0 +1,69 @@
+#include "alloc/allocation.h"
+
+#include <algorithm>
+
+namespace tirm {
+
+std::size_t Allocation::TotalSeeds() const {
+  std::size_t total = 0;
+  for (const auto& s : seeds) total += s.size();
+  return total;
+}
+
+std::size_t Allocation::DistinctTargetedUsers(NodeId num_nodes) const {
+  std::vector<bool> touched(num_nodes, false);
+  std::size_t distinct = 0;
+  for (const auto& s : seeds) {
+    for (const NodeId u : s) {
+      if (u < num_nodes && !touched[u]) {
+        touched[u] = true;
+        ++distinct;
+      }
+    }
+  }
+  return distinct;
+}
+
+std::vector<std::uint16_t> AssignmentCounts(const Allocation& allocation,
+                                            NodeId num_nodes) {
+  std::vector<std::uint16_t> counts(num_nodes, 0);
+  for (const auto& s : allocation.seeds) {
+    for (const NodeId u : s) {
+      if (u < num_nodes) ++counts[u];
+    }
+  }
+  return counts;
+}
+
+Status ValidateAllocation(const ProblemInstance& instance,
+                          const Allocation& allocation) {
+  if (allocation.num_ads() != instance.num_ads()) {
+    return Status::InvalidArgument("allocation ad count mismatch");
+  }
+  const NodeId n = instance.graph().num_nodes();
+  for (int i = 0; i < allocation.num_ads(); ++i) {
+    std::vector<NodeId> sorted = allocation.seeds[static_cast<std::size_t>(i)];
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument("duplicate seed within ad " +
+                                     std::to_string(i));
+    }
+    for (const NodeId u : sorted) {
+      if (u >= n) {
+        return Status::InvalidArgument("seed node id out of range");
+      }
+    }
+  }
+  const auto counts = AssignmentCounts(allocation, n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (counts[u] > instance.AttentionBound(u)) {
+      return Status::FailedPrecondition(
+          "attention bound violated at node " + std::to_string(u) + ": " +
+          std::to_string(counts[u]) + " > " +
+          std::to_string(instance.AttentionBound(u)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tirm

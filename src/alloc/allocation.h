@@ -1,0 +1,51 @@
+// Seed-set allocations S = (S_1, ..., S_h) and validity (§3).
+//
+// An allocation assigns each ad i a seed set S_i ⊆ V. It is *valid* iff no
+// user u appears in more than κ_u seed sets (the attention bound counts only
+// host-promoted ads, not virally received ones).
+
+#ifndef TIRM_ALLOC_ALLOCATION_H_
+#define TIRM_ALLOC_ALLOCATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// An allocation of seed users to ads.
+struct Allocation {
+  /// seeds[i] = S_i, the users to whom ad i is promoted by the host.
+  std::vector<std::vector<NodeId>> seeds;
+
+  /// Creates an empty allocation for `num_ads` ads.
+  static Allocation Empty(int num_ads) {
+    Allocation a;
+    a.seeds.resize(static_cast<std::size_t>(num_ads));
+    return a;
+  }
+
+  int num_ads() const { return static_cast<int>(seeds.size()); }
+
+  /// Σ_i |S_i| (with multiplicity across ads).
+  std::size_t TotalSeeds() const;
+
+  /// Number of distinct users targeted by at least one ad (Table 3).
+  std::size_t DistinctTargetedUsers(NodeId num_nodes) const;
+};
+
+/// Per-node count of how many seed sets contain the node.
+std::vector<std::uint16_t> AssignmentCounts(const Allocation& allocation,
+                                            NodeId num_nodes);
+
+/// OK iff the allocation is valid for `instance` (attention bounds hold,
+/// node ids in range, no duplicate node within one ad's seed set).
+Status ValidateAllocation(const ProblemInstance& instance,
+                          const Allocation& allocation);
+
+}  // namespace tirm
+
+#endif  // TIRM_ALLOC_ALLOCATION_H_

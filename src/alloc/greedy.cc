@@ -1,0 +1,137 @@
+#include "alloc/greedy.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "diffusion/monte_carlo.h"
+
+namespace tirm {
+
+GreedyAllocator::GreedyAllocator(const ProblemInstance* instance,
+                                 MarginalOracle* oracle, Options options)
+    : instance_(instance), oracle_(oracle), options_(options) {
+  TIRM_CHECK(instance_ != nullptr);
+  TIRM_CHECK(oracle_ != nullptr);
+  const auto h = static_cast<std::size_t>(instance_->num_ads());
+  const NodeId n = instance_->graph().num_nodes();
+  seeds_.resize(h);
+  in_seed_set_.assign(h, std::vector<std::uint8_t>(n, 0));
+  assigned_.assign(n, 0);
+  revenue_.assign(h, 0.0);
+  candidates_.assign(h, Candidate{});
+}
+
+bool GreedyAllocator::Eligible(AdId i, NodeId u) const {
+  return assigned_[u] < instance_->AttentionBound(u) &&
+         in_seed_set_[static_cast<std::size_t>(i)][u] == 0;
+}
+
+void GreedyAllocator::RefreshCandidate(AdId i) {
+  const auto idx = static_cast<std::size_t>(i);
+  const NodeId n = instance_->graph().num_nodes();
+  const double cpe = instance_->advertiser(i).cpe;
+  Candidate best;
+  best.valid = true;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!Eligible(i, u)) continue;
+    const double spread = oracle_->MarginalSpread(i, u);
+    if (spread <= 0.0) continue;
+    const double mg = cpe * static_cast<double>(instance_->Delta(u, i)) * spread;
+    const double drop = RegretDrop(*instance_, i, revenue_[idx], mg);
+    if (drop > best.drop) {
+      best.node = u;
+      best.marginal_revenue = mg;
+      best.drop = drop;
+    }
+  }
+  candidates_[idx] = best;
+}
+
+GreedyResult GreedyAllocator::Run() {
+  const int h = instance_->num_ads();
+  const NodeId n = instance_->graph().num_nodes();
+  std::size_t max_seeds = options_.max_total_seeds;
+  if (max_seeds == 0) {
+    max_seeds = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      max_seeds += static_cast<std::size_t>(instance_->AttentionBound(u));
+    }
+  }
+
+  GreedyResult result;
+  while (result.iterations < max_seeds) {
+    // Line 3 of Algorithm 1: argmax over (u, a_j) of the regret drop,
+    // subject to attention bounds and strict decrease.
+    AdId best_ad = kInvalidAd;
+    double best_drop = options_.min_drop;
+    for (AdId i = 0; i < h; ++i) {
+      auto& cand = candidates_[static_cast<std::size_t>(i)];
+      if (!cand.valid ||
+          (cand.node != kInvalidNode && !Eligible(i, cand.node))) {
+        RefreshCandidate(i);
+      }
+      if (cand.node != kInvalidNode && cand.drop > best_drop) {
+        best_ad = i;
+        best_drop = cand.drop;
+      }
+    }
+    if (best_ad == kInvalidAd) break;  // line 4: no pair improves -> stop
+
+    const auto idx = static_cast<std::size_t>(best_ad);
+    const Candidate chosen = candidates_[idx];
+    seeds_[idx].push_back(chosen.node);
+    in_seed_set_[idx][chosen.node] = 1;
+    ++assigned_[chosen.node];
+    revenue_[idx] += chosen.marginal_revenue;
+    oracle_->OnCommit(best_ad, chosen.node);
+    candidates_[idx].valid = false;  // marginals for this ad changed
+    ++result.iterations;
+  }
+
+  result.allocation.seeds = std::move(seeds_);
+  result.estimated_revenue = revenue_;
+  return result;
+}
+
+// ---------------------------------------------------------------- MC oracle
+
+struct McMarginalOracle::AdState {
+  std::unique_ptr<SpreadSimulator> simulator;
+  std::vector<NodeId> seeds;
+  double spread_estimate = 0.0;  // σ̂_ic(S)
+};
+
+McMarginalOracle::McMarginalOracle(const ProblemInstance* instance, Rng rng,
+                                   Options options)
+    : instance_(instance), rng_(rng), options_(options) {
+  TIRM_CHECK(instance_ != nullptr);
+  states_.resize(static_cast<std::size_t>(instance_->num_ads()));
+  for (int i = 0; i < instance_->num_ads(); ++i) {
+    auto& st = states_[static_cast<std::size_t>(i)];
+    st.simulator = std::make_unique<SpreadSimulator>(
+        instance_->graph(), instance_->EdgeProbsForAd(i));
+  }
+}
+
+McMarginalOracle::~McMarginalOracle() = default;
+
+double McMarginalOracle::MarginalSpread(AdId ad, NodeId u) {
+  auto& st = states_[static_cast<std::size_t>(ad)];
+  std::vector<NodeId> with = st.seeds;
+  with.push_back(u);
+  const double with_spread =
+      st.simulator->EstimateSpread(with, options_.num_sims, rng_).mean();
+  return std::max(0.0, with_spread - st.spread_estimate);
+}
+
+void McMarginalOracle::OnCommit(AdId ad, NodeId u) {
+  auto& st = states_[static_cast<std::size_t>(ad)];
+  st.seeds.push_back(u);
+  // Re-estimate the base spread with double precision effort: the base is
+  // reused by every subsequent marginal query for this ad.
+  st.spread_estimate =
+      st.simulator->EstimateSpread(st.seeds, 2 * options_.num_sims, rng_)
+          .mean();
+}
+
+}  // namespace tirm

@@ -1,0 +1,124 @@
+// The greedy allocation algorithm (Algorithm 1, §4.1) with pluggable
+// influence-spread oracles.
+//
+// Each iteration selects the valid (user, ad) pair whose addition yields the
+// largest strict decrease in total regret, where the marginal *revenue* of
+// adding u to S_i is cpe(i)·δ(u,i)·[σ_ic-marginal] per Lemma 1, and stops
+// when no pair improves. The σ_ic marginal comes from a MarginalOracle:
+//   * McMarginalOracle     — Monte-Carlo marginals (GREEDY-MC, small graphs);
+//   * IrieOracle (irie.h)  — IRIE heuristic ranks (GREEDY-IRIE, §6);
+// TIRM (tirm.h) follows the same greedy logic but owns its RR-set state.
+//
+// Candidate caching: ad i's cached best pair stays the argmax while (a) ad
+// i's marginals are unchanged and (b) its cached node is still eligible —
+// eligibility only ever shrinks, and removing a non-argmax element cannot
+// change the argmax. Both are invalidated precisely, so most iterations
+// cost O(h) instead of O(h·n).
+
+#ifndef TIRM_ALLOC_GREEDY_H_
+#define TIRM_ALLOC_GREEDY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "alloc/regret.h"
+#include "common/rng.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// Supplies CTP-blind marginal spread estimates to the greedy engine.
+class MarginalOracle {
+ public:
+  virtual ~MarginalOracle() = default;
+
+  /// Estimated σ_ic(S_i ∪ {u}) − σ_ic(S_i) for ad i's *current* seed set.
+  /// `u` is guaranteed not already in S_i.
+  virtual double MarginalSpread(AdId ad, NodeId u) = 0;
+
+  /// Notifies that `u` was committed to ad i's seed set.
+  virtual void OnCommit(AdId ad, NodeId u) = 0;
+};
+
+/// Outcome of a greedy run.
+struct GreedyResult {
+  Allocation allocation;
+  /// Internal estimates Π̂_i (sum of committed marginal revenues).
+  std::vector<double> estimated_revenue;
+  /// Iterations executed (= total seeds committed).
+  std::size_t iterations = 0;
+};
+
+/// Algorithm 1 driver.
+class GreedyAllocator {
+ public:
+  struct Options {
+    /// Safety cap on total committed seeds (0 = Σ_u κ_u).
+    std::size_t max_total_seeds = 0;
+    /// Strictness threshold for "regret decreases".
+    double min_drop = 1e-12;
+  };
+
+  GreedyAllocator(const ProblemInstance* instance, MarginalOracle* oracle)
+      : GreedyAllocator(instance, oracle, Options{}) {}
+  GreedyAllocator(const ProblemInstance* instance, MarginalOracle* oracle,
+                  Options options);
+
+  /// Runs Algorithm 1 to saturation.
+  GreedyResult Run();
+
+ private:
+  struct Candidate {
+    NodeId node = kInvalidNode;
+    double marginal_revenue = 0.0;
+    double drop = 0.0;
+    bool valid = false;  // cache validity
+  };
+
+  // Recomputes ad i's best candidate by scanning all eligible nodes.
+  void RefreshCandidate(AdId i);
+
+  bool Eligible(AdId i, NodeId u) const;
+
+  const ProblemInstance* instance_;
+  MarginalOracle* oracle_;
+  Options options_;
+
+  std::vector<std::vector<NodeId>> seeds_;
+  std::vector<std::vector<std::uint8_t>> in_seed_set_;  // [ad][node]
+  std::vector<std::uint16_t> assigned_;
+  std::vector<double> revenue_;
+  std::vector<Candidate> candidates_;
+};
+
+/// Monte-Carlo marginal oracle: estimates σ_ic marginals by simulating
+/// σ_ic(S ∪ {u}) and subtracting the running σ_ic(S) estimate (common-seed
+/// simulations). Cost per query is O(num_sims · cascade); use on small
+/// graphs only (tests, GREEDY-MC baseline in ablations).
+class McMarginalOracle : public MarginalOracle {
+ public:
+  struct Options {
+    std::size_t num_sims = 500;
+  };
+
+  McMarginalOracle(const ProblemInstance* instance, Rng rng)
+      : McMarginalOracle(instance, rng, Options{}) {}
+  McMarginalOracle(const ProblemInstance* instance, Rng rng, Options options);
+  ~McMarginalOracle() override;
+
+  double MarginalSpread(AdId ad, NodeId u) override;
+  void OnCommit(AdId ad, NodeId u) override;
+
+ private:
+  struct AdState;
+  const ProblemInstance* instance_;
+  Rng rng_;
+  Options options_;
+  std::vector<AdState> states_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_ALLOC_GREEDY_H_

@@ -1,0 +1,99 @@
+#include "alloc/irie.h"
+
+#include <algorithm>
+
+namespace tirm {
+
+IrieEstimator::IrieEstimator(const Graph* graph,
+                             std::span<const float> edge_probs,
+                             Options options)
+    : graph_(graph), edge_probs_(edge_probs), options_(options) {
+  TIRM_CHECK(graph_ != nullptr);
+  TIRM_CHECK_EQ(edge_probs_.size(), graph_->num_edges());
+  TIRM_CHECK(options_.alpha > 0.0 && options_.alpha <= 1.0);
+  rank_.assign(graph_->num_nodes(), 1.0);
+  ap_.assign(graph_->num_nodes(), 0.0);
+  next_.assign(graph_->num_nodes(), 0.0);
+  RecomputeRanks();
+}
+
+void IrieEstimator::RecomputeRanks() {
+  const NodeId n = graph_->num_nodes();
+  // r(u) = (1 - AP(u)) * (1 + alpha * sum_{(u,v)} p(u,v) r(v))
+  for (NodeId u = 0; u < n; ++u) rank_[u] = 1.0 - ap_[u];
+  for (int iter = 0; iter < options_.rank_iterations; ++iter) {
+    for (NodeId u = 0; u < n; ++u) {
+      double acc = 1.0;
+      const auto neighbors = graph_->OutNeighbors(u);
+      const auto edge_ids = graph_->OutEdgeIds(u);
+      for (std::size_t j = 0; j < neighbors.size(); ++j) {
+        acc += options_.alpha * static_cast<double>(edge_probs_[edge_ids[j]]) *
+               rank_[neighbors[j]];
+      }
+      next_[u] = (1.0 - ap_[u]) * acc;
+    }
+    rank_.swap(next_);
+  }
+}
+
+void IrieEstimator::CommitSeed(NodeId w, double accept_prob) {
+  TIRM_CHECK_LT(w, graph_->num_nodes());
+  TIRM_CHECK(accept_prob >= 0.0 && accept_prob <= 1.0);
+  // IE: push w's activation contribution forward with the independence
+  // approximation, truncated at ap_truncation and max_push_hops. `contrib`
+  // holds the probability that w activates the frontier node along any
+  // discovered path (combined independently per predecessor).
+  std::vector<NodeId> frontier = {w};
+  std::vector<double> contrib(graph_->num_nodes(), 0.0);
+  contrib[w] = accept_prob;
+  ap_[w] = 1.0 - (1.0 - ap_[w]) * (1.0 - accept_prob);
+  for (int hop = 0; hop < options_.max_push_hops && !frontier.empty(); ++hop) {
+    std::vector<NodeId> next_frontier;
+    for (const NodeId u : frontier) {
+      const double cu = contrib[u];
+      if (cu <= options_.ap_truncation) continue;
+      const auto neighbors = graph_->OutNeighbors(u);
+      const auto edge_ids = graph_->OutEdgeIds(u);
+      for (std::size_t j = 0; j < neighbors.size(); ++j) {
+        const NodeId v = neighbors[j];
+        const double push = cu * static_cast<double>(edge_probs_[edge_ids[j]]);
+        if (push <= options_.ap_truncation) continue;
+        const double before = contrib[v];
+        const double after = 1.0 - (1.0 - before) * (1.0 - push);
+        if (after - before <= options_.ap_truncation) continue;
+        if (before == 0.0) next_frontier.push_back(v);
+        contrib[v] = after;
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != w && contrib[v] > 0.0) {
+      ap_[v] = 1.0 - (1.0 - ap_[v]) * (1.0 - contrib[v]);
+    }
+  }
+  RecomputeRanks();
+}
+
+IrieOracle::IrieOracle(const ProblemInstance* instance,
+                       IrieEstimator::Options options)
+    : instance_(instance) {
+  TIRM_CHECK(instance_ != nullptr);
+  estimators_.reserve(static_cast<std::size_t>(instance_->num_ads()));
+  for (int i = 0; i < instance_->num_ads(); ++i) {
+    estimators_.emplace_back(&instance_->graph(), instance_->EdgeProbsForAd(i),
+                             options);
+  }
+}
+
+double IrieOracle::MarginalSpread(AdId ad, NodeId u) {
+  return estimators_[static_cast<std::size_t>(ad)].Rank(u);
+}
+
+void IrieOracle::OnCommit(AdId ad, NodeId u) {
+  estimators_[static_cast<std::size_t>(ad)].CommitSeed(
+      u, static_cast<double>(instance_->Delta(u, ad)));
+}
+
+}  // namespace tirm

@@ -1,0 +1,90 @@
+// IRIE influence estimation (Jung, Heo, Chen — ICDM 2012) and the
+// GREEDY-IRIE baseline (§6).
+//
+// IRIE replaces Monte-Carlo marginal estimation inside greedy influence
+// maximization with two linear-time passes:
+//
+//  * IR (influence ranking): solve, by fixed-point iteration,
+//        r(u) = (1 − AP_S(u)) · (1 + α · Σ_{(u,v)∈E} p(u,v) · r(v))
+//    where α is a damping factor (the paper tunes α = 0.8 on quality
+//    datasets, 0.7 for Weighted Cascade); r(u) estimates the *additional*
+//    spread of adding u given the current seed set S.
+//
+//  * IE (influence estimation): AP_S(u), the probability that u is already
+//    activated by S, maintained incrementally: committing a seed w pushes
+//    its activation probability forward through the graph (independence
+//    approximation, truncated below a small threshold).
+//
+// GREEDY-IRIE is Algorithm 1 with r_i(u) as the marginal spread oracle.
+
+#ifndef TIRM_ALLOC_IRIE_H_
+#define TIRM_ALLOC_IRIE_H_
+
+#include <span>
+#include <vector>
+
+#include "alloc/greedy.h"
+#include "graph/graph.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// Standalone IRIE rank/activation-probability estimator for one ad's edge
+/// probabilities.
+class IrieEstimator {
+ public:
+  struct Options {
+    double alpha = 0.7;           ///< damping factor α
+    int rank_iterations = 20;     ///< fixed-point iterations for IR
+    double ap_truncation = 1e-4;  ///< drop AP pushes below this value
+    int max_push_hops = 8;        ///< radius of the incremental AP push
+  };
+
+  IrieEstimator(const Graph* graph, std::span<const float> edge_probs)
+      : IrieEstimator(graph, edge_probs, Options{}) {}
+  IrieEstimator(const Graph* graph, std::span<const float> edge_probs,
+                Options options);
+
+  /// Current rank r(u) — estimated marginal spread of u given the seeds
+  /// committed so far. Valid after RecomputeRanks().
+  double Rank(NodeId u) const { return rank_[u]; }
+  std::span<const double> ranks() const { return rank_; }
+
+  /// Current activation probability AP_S(u).
+  double ActivationProb(NodeId u) const { return ap_[u]; }
+
+  /// Registers seed `w` with acceptance probability `accept_prob`
+  /// (δ(w, i); 1.0 for plain influence maximization) and pushes its
+  /// activation forward (IE step).
+  void CommitSeed(NodeId w, double accept_prob);
+
+  /// Runs the IR fixed-point with the current AP values.
+  void RecomputeRanks();
+
+ private:
+  const Graph* graph_;
+  std::span<const float> edge_probs_;
+  Options options_;
+  std::vector<double> rank_;
+  std::vector<double> ap_;
+  std::vector<double> next_;  // scratch for iteration
+};
+
+/// MarginalOracle adapter: one IrieEstimator per ad.
+class IrieOracle : public MarginalOracle {
+ public:
+  explicit IrieOracle(const ProblemInstance* instance)
+      : IrieOracle(instance, IrieEstimator::Options{}) {}
+  IrieOracle(const ProblemInstance* instance, IrieEstimator::Options options);
+
+  double MarginalSpread(AdId ad, NodeId u) override;
+  void OnCommit(AdId ad, NodeId u) override;
+
+ private:
+  const ProblemInstance* instance_;
+  std::vector<IrieEstimator> estimators_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_ALLOC_IRIE_H_

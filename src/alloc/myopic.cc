@@ -1,0 +1,100 @@
+#include "alloc/myopic.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace tirm {
+
+Allocation MyopicAllocate(const ProblemInstance& instance) {
+  const NodeId n = instance.graph().num_nodes();
+  const int h = instance.num_ads();
+  Allocation alloc = Allocation::Empty(h);
+  std::vector<AdId> order(static_cast<std::size_t>(h));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<AdId> top;
+  for (NodeId u = 0; u < n; ++u) {
+    const int kappa = instance.AttentionBound(u);
+    top.assign(order.begin(), order.end());
+    const std::size_t take = std::min<std::size_t>(top.size(),
+                                                   static_cast<std::size_t>(kappa));
+    // Highest expected immediate revenue first; stable tie-break by ad id.
+    std::partial_sort(top.begin(), top.begin() + static_cast<std::ptrdiff_t>(take),
+                      top.end(), [&](AdId a, AdId b) {
+                        const double ra =
+                            instance.Delta(u, a) * instance.advertiser(a).cpe;
+                        const double rb =
+                            instance.Delta(u, b) * instance.advertiser(b).cpe;
+                        if (ra != rb) return ra > rb;
+                        return a < b;
+                      });
+    for (std::size_t j = 0; j < take; ++j) {
+      alloc.seeds[static_cast<std::size_t>(top[j])].push_back(u);
+    }
+  }
+  return alloc;
+}
+
+Allocation MyopicPlusAllocate(const ProblemInstance& instance) {
+  const NodeId n = instance.graph().num_nodes();
+  const int h = instance.num_ads();
+  Allocation alloc = Allocation::Empty(h);
+
+  // Per-ad ranking of users by CTP, descending.
+  std::vector<std::vector<NodeId>> ranking(static_cast<std::size_t>(h));
+  for (int i = 0; i < h; ++i) {
+    auto& r = ranking[static_cast<std::size_t>(i)];
+    r.resize(n);
+    std::iota(r.begin(), r.end(), 0u);
+    std::sort(r.begin(), r.end(), [&](NodeId a, NodeId b) {
+      const float da = instance.Delta(a, i);
+      const float db = instance.Delta(b, i);
+      if (da != db) return da > db;
+      return a < b;
+    });
+  }
+
+  std::vector<std::uint32_t> assigned(n, 0);
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(h), 0);
+  std::vector<double> naive_revenue(static_cast<std::size_t>(h), 0.0);
+  std::vector<bool> done(static_cast<std::size_t>(h), false);
+
+  // Round-robin over ads: each turn, the ad takes its next best available
+  // user until its naive expected revenue Σ cpe·δ reaches the budget.
+  int active = h;
+  while (active > 0) {
+    for (int i = 0; i < h && active > 0; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (done[idx]) continue;
+      if (naive_revenue[idx] >= instance.EffectiveBudget(i)) {
+        done[idx] = true;
+        --active;
+        continue;
+      }
+      // Advance to the next user with remaining attention.
+      bool took = false;
+      auto& cur = cursor[idx];
+      const auto& r = ranking[idx];
+      while (cur < r.size()) {
+        const NodeId u = r[cur];
+        ++cur;
+        if (assigned[u] >= static_cast<std::uint32_t>(instance.AttentionBound(u))) {
+          continue;
+        }
+        alloc.seeds[idx].push_back(u);
+        ++assigned[u];
+        naive_revenue[idx] +=
+            instance.advertiser(i).cpe * instance.Delta(u, i);
+        took = true;
+        break;
+      }
+      if (!took) {  // ran out of users
+        done[idx] = true;
+        --active;
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace tirm

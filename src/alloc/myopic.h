@@ -1,0 +1,28 @@
+// The MYOPIC and MYOPIC+ baselines (§6).
+//
+// MYOPIC assigns to every user u her top-κ_u ads by immediate expected
+// revenue δ(u,i)·cpe(i) — no virality, no budgets (Allocation A of Fig. 1).
+//
+// MYOPIC+ is budget-conscious but still virality-blind: per ad, users are
+// ranked by CTP δ(u,i) and seeded in that order until the *naive* expected
+// revenue Σ_{u∈S_i} cpe(i)·δ(u,i) reaches the budget B_i. Attention bounds
+// are honored by visiting ads round-robin and skipping exhausted users.
+
+#ifndef TIRM_ALLOC_MYOPIC_H_
+#define TIRM_ALLOC_MYOPIC_H_
+
+#include "alloc/allocation.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// MYOPIC baseline: per-user top-κ_u ads by δ(u,i)·cpe(i).
+Allocation MyopicAllocate(const ProblemInstance& instance);
+
+/// MYOPIC+ baseline: CTP-ranked seeding round-robin until naive revenue
+/// reaches each budget.
+Allocation MyopicPlusAllocate(const ProblemInstance& instance);
+
+}  // namespace tirm
+
+#endif  // TIRM_ALLOC_MYOPIC_H_

@@ -1,0 +1,37 @@
+#include "alloc/regret.h"
+
+#include "alloc/allocation.h"
+
+namespace tirm {
+
+RegretReport MakeRegretReport(const ProblemInstance& instance,
+                              const std::vector<std::vector<NodeId>>& seeds,
+                              const std::vector<double>& spreads) {
+  TIRM_CHECK_EQ(seeds.size(), static_cast<std::size_t>(instance.num_ads()));
+  TIRM_CHECK_EQ(spreads.size(), seeds.size());
+  RegretReport report;
+  report.ads.resize(seeds.size());
+  Allocation alloc;
+  alloc.seeds = seeds;
+  for (int i = 0; i < instance.num_ads(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    AdRegretReport& ad = report.ads[idx];
+    ad.spread = spreads[idx];
+    ad.revenue = instance.advertiser(i).cpe * spreads[idx];
+    ad.budget = instance.EffectiveBudget(i);
+    ad.budget_regret = BudgetRegret(instance, i, ad.revenue);
+    ad.num_seeds = seeds[idx].size();
+    ad.seed_regret = instance.lambda() * static_cast<double>(ad.num_seeds);
+    report.total_budget_regret += ad.budget_regret;
+    report.total_seed_regret += ad.seed_regret;
+    report.total_revenue += ad.revenue;
+    report.total_budget += ad.budget;
+    report.total_seeds += ad.num_seeds;
+  }
+  report.total_regret = report.total_budget_regret + report.total_seed_regret;
+  report.distinct_targeted =
+      alloc.DistinctTargetedUsers(instance.graph().num_nodes());
+  return report;
+}
+
+}  // namespace tirm

@@ -1,0 +1,78 @@
+// Regret arithmetic (Eq. 3 / Eq. 4, §3).
+//
+//   R_i(S_i) = |B'_i − Π_i(S_i)| + λ·|S_i|        (B'_i = (1+β)·B_i)
+//   R(S)     = Σ_i R_i(S_i)
+//
+// The first term is the *budget-regret* (under/overshoot of the budget by
+// the expected revenue), the second the *seed-regret* (penalty for spending
+// host resources on seeds).
+
+#ifndef TIRM_ALLOC_REGRET_H_
+#define TIRM_ALLOC_REGRET_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// Budget-regret |B'_i − revenue| for ad i given expected revenue.
+inline double BudgetRegret(const ProblemInstance& instance, AdId i,
+                           double revenue) {
+  return std::fabs(instance.EffectiveBudget(i) - revenue);
+}
+
+/// Full per-ad regret |B'_i − revenue| + λ·num_seeds.
+inline double AdRegret(const ProblemInstance& instance, AdId i, double revenue,
+                       std::size_t num_seeds) {
+  return BudgetRegret(instance, i, revenue) +
+         instance.lambda() * static_cast<double>(num_seeds);
+}
+
+/// Regret drop achieved by adding one seed with marginal revenue
+/// `marginal_revenue` to an ad currently at `revenue` with budget-regret
+/// tracked against B'_i. Positive iff the addition strictly reduces R_i.
+inline double RegretDrop(const ProblemInstance& instance, AdId i,
+                         double revenue, double marginal_revenue) {
+  const double before = BudgetRegret(instance, i, revenue);
+  const double after = BudgetRegret(instance, i, revenue + marginal_revenue);
+  return before - after - instance.lambda();
+}
+
+/// Per-ad evaluation record.
+struct AdRegretReport {
+  double revenue = 0.0;        ///< Π_i(S_i) = cpe(i)·σ_i(S_i)
+  double spread = 0.0;         ///< σ_i(S_i) expected clicks
+  double budget = 0.0;         ///< effective budget B'_i
+  double budget_regret = 0.0;  ///< |B'_i − Π_i|
+  double seed_regret = 0.0;    ///< λ·|S_i|
+  std::size_t num_seeds = 0;
+};
+
+/// Whole-allocation evaluation record.
+struct RegretReport {
+  std::vector<AdRegretReport> ads;
+  double total_budget_regret = 0.0;
+  double total_seed_regret = 0.0;
+  double total_regret = 0.0;          ///< R(S)
+  double total_revenue = 0.0;
+  double total_budget = 0.0;          ///< Σ B'_i
+  std::size_t total_seeds = 0;
+  std::size_t distinct_targeted = 0;  ///< Table 3 metric
+
+  /// R(S) / Σ B'_i — the paper quotes regrets relative to total budget.
+  double RegretFractionOfBudget() const {
+    return total_budget > 0.0 ? total_regret / total_budget : 0.0;
+  }
+};
+
+/// Builds a report from per-ad expected spreads (σ_i values).
+RegretReport MakeRegretReport(const ProblemInstance& instance,
+                              const std::vector<std::vector<NodeId>>& seeds,
+                              const std::vector<double>& spreads);
+
+}  // namespace tirm
+
+#endif  // TIRM_ALLOC_REGRET_H_

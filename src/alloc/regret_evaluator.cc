@@ -1,0 +1,32 @@
+#include "alloc/regret_evaluator.h"
+
+#include "diffusion/monte_carlo.h"
+
+namespace tirm {
+
+double RegretEvaluator::EvaluateSpread(AdId i, const std::vector<NodeId>& seeds,
+                                       Rng& rng) const {
+  if (seeds.empty()) return 0.0;
+  const auto& probs = instance_->EdgeProbsForAd(i);
+  SpreadSimulator simulator(instance_->graph(), probs);
+  const auto ctp = [this, i](NodeId u) {
+    return static_cast<double>(instance_->Delta(u, i));
+  };
+  return simulator
+      .EstimateSpreadWithCtp(seeds, ctp, options_.num_sims, rng)
+      .mean();
+}
+
+RegretReport RegretEvaluator::Evaluate(const Allocation& allocation,
+                                       Rng& rng) const {
+  TIRM_CHECK_EQ(allocation.num_ads(), instance_->num_ads());
+  std::vector<double> spreads(allocation.seeds.size(), 0.0);
+  for (int i = 0; i < instance_->num_ads(); ++i) {
+    Rng ad_rng = rng.Fork(static_cast<std::uint64_t>(i) + 1);
+    spreads[static_cast<std::size_t>(i)] =
+        EvaluateSpread(i, allocation.seeds[static_cast<std::size_t>(i)], ad_rng);
+  }
+  return MakeRegretReport(*instance_, allocation.seeds, spreads);
+}
+
+}  // namespace tirm

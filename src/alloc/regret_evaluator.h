@@ -1,0 +1,50 @@
+// Ground-truth regret evaluation by Monte-Carlo simulation (§6).
+//
+// The paper evaluates every algorithm's output allocation with 10K MC runs
+// of the TIC-CTP model "for neutral, fair, and accurate comparisons".
+// RegretEvaluator estimates each σ_i(S_i) by forward simulation with the
+// ad-specific Eq. 1 probabilities and per-seed CTP coins, then assembles a
+// RegretReport.
+
+#ifndef TIRM_ALLOC_REGRET_EVALUATOR_H_
+#define TIRM_ALLOC_REGRET_EVALUATOR_H_
+
+#include <cstddef>
+
+#include "alloc/allocation.h"
+#include "alloc/regret.h"
+#include "common/rng.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// Monte-Carlo allocation evaluator.
+class RegretEvaluator {
+ public:
+  struct Options {
+    /// Simulations per ad (paper: 10 000).
+    std::size_t num_sims = 10000;
+  };
+
+  explicit RegretEvaluator(const ProblemInstance* instance)
+      : RegretEvaluator(instance, Options{}) {}
+  RegretEvaluator(const ProblemInstance* instance, Options options)
+      : instance_(instance), options_(options) {
+    TIRM_CHECK(instance_ != nullptr);
+  }
+
+  /// Estimates σ_i(S_i) for every ad and returns the full report.
+  RegretReport Evaluate(const Allocation& allocation, Rng& rng) const;
+
+  /// Estimates a single ad's expected spread σ_i(S_i).
+  double EvaluateSpread(AdId i, const std::vector<NodeId>& seeds,
+                        Rng& rng) const;
+
+ private:
+  const ProblemInstance* instance_;
+  Options options_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_ALLOC_REGRET_EVALUATOR_H_

@@ -1,0 +1,388 @@
+#include "alloc/tirm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "common/logging.h"
+#include "rrset/kpt_estimator.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "rrset/weighted_rr_collection.h"
+
+namespace tirm {
+namespace {
+
+// Coverage bookkeeping behind TIRM's greedy loop. Two implementations:
+//  * RemovalBackend — the paper's Algorithm 2 semantics (covered RR sets
+//    are removed; seeds treated as deterministically active);
+//  * WeightedBackend — the CTP-aware extension (sets carry survival
+//    weights Π(1-δ); exact TIC-CTP marginals).
+class CoverageBackend {
+ public:
+  virtual ~CoverageBackend() = default;
+  virtual void AddSet(std::span<const NodeId> nodes) = 0;
+  virtual std::size_t NumSets() const = 0;
+  /// Current marginal-coverage mass of `v` (sets for removal mode,
+  /// survival mass for weighted mode).
+  virtual double CoverageOf(NodeId v) const = 0;
+  /// Best candidate by raw coverage subject to `eligible`.
+  virtual NodeId BestNode(const std::function<bool(NodeId)>& eligible) = 0;
+  /// Commits `v` (δ = accept_prob); returns its coverage mass before.
+  virtual double Commit(NodeId v, double accept_prob) = 0;
+  /// Attribution of freshly added sets (ids >= first_set) to seed `v`.
+  virtual double CommitOnRange(NodeId v, double accept_prob,
+                               std::uint32_t first_set) = 0;
+  /// Covered mass across all sets (for the OPT_s lower bound).
+  virtual double CoveredMass() const = 0;
+  /// Called after a batch of AddSet calls.
+  virtual void OnSetsAdded() = 0;
+  virtual std::size_t MemoryBytes() const = 0;
+};
+
+class RemovalBackend : public CoverageBackend {
+ public:
+  explicit RemovalBackend(NodeId num_nodes) : collection_(num_nodes) {}
+
+  void AddSet(std::span<const NodeId> nodes) override {
+    collection_.AddSet(nodes);
+  }
+  std::size_t NumSets() const override { return collection_.NumSets(); }
+  double CoverageOf(NodeId v) const override {
+    return collection_.CoverageOf(v);
+  }
+  NodeId BestNode(const std::function<bool(NodeId)>& eligible) override {
+    if (heap_ == nullptr) heap_ = std::make_unique<CoverageHeap>(&collection_);
+    const NodeId best = heap_->PopBest(eligible);
+    // Tentative pop (another ad may win the iteration): reinsert; the lazy
+    // heap tolerates duplicates.
+    if (best != kInvalidNode) heap_->Push(best, collection_.CoverageOf(best));
+    return best;
+  }
+  double Commit(NodeId v, double /*accept_prob*/) override {
+    return collection_.CommitSeed(v);
+  }
+  double CommitOnRange(NodeId v, double /*accept_prob*/,
+                       std::uint32_t first_set) override {
+    return collection_.CommitSeedOnRange(v, first_set);
+  }
+  double CoveredMass() const override {
+    return static_cast<double>(collection_.NumCovered());
+  }
+  void OnSetsAdded() override {
+    if (heap_ != nullptr) heap_->Rebuild();
+  }
+  std::size_t MemoryBytes() const override { return collection_.MemoryBytes(); }
+
+ private:
+  RrCollection collection_;
+  std::unique_ptr<CoverageHeap> heap_;
+};
+
+class WeightedBackend : public CoverageBackend {
+ public:
+  explicit WeightedBackend(NodeId num_nodes) : collection_(num_nodes) {}
+
+  void AddSet(std::span<const NodeId> nodes) override {
+    collection_.AddSet(nodes);
+  }
+  std::size_t NumSets() const override { return collection_.NumSets(); }
+  double CoverageOf(NodeId v) const override {
+    return collection_.CoverageOf(v);
+  }
+  NodeId BestNode(const std::function<bool(NodeId)>& eligible) override {
+    return collection_.ArgMaxCoverage(eligible);
+  }
+  double Commit(NodeId v, double accept_prob) override {
+    return collection_.CommitSeed(v, accept_prob);
+  }
+  double CommitOnRange(NodeId v, double accept_prob,
+                       std::uint32_t first_set) override {
+    return collection_.CommitSeedOnRange(v, accept_prob, first_set);
+  }
+  double CoveredMass() const override { return collection_.CoveredMass(); }
+  void OnSetsAdded() override {}
+  std::size_t MemoryBytes() const override { return collection_.MemoryBytes(); }
+
+ private:
+  WeightedRrCollection collection_;
+};
+
+// Per-ad mutable state of the TIRM main loop.
+struct AdState {
+  AdState(const Graph& graph, std::span<const float> probs, NodeId num_nodes,
+          bool weighted)
+      : sampler(graph, probs) {
+    if (weighted) {
+      backend = std::make_unique<WeightedBackend>(num_nodes);
+    } else {
+      backend = std::make_unique<RemovalBackend>(num_nodes);
+    }
+  }
+
+  RrSampler sampler;
+  std::unique_ptr<CoverageBackend> backend;
+  std::unique_ptr<KptEstimator> kpt;
+
+  std::uint64_t theta = 0;   // sets sampled so far
+  std::uint64_t s = 1;       // current seed-count estimate s_j
+  double kpt_value = 1.0;    // KPT*(s)
+  std::size_t expansions = 0;
+
+  std::vector<NodeId> seeds;           // S_j in selection order
+  std::vector<double> seed_coverage;   // Q_j: coverage mass at selection
+  std::vector<std::uint8_t> in_seed_set;
+  double revenue = 0.0;  // Π̂_j
+  double last_marginal_revenue = 0.0;
+
+  // Cached best candidate (valid => node/coverage current).
+  bool cand_valid = false;
+  NodeId cand_node = kInvalidNode;
+  double cand_cov = 0.0;
+};
+
+}  // namespace
+
+TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
+                   Rng& rng) {
+  TIRM_CHECK(instance.Validate().ok()) << instance.Validate().ToString();
+  const Graph& graph = instance.graph();
+  const NodeId n = graph.num_nodes();
+  const int h = instance.num_ads();
+  const double dn = static_cast<double>(n);
+
+  std::vector<std::uint16_t> assigned(n, 0);
+
+  // ------------------------------------------------ initialization (line 1-3)
+  std::vector<std::unique_ptr<AdState>> ads;
+  ads.reserve(static_cast<std::size_t>(h));
+  std::vector<NodeId> scratch;
+  for (AdId j = 0; j < h; ++j) {
+    auto st = std::make_unique<AdState>(graph, instance.EdgeProbsForAd(j), n,
+                                        options.ctp_aware_coverage);
+    st->in_seed_set.assign(n, 0);
+    Rng kpt_rng = rng.Fork(0x1000 + static_cast<std::uint64_t>(j));
+    st->kpt = std::make_unique<KptEstimator>(
+        &st->sampler, graph.num_edges(),
+        KptEstimator::Options{.ell = options.theta.ell,
+                              .max_samples = options.kpt_max_samples});
+    st->kpt_value = st->kpt->Estimate(st->s, kpt_rng);
+    const double opt_lb = std::max(st->kpt_value, static_cast<double>(st->s));
+    st->theta = ComputeTheta(n, st->s, opt_lb, options.theta);
+    Rng sample_rng = rng.Fork(0x2000 + static_cast<std::uint64_t>(j));
+    for (std::uint64_t t = 0; t < st->theta; ++t) {
+      st->sampler.SampleInto(sample_rng, scratch);
+      st->backend->AddSet(scratch);
+    }
+    st->backend->OnSetsAdded();
+    ads.push_back(std::move(st));
+  }
+
+  std::size_t max_seeds = options.max_total_seeds;
+  if (max_seeds == 0) {
+    for (NodeId u = 0; u < n; ++u) {
+      max_seeds += static_cast<std::size_t>(instance.AttentionBound(u));
+    }
+  }
+
+  // Per-ad eligibility: attention left and not already in S_j.
+  auto make_eligible = [&](AdId j) {
+    AdState* st = ads[static_cast<std::size_t>(j)].get();
+    return [this_st = st, &assigned, &instance](NodeId u) {
+      return assigned[u] < instance.AttentionBound(u) &&
+             this_st->in_seed_set[u] == 0;
+    };
+  };
+
+  // Marginal revenue of a candidate node (Theorem 5 δ-scaling; in weighted
+  // mode the coverage mass is already CTP-discounted for *earlier* seeds).
+  auto marginal_of = [&](AdId j, NodeId u, double cov) {
+    const AdState& st = *ads[static_cast<std::size_t>(j)];
+    const double coverage_fraction = cov / static_cast<double>(st.theta);
+    return instance.advertiser(j).cpe * dn *
+           static_cast<double>(instance.Delta(u, j)) * coverage_fraction;
+  };
+
+  // Refreshes ad j's cached candidate: Algorithm 3 (SelectBestNode), with
+  // the Algorithm 1-style fallback when the top-coverage node overshoots.
+  auto refresh_candidate = [&](AdId j) {
+    AdState& st = *ads[static_cast<std::size_t>(j)];
+    const auto eligible = make_eligible(j);
+    if (options.weight_by_ctp) {
+      // Ablation variant: argmax of δ(u,j)·coverage by linear scan.
+      NodeId best = kInvalidNode;
+      double best_score = 0.0;
+      for (NodeId u = 0; u < n; ++u) {
+        const double cov = st.backend->CoverageOf(u);
+        if (cov <= 0.0 || !eligible(u)) continue;
+        const double score = static_cast<double>(instance.Delta(u, j)) * cov;
+        if (score > best_score) {
+          best_score = score;
+          best = u;
+        }
+      }
+      st.cand_node = best;
+      st.cand_cov = best == kInvalidNode ? 0.0 : st.backend->CoverageOf(best);
+    } else {
+      // Faithful Algorithm 3: argmax raw coverage subject to attention.
+      const NodeId best = st.backend->BestNode(eligible);
+      st.cand_node = best;
+      st.cand_cov = best == kInvalidNode ? 0.0 : st.backend->CoverageOf(best);
+    }
+    if (options.exact_selection_fallback && st.cand_node != kInvalidNode) {
+      const double drop = RegretDrop(
+          instance, j, st.revenue, marginal_of(j, st.cand_node, st.cand_cov));
+      if (drop <= options.min_drop) {
+        // Top candidate overshoots: scan for the largest positive drop
+        // (Algorithm 1 semantics). Rare — only near budget saturation.
+        NodeId best = kInvalidNode;
+        double best_cov = 0.0;
+        double best_drop = options.min_drop;
+        for (NodeId u = 0; u < n; ++u) {
+          const double cov = st.backend->CoverageOf(u);
+          if (cov <= 0.0 || !eligible(u)) continue;
+          const double d =
+              RegretDrop(instance, j, st.revenue, marginal_of(j, u, cov));
+          if (d > best_drop) {
+            best_drop = d;
+            best = u;
+            best_cov = cov;
+          }
+        }
+        st.cand_node = best;
+        st.cand_cov = best_cov;
+      }
+    }
+    st.cand_valid = true;
+  };
+
+  TirmResult result;
+  result.ad_stats.resize(static_cast<std::size_t>(h));
+
+  // ------------------------------------------------------- main loop (line 4)
+  while (result.iterations < max_seeds) {
+    AdId best_ad = kInvalidAd;
+    double best_drop = options.min_drop;
+    double best_marginal = 0.0;
+    for (AdId j = 0; j < h; ++j) {
+      AdState& st = *ads[static_cast<std::size_t>(j)];
+      const auto eligible = make_eligible(j);
+      if (!st.cand_valid ||
+          (st.cand_node != kInvalidNode &&
+           (!eligible(st.cand_node) ||
+            st.backend->CoverageOf(st.cand_node) != st.cand_cov))) {
+        refresh_candidate(j);
+      }
+      if (st.cand_node == kInvalidNode || st.cand_cov <= 0.0) continue;
+      const double mg = marginal_of(j, st.cand_node, st.cand_cov);
+      if (mg <= 0.0) continue;
+      // Line 8: max drop in regret, subject to strict decrease.
+      const double drop = RegretDrop(instance, j, st.revenue, mg);
+      if (drop > best_drop) {
+        best_drop = drop;
+        best_ad = j;
+        best_marginal = mg;
+      }
+    }
+    if (best_ad == kInvalidAd) break;  // no (user, ad) pair improves: return
+
+    // Lines 10-12: commit the seed; discount/remove covered RR sets.
+    AdState& st = *ads[static_cast<std::size_t>(best_ad)];
+    const NodeId v = st.cand_node;
+    const double delta_v = static_cast<double>(instance.Delta(v, best_ad));
+    st.seeds.push_back(v);
+    st.seed_coverage.push_back(st.cand_cov);
+    st.in_seed_set[v] = 1;
+    ++assigned[v];
+    st.revenue += best_marginal;
+    st.last_marginal_revenue = best_marginal;
+    const double covered = st.backend->Commit(v, delta_v);
+    TIRM_DCHECK(std::abs(covered - st.cand_cov) <= 1e-6 * (1.0 + covered));
+    (void)covered;
+    st.cand_valid = false;
+    ++result.iterations;
+
+    // Lines 14-19: iterative seed-set-size estimation and θ growth.
+    if (st.seeds.size() >= st.s) {
+      const double budget_regret = BudgetRegret(instance, best_ad, st.revenue);
+      std::uint64_t grow = 0;
+      if (st.last_marginal_revenue > 0.0) {
+        grow = static_cast<std::uint64_t>(budget_regret /
+                                          st.last_marginal_revenue);
+      }
+      // The floor can be 0 right at the budget boundary; allow one more
+      // seed so the regret-drop test (not s) decides termination.
+      grow = std::max<std::uint64_t>(grow, 1);
+      st.s = std::min<std::uint64_t>(st.s + grow, n);
+      st.kpt_value = st.kpt->ReEstimate(st.s);
+
+      // OPT_s ≥ max(KPT*(s), spread estimate of current seeds, s).
+      const double covered_fraction =
+          st.backend->CoveredMass() / static_cast<double>(st.theta);
+      const double opt_lb = std::max(
+          {st.kpt_value, dn * covered_fraction, static_cast<double>(st.s)});
+      const std::uint64_t new_theta =
+          std::max(ComputeTheta(n, st.s, opt_lb, options.theta), st.theta);
+      if (new_theta > st.theta) {
+        ++st.expansions;
+        const std::uint32_t first_new =
+            static_cast<std::uint32_t>(st.backend->NumSets());
+        Rng sample_rng =
+            rng.Fork(0x3000 + static_cast<std::uint64_t>(best_ad) * 0x100 +
+                     st.expansions);
+        for (std::uint64_t t = st.theta; t < new_theta; ++t) {
+          st.sampler.SampleInto(sample_rng, scratch);
+          st.backend->AddSet(scratch);
+        }
+        const std::uint64_t old_theta = st.theta;
+        st.theta = new_theta;
+
+        // Algorithm 4 (UpdateEstimates): attribute the new sets to the
+        // existing seeds in selection order, keeping coverages marginal,
+        // then recompute Π̂_j under the enlarged collection.
+        double revenue = 0.0;
+        for (std::size_t q = 0; q < st.seeds.size(); ++q) {
+          const NodeId w = st.seeds[q];
+          const double delta_w =
+              static_cast<double>(instance.Delta(w, best_ad));
+          const double extra =
+              st.backend->CommitOnRange(w, delta_w, first_new);
+          st.seed_coverage[q] += extra;
+          revenue += instance.advertiser(best_ad).cpe * dn * delta_w *
+                     (st.seed_coverage[q] / static_cast<double>(st.theta));
+        }
+        st.revenue = revenue;
+        st.backend->OnSetsAdded();
+        TIRM_LOG_DEBUG("tirm ad %d: s=%llu theta %llu -> %llu (expansion %zu)",
+                       static_cast<int>(best_ad),
+                       static_cast<unsigned long long>(st.s),
+                       static_cast<unsigned long long>(old_theta),
+                       static_cast<unsigned long long>(new_theta),
+                       st.expansions);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- results
+  result.allocation = Allocation::Empty(h);
+  result.estimated_revenue.resize(static_cast<std::size_t>(h));
+  for (AdId j = 0; j < h; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    AdState& st = *ads[idx];
+    result.allocation.seeds[idx] = st.seeds;
+    result.estimated_revenue[idx] = st.revenue;
+    TirmAdStats& stats = result.ad_stats[idx];
+    stats.theta = st.theta;
+    stats.final_s = st.s;
+    stats.kpt = st.kpt_value;
+    stats.num_seeds = st.seeds.size();
+    stats.estimated_revenue = st.revenue;
+    stats.expansions = st.expansions;
+    result.rr_memory_bytes += st.backend->MemoryBytes();
+    result.total_rr_sets += st.theta;
+  }
+  return result;
+}
+
+}  // namespace tirm

@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+namespace tirm {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[TIRM CHECK FAILED] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace tirm

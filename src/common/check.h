@@ -1,0 +1,67 @@
+// Fatal assertion macros (the library does not use C++ exceptions).
+//
+// TIRM_CHECK* macros terminate the process with a readable message when an
+// internal invariant is violated. They are always on (release builds too):
+// correctness bugs in a randomized-algorithm library are far more expensive
+// than the branch. Recoverable conditions (I/O, user input) go through
+// Status/Result instead, see common/status.h.
+
+#ifndef TIRM_COMMON_CHECK_H_
+#define TIRM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tirm {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream-style message collector used by the TIRM_CHECK macros.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tirm
+
+#define TIRM_CHECK(condition)                                             \
+  if (condition) {                                                        \
+  } else                                                                  \
+    ::tirm::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define TIRM_CHECK_EQ(a, b) TIRM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIRM_CHECK_NE(a, b) TIRM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIRM_CHECK_LT(a, b) TIRM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIRM_CHECK_LE(a, b) TIRM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIRM_CHECK_GT(a, b) TIRM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIRM_CHECK_GE(a, b) TIRM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define TIRM_DCHECK(condition) TIRM_CHECK(true)
+#else
+#define TIRM_DCHECK(condition) TIRM_CHECK(condition)
+#endif
+
+#endif  // TIRM_COMMON_CHECK_H_

@@ -1,0 +1,76 @@
+#include "common/flags.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+namespace tirm {
+namespace {
+
+std::optional<std::string> Lookup(const std::map<std::string, std::string>& m,
+                                  const std::string& key) {
+  auto it = m.find(key);
+  if (it == m.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      return Status::InvalidArgument(std::string("expected --key[=value], got ") +
+                                     arg);
+    }
+    const char* body = arg + 2;
+    const char* eq = std::strchr(body, '=');
+    if (eq == nullptr) {
+      values_[body] = "true";  // bare --flag means boolean true
+    } else {
+      values_[std::string(body, eq - body)] = std::string(eq + 1);
+    }
+  }
+  return Status::OK();
+}
+
+std::string Flags::EnvName(const std::string& key) {
+  std::string env = "TIRM_";
+  for (char c : key) {
+    env += (c == '-') ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return env;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  if (auto v = Lookup(values_, key)) return *v;
+  if (const char* env = std::getenv(EnvName(key).c_str())) return env;
+  return default_value;
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  std::string s = GetString(key, "");
+  if (s.empty()) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  return (end == s.c_str()) ? default_value : v;
+}
+
+std::int64_t Flags::GetInt(const std::string& key,
+                           std::int64_t default_value) const {
+  std::string s = GetString(key, "");
+  if (s.empty()) return default_value;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  return (end == s.c_str()) ? default_value : v;
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  std::string s = GetString(key, "");
+  if (s.empty()) return default_value;
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+}  // namespace tirm

@@ -1,0 +1,47 @@
+// Tiny --key=value command-line parser with environment-variable fallback.
+//
+// Benches and examples run with no arguments by default; every knob can be
+// overridden on the command line (`--scale=0.5`) or via environment
+// (`TIRM_SCALE=0.5`). Command line wins over environment wins over default.
+
+#ifndef TIRM_COMMON_FLAGS_H_
+#define TIRM_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace tirm {
+
+/// Parses `--key=value` / `--flag` arguments and exposes typed getters.
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parses argv; returns InvalidArgument on malformed arguments
+  /// (anything not of the form `--key[=value]`).
+  Status Parse(int argc, char** argv);
+
+  /// True if the flag was given on the command line.
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Lookup order: command line, then env var `TIRM_<KEY_UPPERCASED>`,
+  /// then `default_value`.
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Environment variable name used for `key` ("eval_sims" -> "TIRM_EVAL_SIMS").
+  static std::string EnvName(const std::string& key);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_FLAGS_H_

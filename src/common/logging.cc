@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tirm {
+namespace {
+
+int g_level = -1;  // -1 = uninitialized
+
+int ReadInitialLevel() {
+  if (const char* env = std::getenv("TIRM_LOG_LEVEL")) {
+    return std::atoi(env);
+  }
+  return 1;
+}
+
+}  // namespace
+
+LogLevel CurrentLogLevel() {
+  if (g_level < 0) g_level = ReadInitialLevel();
+  return static_cast<LogLevel>(g_level);
+}
+
+void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(CurrentLogLevel())) return;
+  const char* prefix = level == LogLevel::kError  ? "[error] "
+                       : level == LogLevel::kInfo ? "[info] "
+                                                  : "[debug] ";
+  std::fputs(prefix, stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace tirm

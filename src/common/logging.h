@@ -1,0 +1,29 @@
+// Minimal leveled logger. Verbosity is controlled by TIRM_LOG_LEVEL
+// (0 = errors only, 1 = info [default], 2 = verbose/debug).
+
+#ifndef TIRM_COMMON_LOGGING_H_
+#define TIRM_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace tirm {
+
+enum class LogLevel : int { kError = 0, kInfo = 1, kDebug = 2 };
+
+/// Current verbosity threshold (reads TIRM_LOG_LEVEL once).
+LogLevel CurrentLogLevel();
+
+/// Overrides the verbosity threshold at runtime (tests, harnesses).
+void SetLogLevel(LogLevel level);
+
+/// printf-style logging; messages above the current level are dropped.
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace tirm
+
+#define TIRM_LOG_ERROR(...) ::tirm::Logf(::tirm::LogLevel::kError, __VA_ARGS__)
+#define TIRM_LOG_INFO(...) ::tirm::Logf(::tirm::LogLevel::kInfo, __VA_ARGS__)
+#define TIRM_LOG_DEBUG(...) ::tirm::Logf(::tirm::LogLevel::kDebug, __VA_ARGS__)
+
+#endif  // TIRM_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+#include "common/memory_info.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tirm {
+namespace {
+
+// Reads a "VmRSS:  123 kB"-style field from /proc/self/status.
+std::uint64_t ReadProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, "%lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS:") * 1024; }
+
+std::uint64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM:") * 1024; }
+
+std::string HumanBytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), unit == 0 ? "%.0f %s" : "%.2f %s", v,
+                units[unit]);
+  return buf;
+}
+
+}  // namespace tirm

@@ -1,0 +1,22 @@
+// Process memory introspection for the Table 4 memory experiments.
+
+#ifndef TIRM_COMMON_MEMORY_INFO_H_
+#define TIRM_COMMON_MEMORY_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tirm {
+
+/// Current resident set size in bytes (0 if /proc is unavailable).
+std::uint64_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (0 if /proc is unavailable).
+std::uint64_t PeakRssBytes();
+
+/// Formats a byte count as a short human-readable string ("1.25 GB").
+std::string HumanBytes(std::uint64_t bytes);
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_MEMORY_INFO_H_

@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <limits>
+
+namespace tirm {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::NextUInt64() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformBelow(std::uint64_t n) {
+  TIRM_CHECK_GT(n, 0u);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = NextUInt64();
+    // Low 64 bits of the 128-bit product give the rejection test.
+    __uint128_t product = static_cast<__uint128_t>(r) * n;
+    std::uint64_t low = static_cast<std::uint64_t>(product);
+    if (low >= threshold) return static_cast<std::uint64_t>(product >> 64);
+  }
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t lo, std::uint64_t hi) {
+  TIRM_CHECK_LE(lo, hi);
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return NextUInt64();
+  return lo + UniformBelow(span + 1);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; u1 in (0,1] to keep log finite.
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Fork(std::uint64_t salt) {
+  // Mix current stream output with the salt; deterministic and decorrelated.
+  std::uint64_t s = NextUInt64() ^ (salt * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL);
+  return Rng(s);
+}
+
+}  // namespace tirm

@@ -1,0 +1,48 @@
+// Streaming and batch summary statistics used by the evaluation harness.
+
+#ifndef TIRM_COMMON_STATS_H_
+#define TIRM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tirm {
+
+/// Welford-style streaming mean/variance accumulator.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderr_mean() const;
+  /// Half-width of the 95% normal confidence interval for the mean.
+  double ci95_halfwidth() const { return 1.96 * stderr_mean(); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation quantile of `values` for q in [0,1].
+/// Sorts a copy; intended for harness/reporting use, not hot paths.
+double Quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean of `values` (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_STATS_H_

@@ -1,0 +1,47 @@
+// Aligned text tables + CSV emission for the benchmark harnesses.
+//
+// Every paper-table bench prints a human-readable table followed by a CSV
+// block (machine-parseable, for plotting) via this helper.
+
+#ifndef TIRM_COMMON_TABLE_PRINTER_H_
+#define TIRM_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tirm {
+
+/// Collects rows of string cells and renders them aligned and/or as CSV.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `digits` decimals.
+  static std::string Num(double v, int digits = 2);
+  /// Convenience: formats an integer.
+  static std::string Int(long long v);
+
+  /// Renders an aligned text table.
+  std::string ToText() const;
+  /// Renders RFC-ish CSV (no quoting needed for our content).
+  std::string ToCsv() const;
+
+  /// Prints the text table, and (if `with_csv`) the CSV block, to `out`.
+  void Print(std::FILE* out = stdout, bool with_csv = true) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,33 @@
+// Monotonic wall-clock timer for runtime measurements (Fig. 6).
+
+#ifndef TIRM_COMMON_TIMER_H_
+#define TIRM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tirm {
+
+/// Measures elapsed wall time. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_TIMER_H_

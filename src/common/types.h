@@ -1,0 +1,33 @@
+// Core integer types and constants shared across the library.
+
+#ifndef TIRM_COMMON_TYPES_H_
+#define TIRM_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tirm {
+
+/// Identifier of a node (user) in the social graph. Node ids are dense in
+/// [0, num_nodes).
+using NodeId = std::uint32_t;
+
+/// Identifier of a directed edge. Edge ids are dense in [0, num_edges) and
+/// index per-edge probability arrays.
+using EdgeId = std::uint32_t;
+
+/// Identifier of an advertiser / ad (the paper uses one ad per advertiser).
+using AdId = std::int32_t;
+
+/// Identifier of a latent topic, in [0, K).
+using TopicId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no ad" (Algorithm 2 returns NULL when no pair improves).
+inline constexpr AdId kInvalidAd = -1;
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_TYPES_H_

@@ -1,0 +1,220 @@
+#include "datasets/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace tirm {
+namespace {
+
+// Smallest scale factor so that instances stay non-degenerate.
+double ClampScale(double scale) { return std::max(scale, 1e-4); }
+
+int RMatScaleForNodes(double nodes) {
+  int s = 1;
+  while ((1u << s) < nodes && s < 30) ++s;
+  return s;
+}
+
+}  // namespace
+
+DatasetSpec FlixsterLike(double scale) {
+  DatasetSpec spec;
+  spec.name = "flixster-like";
+  spec.scale = ClampScale(scale);
+  spec.base_nodes = 30'000;
+  spec.base_edges = 425'000;
+  spec.prob_model = DatasetSpec::ProbModel::kExponentialTopics;
+  spec.num_topics = 10;
+  spec.exp_rate = 30.0;
+  spec.num_ads = 10;
+  spec.budget_min = 200.0;
+  spec.budget_max = 600.0;
+  spec.cpe_min = 5.0;
+  spec.cpe_max = 6.0;
+  spec.ctp_min = 0.01;
+  spec.ctp_max = 0.03;
+  return spec;
+}
+
+DatasetSpec EpinionsLike(double scale) {
+  DatasetSpec spec;
+  spec.name = "epinions-like";
+  spec.scale = ClampScale(scale);
+  spec.base_nodes = 76'000;
+  spec.base_edges = 509'000;
+  spec.prob_model = DatasetSpec::ProbModel::kExponentialTopics;
+  spec.num_topics = 10;
+  spec.exp_rate = 30.0;
+  spec.num_ads = 10;
+  spec.budget_min = 100.0;
+  spec.budget_max = 350.0;
+  spec.cpe_min = 2.5;
+  spec.cpe_max = 6.0;
+  spec.ctp_min = 0.01;
+  spec.ctp_max = 0.03;
+  return spec;
+}
+
+DatasetSpec DblpLike(double scale) {
+  DatasetSpec spec;
+  spec.name = "dblp-like";
+  spec.scale = ClampScale(scale);
+  spec.base_nodes = 317'000;
+  spec.base_edges = 2'100'000;  // 1.05M undirected edges, both directions
+  spec.symmetric = true;
+  spec.prob_model = DatasetSpec::ProbModel::kWeightedCascade;
+  spec.num_topics = 1;
+  spec.num_ads = 5;
+  spec.budget_min = 5'000.0;
+  spec.budget_max = 5'000.0;
+  spec.cpe_min = 1.0;
+  spec.cpe_max = 1.0;
+  spec.ctp_min = 1.0;
+  spec.ctp_max = 1.0;
+  return spec;
+}
+
+DatasetSpec LiveJournalLike(double scale) {
+  DatasetSpec spec;
+  spec.name = "livejournal-like";
+  spec.scale = ClampScale(scale);
+  spec.base_nodes = 4'800'000;
+  spec.base_edges = 69'000'000;
+  spec.prob_model = DatasetSpec::ProbModel::kWeightedCascade;
+  spec.num_topics = 1;
+  spec.num_ads = 5;
+  spec.budget_min = 80'000.0;
+  spec.budget_max = 80'000.0;
+  spec.cpe_min = 1.0;
+  spec.cpe_max = 1.0;
+  spec.ctp_min = 1.0;
+  spec.ctp_max = 1.0;
+  return spec;
+}
+
+BuiltInstance BuildDataset(const DatasetSpec& spec, Rng& rng,
+                           int num_ads_override, double budget_override) {
+  BuiltInstance built;
+  built.name = spec.name;
+
+  const double target_nodes =
+      std::max(64.0, spec.scale * static_cast<double>(spec.base_nodes));
+  const std::size_t target_edges = static_cast<std::size_t>(
+      std::max(128.0, spec.scale * static_cast<double>(spec.base_edges)));
+
+  const int rmat_scale = RMatScaleForNodes(target_nodes);
+  Rng graph_rng = rng.Fork(1);
+  Graph g = spec.symmetric
+                ? RMatGraphSymmetric(rmat_scale, target_edges, graph_rng)
+                : RMatGraph(rmat_scale, target_edges, graph_rng);
+  built.graph = std::make_unique<Graph>(std::move(g));
+  const Graph& graph = *built.graph;
+
+  Rng prob_rng = rng.Fork(2);
+  switch (spec.prob_model) {
+    case DatasetSpec::ProbModel::kExponentialTopics:
+      built.edge_probs =
+          std::make_unique<EdgeProbabilities>(EdgeProbabilities::SampleExponential(
+              graph, spec.num_topics, spec.exp_rate, prob_rng));
+      break;
+    case DatasetSpec::ProbModel::kWeightedCascade:
+      built.edge_probs = std::make_unique<EdgeProbabilities>(
+          EdgeProbabilities::WeightedCascade(graph));
+      break;
+    case DatasetSpec::ProbModel::kTrivalency:
+      built.edge_probs = std::make_unique<EdgeProbabilities>(
+          EdgeProbabilities::Trivalency(graph, prob_rng));
+      break;
+  }
+
+  const int num_ads = num_ads_override > 0 ? num_ads_override : spec.num_ads;
+  Rng ctp_rng = rng.Fork(3);
+  if (spec.ctp_min >= 1.0 && spec.ctp_max >= 1.0) {
+    built.ctps = std::make_unique<ClickProbabilities>(
+        ClickProbabilities::Constant(graph.num_nodes(), num_ads, 1.0));
+  } else {
+    built.ctps =
+        std::make_unique<ClickProbabilities>(ClickProbabilities::SampleUniform(
+            graph.num_nodes(), num_ads, spec.ctp_min, spec.ctp_max, ctp_rng));
+  }
+
+  Rng ad_rng = rng.Fork(4);
+  built.advertisers.reserve(static_cast<std::size_t>(num_ads));
+  const bool topic_aware =
+      spec.prob_model == DatasetSpec::ProbModel::kExponentialTopics;
+  for (int i = 0; i < num_ads; ++i) {
+    Advertiser a;
+    if (topic_aware) {
+      // The paper assigns each ad a distribution with mass 0.91 on its own
+      // topic; with more ads than topics, topics repeat (ads then compete).
+      a.gamma = TopicDistribution::Concentrated(
+          spec.num_topics, i % spec.num_topics, spec.topic_peak);
+    } else {
+      // Topic-blind scalability setup: every ad shares the same uniform
+      // distribution -> full competition for the same influencers.
+      a.gamma = TopicDistribution::Uniform(spec.num_topics);
+    }
+    const double budget =
+        budget_override >= 0.0
+            ? budget_override
+            : spec.scale * ad_rng.UniformReal(spec.budget_min, spec.budget_max);
+    a.budget = budget;
+    a.cpe = ad_rng.UniformReal(spec.cpe_min, spec.cpe_max);
+    built.advertisers.push_back(std::move(a));
+  }
+  return built;
+}
+
+BuiltInstance BuildFigure1Instance() {
+  BuiltInstance built;
+  built.name = "figure1";
+  built.graph = std::make_unique<Graph>(Figure1Gadget());
+  const Graph& graph = *built.graph;
+
+  // Edge probabilities as drawn in Fig. 1 (same for all four ads):
+  //   v1->v3: 0.2, v2->v3: 0.2, v3->v4: 0.5, v3->v5: 0.5,
+  //   v4->v6: 0.1, v5->v6: 0.1
+  std::vector<float> probs(graph.num_edges(), 0.0f);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const NodeId src = graph.edge_source(e);
+    const NodeId dst = graph.edge_target(e);
+    float p = 0.0f;
+    if (dst == 2) {
+      p = 0.2f;  // into v3
+    } else if (src == 2) {
+      p = 0.5f;  // out of v3
+    } else {
+      p = 0.1f;  // into v6
+    }
+    probs[e] = p;
+  }
+  built.edge_probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::FromShared(graph, std::move(probs)));
+
+  // CTPs: δ(u,a)=0.9, δ(u,b)=0.8, δ(u,c)=0.7, δ(u,d)=0.6 for all u.
+  const double deltas[4] = {0.9, 0.8, 0.7, 0.6};
+  std::vector<float> table;
+  table.reserve(4 * graph.num_nodes());
+  for (int ad = 0; ad < 4; ++ad) {
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      table.push_back(static_cast<float>(deltas[ad]));
+    }
+  }
+  built.ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::FromTable(graph.num_nodes(), 4, std::move(table)));
+
+  // Budgets B_a=4, B_b=2, B_c=2, B_d=1; CPE = 1 for all.
+  const double budgets[4] = {4.0, 2.0, 2.0, 1.0};
+  for (int i = 0; i < 4; ++i) {
+    Advertiser a;
+    a.gamma = TopicDistribution::Uniform(1);
+    a.budget = budgets[i];
+    a.cpe = 1.0;
+    built.advertisers.push_back(std::move(a));
+  }
+  return built;
+}
+
+}  // namespace tirm

@@ -1,0 +1,99 @@
+// Owning problem-instance containers and synthetic stand-ins for the
+// paper's four datasets (§6, Tables 1-2). See DESIGN.md §3 for the
+// substitution rationale: the original graphs are not redistributable, so
+// we generate R-MAT graphs with matching shape and apply the paper's own
+// probability recipes, scaled by a `scale` factor (1.0 ≈ paper size).
+
+#ifndef TIRM_DATASETS_DATASET_H_
+#define TIRM_DATASETS_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "topic/ctp_model.h"
+#include "topic/edge_probabilities.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// Owns every structure a ProblemInstance views. Movable, not copyable.
+struct BuiltInstance {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<EdgeProbabilities> edge_probs;
+  std::unique_ptr<ClickProbabilities> ctps;
+  std::vector<Advertiser> advertisers;
+  std::string name;
+
+  /// Makes a view with uniform attention bound κ and penalty λ.
+  ProblemInstance MakeInstance(int kappa, double lambda,
+                               double beta = 0.0) const {
+    return ProblemInstance::WithUniformAttention(
+        graph.get(), edge_probs.get(), ctps.get(), advertisers, kappa, lambda,
+        beta);
+  }
+};
+
+/// Declarative dataset recipe.
+struct DatasetSpec {
+  std::string name;
+  /// Scaling factor relative to the paper's dataset size (graph nodes,
+  /// edges, and budgets all scale).
+  double scale = 1.0;
+
+  // Graph shape at scale 1.0.
+  NodeId base_nodes = 0;
+  std::size_t base_edges = 0;
+  bool symmetric = false;  ///< direct each generated edge both ways (DBLP)
+
+  // Probability model.
+  enum class ProbModel { kExponentialTopics, kWeightedCascade, kTrivalency };
+  ProbModel prob_model = ProbModel::kExponentialTopics;
+  int num_topics = 10;
+  double exp_rate = 30.0;  ///< Exponential(rate); paper's "mean 30" recipe
+
+  // Advertisers (Table 2 at scale 1.0).
+  int num_ads = 10;
+  double budget_min = 0.0, budget_max = 0.0;  ///< scaled by `scale`
+  double cpe_min = 1.0, cpe_max = 1.0;
+  double ctp_min = 0.01, ctp_max = 0.03;
+  /// Topic mass on the ad's own topic (paper: 0.91); ignored for
+  /// topic-blind models, where all ads share a uniform distribution and
+  /// thus compete for the same influencers (the paper's "fully
+  /// competitive" scalability setup).
+  double topic_peak = 0.91;
+};
+
+/// FLIXSTER stand-in: 30K nodes / 425K arcs at scale 1; learned TIC
+/// probabilities substituted by per-topic Exponential(30); budgets
+/// U[200,600], CPE U[5,6], CTP U[0.01,0.03], K=10, h=10.
+DatasetSpec FlixsterLike(double scale);
+
+/// EPINIONS stand-in: 76K / 509K; Exponential(30) probabilities (the
+/// paper's own synthetic recipe); budgets U[100,350], CPE U[2.5,6].
+DatasetSpec EpinionsLike(double scale);
+
+/// DBLP stand-in: 317K nodes / 2.1M arcs (both directions) at scale 1;
+/// Weighted Cascade, CPE=CTP=1, budgets 5K per ad.
+DatasetSpec DblpLike(double scale);
+
+/// LIVEJOURNAL stand-in: 4.8M / 69M at scale 1; Weighted Cascade,
+/// CPE=CTP=1, budgets 80K per ad.
+DatasetSpec LiveJournalLike(double scale);
+
+/// Materializes a spec (graph, probabilities, CTPs, advertisers).
+/// `num_ads_override` > 0 replaces spec.num_ads (scalability sweeps).
+BuiltInstance BuildDataset(const DatasetSpec& spec, Rng& rng,
+                           int num_ads_override = 0,
+                           double budget_override = -1.0);
+
+/// The paper's Fig. 1 worked example: 6-node gadget, 4 ads {a,b,c,d} with
+/// budgets {4,2,2,1}, CPE 1, CTPs δ(u,a)=0.9, δ(u,b)=0.8, δ(u,c)=0.7,
+/// δ(u,d)=0.6 for every u, edge probabilities 0.2/0.5/0.1 as drawn.
+BuiltInstance BuildFigure1Instance();
+
+}  // namespace tirm
+
+#endif  // TIRM_DATASETS_DATASET_H_

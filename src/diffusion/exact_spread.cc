@@ -1,0 +1,121 @@
+#include "diffusion/exact_spread.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "diffusion/possible_world.h"
+
+namespace tirm {
+namespace {
+
+constexpr std::size_t kMaxExactBits = 24;
+
+// Enumerates all live-edge masks, calling visit(world_probability, world).
+void ForEachWorld(
+    const Graph& graph, std::span<const float> edge_probs,
+    const std::function<void(double, const PossibleWorld&)>& visit) {
+  const std::size_t m = graph.num_edges();
+  TIRM_CHECK_LE(m, kMaxExactBits);
+  const std::uint64_t num_worlds = 1ULL << m;
+  for (std::uint64_t mask = 0; mask < num_worlds; ++mask) {
+    double prob = 1.0;
+    std::vector<bool> live(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      const bool is_live = (mask >> e) & 1ULL;
+      live[e] = is_live;
+      const double p = edge_probs[e];
+      prob *= is_live ? p : (1.0 - p);
+      if (prob == 0.0) break;
+    }
+    if (prob == 0.0) continue;
+    PossibleWorld world = PossibleWorld::FromMask(graph, std::move(live));
+    visit(prob, world);
+  }
+}
+
+// Enumerates seed-acceptance subsets of `seeds`, calling
+// visit(acceptance_probability, accepted_seeds).
+void ForEachSeedPattern(
+    std::span<const NodeId> seeds,
+    const std::function<double(NodeId)>& accept_prob,
+    const std::function<void(double, std::span<const NodeId>)>& visit) {
+  const std::size_t k = seeds.size();
+  TIRM_CHECK_LE(k, kMaxExactBits);
+  const std::uint64_t num_patterns = 1ULL << k;
+  std::vector<NodeId> accepted;
+  for (std::uint64_t mask = 0; mask < num_patterns; ++mask) {
+    double prob = 1.0;
+    accepted.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = accept_prob(seeds[j]);
+      if ((mask >> j) & 1ULL) {
+        prob *= d;
+        accepted.push_back(seeds[j]);
+      } else {
+        prob *= 1.0 - d;
+      }
+      if (prob == 0.0) break;
+    }
+    if (prob == 0.0) continue;
+    visit(prob, accepted);
+  }
+}
+
+}  // namespace
+
+double ExactSpread(const Graph& graph, std::span<const float> edge_probs,
+                   std::span<const NodeId> seeds) {
+  TIRM_CHECK_EQ(edge_probs.size(), graph.num_edges());
+  double expectation = 0.0;
+  ForEachWorld(graph, edge_probs, [&](double prob, const PossibleWorld& world) {
+    expectation += prob * static_cast<double>(world.CountReachable(seeds));
+  });
+  return expectation;
+}
+
+double ExactSpreadWithCtp(
+    const Graph& graph, std::span<const float> edge_probs,
+    std::span<const NodeId> seeds,
+    const std::function<double(NodeId)>& seed_accept_prob) {
+  TIRM_CHECK_EQ(edge_probs.size(), graph.num_edges());
+  TIRM_CHECK_LE(graph.num_edges() + seeds.size(), kMaxExactBits);
+  double expectation = 0.0;
+  ForEachSeedPattern(
+      seeds, seed_accept_prob,
+      [&](double seed_prob, std::span<const NodeId> accepted) {
+        expectation += seed_prob * ExactSpread(graph, edge_probs, accepted);
+      });
+  return expectation;
+}
+
+double ExactActivationProbability(
+    const Graph& graph, std::span<const float> edge_probs,
+    std::span<const NodeId> seeds,
+    const std::function<double(NodeId)>& seed_accept_prob, NodeId target) {
+  TIRM_CHECK_EQ(edge_probs.size(), graph.num_edges());
+  TIRM_CHECK_LE(graph.num_edges() + seeds.size(), kMaxExactBits);
+  double total = 0.0;
+  ForEachSeedPattern(
+      seeds, seed_accept_prob,
+      [&](double seed_prob, std::span<const NodeId> accepted) {
+        // Probability target is reachable from `accepted` over live edges.
+        double reach_prob = 0.0;
+        ForEachWorld(graph, edge_probs,
+                     [&](double world_prob, const PossibleWorld& world) {
+                       const auto rr = world.ReverseReachableSet(target);
+                       for (const NodeId u : rr) {
+                         for (const NodeId s : accepted) {
+                           if (u == s) {
+                             reach_prob += world_prob;
+                             return;
+                           }
+                         }
+                       }
+                     });
+        total += seed_prob * reach_prob;
+      });
+  return total;
+}
+
+}  // namespace tirm

@@ -1,0 +1,40 @@
+// Exact expected spread by exhaustive possible-world enumeration.
+//
+// Feasible only for tiny graphs (#edges small); used by tests to validate
+// the Monte-Carlo estimator, the RR-set estimators, and the paper's Fig. 1
+// worked example. The CTP variant also enumerates seed-acceptance patterns,
+// so the total work is 2^(#edges + #seeds).
+
+#ifndef TIRM_DIFFUSION_EXACT_SPREAD_H_
+#define TIRM_DIFFUSION_EXACT_SPREAD_H_
+
+#include <functional>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace tirm {
+
+/// Exact σ_ic(S) under plain IC (all seeds unconditionally active).
+/// Requires num_edges <= 24.
+double ExactSpread(const Graph& graph, std::span<const float> edge_probs,
+                   std::span<const NodeId> seeds);
+
+/// Exact σ_i(S) under IC-CTP: seed u accepts independently with probability
+/// `seed_accept_prob(u)`. Requires num_edges + |S| <= 24.
+double ExactSpreadWithCtp(
+    const Graph& graph, std::span<const float> edge_probs,
+    std::span<const NodeId> seeds,
+    const std::function<double(NodeId)>& seed_accept_prob);
+
+/// Exact probability that node `target` becomes active under IC-CTP from
+/// `seeds`. Requires num_edges + |S| <= 24. Used to check the per-node click
+/// probabilities of the paper's Fig. 1.
+double ExactActivationProbability(
+    const Graph& graph, std::span<const float> edge_probs,
+    std::span<const NodeId> seeds,
+    const std::function<double(NodeId)>& seed_accept_prob, NodeId target);
+
+}  // namespace tirm
+
+#endif  // TIRM_DIFFUSION_EXACT_SPREAD_H_

@@ -1,0 +1,87 @@
+#include "diffusion/monte_carlo.h"
+
+namespace tirm {
+
+SpreadSimulator::SpreadSimulator(const Graph& graph,
+                                 std::span<const float> edge_probs)
+    : graph_(graph), edge_probs_(edge_probs) {
+  TIRM_CHECK_EQ(edge_probs_.size(), graph_.num_edges());
+  visited_.assign(graph_.num_nodes(), 0);
+  stack_.reserve(256);
+}
+
+void SpreadSimulator::NewEpoch() {
+  if (++epoch_ == 0) {  // wrapped: clear and restart
+    std::fill(visited_.begin(), visited_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+std::size_t SpreadSimulator::Propagate(Rng& rng) {
+  std::size_t activated = 0;
+  while (!stack_.empty()) {
+    const NodeId u = stack_.back();
+    stack_.pop_back();
+    ++activated;
+    const auto neighbors = graph_.OutNeighbors(u);
+    const auto edge_ids = graph_.OutEdgeIds(u);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      const NodeId v = neighbors[j];
+      if (visited_[v] == epoch_) continue;
+      const float p = edge_probs_[edge_ids[j]];
+      if (p > 0.0f && rng.NextFloat() < p) {
+        visited_[v] = epoch_;
+        stack_.push_back(v);
+      }
+    }
+  }
+  return activated;
+}
+
+std::size_t SpreadSimulator::RunOnce(std::span<const NodeId> seeds, Rng& rng) {
+  NewEpoch();
+  stack_.clear();
+  for (const NodeId s : seeds) {
+    TIRM_DCHECK(s < graph_.num_nodes());
+    if (Activate(s)) stack_.push_back(s);
+  }
+  return Propagate(rng);
+}
+
+std::size_t SpreadSimulator::RunOnceWithCtp(
+    std::span<const NodeId> seeds,
+    const std::function<double(NodeId)>& seed_accept_prob, Rng& rng) {
+  NewEpoch();
+  stack_.clear();
+  for (const NodeId s : seeds) {
+    TIRM_DCHECK(s < graph_.num_nodes());
+    if (visited_[s] == epoch_) continue;  // already activated via another seed
+    if (rng.Bernoulli(seed_accept_prob(s))) {
+      visited_[s] = epoch_;
+      stack_.push_back(s);
+    }
+  }
+  return Propagate(rng);
+}
+
+RunningStat SpreadSimulator::EstimateSpread(std::span<const NodeId> seeds,
+                                            std::size_t num_sims, Rng& rng) {
+  RunningStat stat;
+  for (std::size_t i = 0; i < num_sims; ++i) {
+    stat.Add(static_cast<double>(RunOnce(seeds, rng)));
+  }
+  return stat;
+}
+
+RunningStat SpreadSimulator::EstimateSpreadWithCtp(
+    std::span<const NodeId> seeds,
+    const std::function<double(NodeId)>& seed_accept_prob,
+    std::size_t num_sims, Rng& rng) {
+  RunningStat stat;
+  for (std::size_t i = 0; i < num_sims; ++i) {
+    stat.Add(static_cast<double>(RunOnceWithCtp(seeds, seed_accept_prob, rng)));
+  }
+  return stat;
+}
+
+}  // namespace tirm

@@ -1,0 +1,73 @@
+// Forward Monte-Carlo estimation of influence spread under IC / IC-CTP.
+//
+// For a fixed ad i (with its Eq. 1-mixed edge probabilities), the TIC-CTP
+// model reduces to the classical Independent Cascade model where each seed
+// u ∈ S additionally accepts activation with probability δ(u,i) (Lemma 1).
+// σ_i(S) is the expected number of clicking (activated) users; the expected
+// revenue is Π_i(S) = cpe(i) · σ_i(S).
+//
+// SpreadSimulator runs repeated cascades with epoch-versioned visited marks
+// (no per-run clearing) and a preallocated BFS stack.
+
+#ifndef TIRM_DIFFUSION_MONTE_CARLO_H_
+#define TIRM_DIFFUSION_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "graph/graph.h"
+
+namespace tirm {
+
+/// Reusable forward-cascade simulator for one graph + one edge-probability
+/// array (i.e. one ad). Not thread-safe; create one per thread.
+class SpreadSimulator {
+ public:
+  /// `edge_probs` is indexed by EdgeId and must outlive the simulator.
+  SpreadSimulator(const Graph& graph, std::span<const float> edge_probs);
+
+  /// Runs one cascade from `seeds` (all seeds unconditionally active) and
+  /// returns the number of activated nodes.
+  std::size_t RunOnce(std::span<const NodeId> seeds, Rng& rng);
+
+  /// Runs one cascade where seed u first accepts with probability
+  /// `seed_accept_prob(u)` (the CTP δ(u,i)); non-accepting seeds neither
+  /// count nor propagate.
+  std::size_t RunOnceWithCtp(
+      std::span<const NodeId> seeds,
+      const std::function<double(NodeId)>& seed_accept_prob, Rng& rng);
+
+  /// Mean active count over `num_sims` cascades (plain IC: σ_ic).
+  RunningStat EstimateSpread(std::span<const NodeId> seeds,
+                             std::size_t num_sims, Rng& rng);
+
+  /// Mean active count over `num_sims` cascades under IC-CTP (σ_i).
+  RunningStat EstimateSpreadWithCtp(
+      std::span<const NodeId> seeds,
+      const std::function<double(NodeId)>& seed_accept_prob,
+      std::size_t num_sims, Rng& rng);
+
+ private:
+  // Marks `u` active in the current epoch; returns false if already active.
+  bool Activate(NodeId u) {
+    if (visited_[u] == epoch_) return false;
+    visited_[u] = epoch_;
+    return true;
+  }
+  void NewEpoch();
+  std::size_t Propagate(Rng& rng);  // drains stack_, returns #newly activated
+
+  const Graph& graph_;
+  std::span<const float> edge_probs_;
+  std::vector<std::uint32_t> visited_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_DIFFUSION_MONTE_CARLO_H_

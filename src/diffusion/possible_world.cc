@@ -1,0 +1,72 @@
+#include "diffusion/possible_world.h"
+
+namespace tirm {
+
+PossibleWorld PossibleWorld::Sample(const Graph& graph,
+                                    std::span<const float> edge_probs,
+                                    Rng& rng) {
+  TIRM_CHECK_EQ(edge_probs.size(), graph.num_edges());
+  std::vector<bool> live(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    live[e] = rng.NextFloat() < edge_probs[e];
+  }
+  return PossibleWorld(&graph, std::move(live));
+}
+
+PossibleWorld PossibleWorld::FromMask(const Graph& graph,
+                                      std::vector<bool> live) {
+  TIRM_CHECK_EQ(live.size(), graph.num_edges());
+  return PossibleWorld(&graph, std::move(live));
+}
+
+std::size_t PossibleWorld::CountReachable(std::span<const NodeId> seeds) const {
+  const Graph& g = *graph_;
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::vector<NodeId> stack;
+  for (NodeId s : seeds) {
+    if (!visited[s]) {
+      visited[s] = true;
+      stack.push_back(s);
+    }
+  }
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    ++count;
+    const auto neighbors = g.OutNeighbors(u);
+    const auto edge_ids = g.OutEdgeIds(u);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      if (live_[edge_ids[j]] && !visited[neighbors[j]]) {
+        visited[neighbors[j]] = true;
+        stack.push_back(neighbors[j]);
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<NodeId> PossibleWorld::ReverseReachableSet(NodeId target) const {
+  const Graph& g = *graph_;
+  TIRM_CHECK_LT(target, g.num_nodes());
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::vector<NodeId> stack = {target};
+  std::vector<NodeId> result;
+  visited[target] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    result.push_back(u);
+    const auto sources = g.InNeighbors(u);
+    const auto edge_ids = g.InEdgeIds(u);
+    for (std::size_t j = 0; j < sources.size(); ++j) {
+      if (live_[edge_ids[j]] && !visited[sources[j]]) {
+        visited[sources[j]] = true;
+        stack.push_back(sources[j]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tirm

@@ -1,0 +1,51 @@
+// Possible-world semantics of the IC model (proof of Lemma 1).
+//
+// A possible world X is a deterministic subgraph obtained by flipping a
+// biased coin per edge: live with probability p_{u,v}, blocked otherwise.
+// A node is active in X iff it is reachable from an accepted seed through
+// live edges. These utilities are used by tests (exact spread on tiny
+// graphs, unbiasedness checks) and by property suites.
+
+#ifndef TIRM_DIFFUSION_POSSIBLE_WORLD_H_
+#define TIRM_DIFFUSION_POSSIBLE_WORLD_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace tirm {
+
+/// A sampled deterministic world: a bitmask of live edges over a graph.
+class PossibleWorld {
+ public:
+  /// Samples a world: edge e is live with probability edge_probs[e].
+  static PossibleWorld Sample(const Graph& graph,
+                              std::span<const float> edge_probs, Rng& rng);
+
+  /// Builds a world from an explicit live-edge mask (tests).
+  static PossibleWorld FromMask(const Graph& graph, std::vector<bool> live);
+
+  bool IsLive(EdgeId e) const { return live_[e]; }
+  const Graph& graph() const { return *graph_; }
+
+  /// Number of nodes reachable from `seeds` via live edges (seeds count).
+  std::size_t CountReachable(std::span<const NodeId> seeds) const;
+
+  /// Returns the set of nodes that can reach `target` via live edges
+  /// (including target itself) — exactly the RR set rooted at `target`
+  /// in this world (§5.1).
+  std::vector<NodeId> ReverseReachableSet(NodeId target) const;
+
+ private:
+  PossibleWorld(const Graph* graph, std::vector<bool> live)
+      : graph_(graph), live_(std::move(live)) {}
+
+  const Graph* graph_;
+  std::vector<bool> live_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_DIFFUSION_POSSIBLE_WORLD_H_

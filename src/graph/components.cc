@@ -1,0 +1,68 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tirm {
+
+ComponentInfo WeaklyConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  ComponentInfo info;
+  info.component.assign(n, kInvalidNode);
+  std::vector<NodeId> stack;
+  std::vector<std::size_t> sizes;
+  for (NodeId start = 0; start < n; ++start) {
+    if (info.component[start] != kInvalidNode) continue;
+    const NodeId id = static_cast<NodeId>(info.num_components++);
+    std::size_t size = 0;
+    info.component[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const NodeId v : graph.OutNeighbors(u)) {
+        if (info.component[v] == kInvalidNode) {
+          info.component[v] = id;
+          stack.push_back(v);
+        }
+      }
+      for (const NodeId v : graph.InNeighbors(u)) {
+        if (info.component[v] == kInvalidNode) {
+          info.component[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  if (!sizes.empty()) {
+    info.largest_size = *std::max_element(sizes.begin(), sizes.end());
+    info.largest_fraction =
+        n > 0 ? static_cast<double>(info.largest_size) / n : 0.0;
+  }
+  return info;
+}
+
+std::size_t CountForwardReachable(const Graph& graph, NodeId source) {
+  TIRM_CHECK_LT(source, graph.num_nodes());
+  std::vector<bool> visited(graph.num_nodes(), false);
+  std::vector<NodeId> stack = {source};
+  visited[source] = true;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const NodeId v : graph.OutNeighbors(u)) {
+      if (!visited[v]) {
+        visited[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace tirm

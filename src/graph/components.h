@@ -1,0 +1,36 @@
+// Weakly-connected components and reachability utilities.
+//
+// Used by dataset diagnostics (a good synthetic social graph should have a
+// dominant weakly-connected component, like the paper's datasets) and by
+// tests that need ground-truth reachability.
+
+#ifndef TIRM_GRAPH_COMPONENTS_H_
+#define TIRM_GRAPH_COMPONENTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tirm {
+
+/// Result of a weakly-connected-component decomposition.
+struct ComponentInfo {
+  /// component[u] = dense component id in [0, num_components).
+  std::vector<NodeId> component;
+  std::size_t num_components = 0;
+  /// Size of the largest component.
+  std::size_t largest_size = 0;
+  /// largest_size / num_nodes (0 for empty graphs).
+  double largest_fraction = 0.0;
+};
+
+/// Computes weakly-connected components (edges treated as undirected).
+ComponentInfo WeaklyConnectedComponents(const Graph& graph);
+
+/// Number of nodes forward-reachable from `source` (including itself).
+std::size_t CountForwardReachable(const Graph& graph, NodeId source);
+
+}  // namespace tirm
+
+#endif  // TIRM_GRAPH_COMPONENTS_H_

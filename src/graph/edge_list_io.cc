@@ -1,0 +1,129 @@
+#include "graph/edge_list_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace tirm {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'T', 'I', 'R', 'M', 'G', 'R', '0', '1'};
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  FileCloser(const FileCloser&) = delete;
+  FileCloser& operator=(const FileCloser&) = delete;
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path, EdgeListOptions options) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  FileCloser closer(f);
+
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  auto intern = [&remap](std::uint64_t raw) {
+    auto [it, inserted] = remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  GraphBuilder::Options bopts;
+  bopts.deduplicate = options.deduplicate;
+  GraphBuilder builder(bopts);
+
+  char line[512];
+  std::size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '\n' || *p == '\0' || *p == '\r') continue;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (std::sscanf(p, "%" SCNu64 " %" SCNu64, &a, &b) != 2) {
+      return Status::IOError(path + ":" + std::to_string(lineno) +
+                             ": malformed edge line");
+    }
+    NodeId u = intern(a);
+    NodeId v = intern(b);
+    if (options.undirected) {
+      builder.AddUndirectedEdge(u, v);
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  builder.SetNumNodes(static_cast<NodeId>(remap.size()));
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for write");
+  FileCloser closer(f);
+  std::fprintf(f, "# tirm edge list: %u nodes, %zu arcs\n", graph.num_nodes(),
+               graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    std::fprintf(f, "%u %u\n", graph.edge_source(e), graph.edge_target(e));
+  }
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for write");
+  FileCloser closer(f);
+  std::fwrite(kBinaryMagic, 1, sizeof(kBinaryMagic), f);
+  std::uint64_t n = graph.num_nodes();
+  std::uint64_t m = graph.num_edges();
+  std::fwrite(&n, sizeof(n), 1, f);
+  std::fwrite(&m, sizeof(m), 1, f);
+  std::vector<NodeId> buf(2 * m);
+  for (EdgeId e = 0; e < m; ++e) {
+    buf[2 * e] = graph.edge_source(e);
+    buf[2 * e + 1] = graph.edge_target(e);
+  }
+  if (m > 0 && std::fwrite(buf.data(), sizeof(NodeId), buf.size(), f) != buf.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  FileCloser closer(f);
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::IOError(path + ": not a tirm binary graph");
+  }
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1 || std::fread(&m, sizeof(m), 1, f) != 1) {
+    return Status::IOError(path + ": truncated header");
+  }
+  std::vector<NodeId> buf(2 * m);
+  if (m > 0 && std::fread(buf.data(), sizeof(NodeId), buf.size(), f) != buf.size()) {
+    return Status::IOError(path + ": truncated edge data");
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    edges[e] = {buf[2 * e], buf[2 * e + 1]};
+  }
+  return Graph::FromEdges(static_cast<NodeId>(n), std::move(edges));
+}
+
+}  // namespace tirm

@@ -1,0 +1,179 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace tirm {
+namespace {
+
+std::uint64_t PackEdge(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+// Draws one R-MAT edge over 2^scale nodes.
+std::pair<NodeId, NodeId> DrawRMatEdge(int scale, const RMatParams& p, Rng& rng) {
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  double a = p.a;
+  double b = p.b;
+  double c = p.c;
+  for (int level = 0; level < scale; ++level) {
+    double aa = a;
+    double bb = b;
+    double cc = c;
+    if (p.smooth) {
+      // +-5% multiplicative noise per level, renormalized implicitly by the
+      // cascade of comparisons below.
+      aa *= 0.95 + 0.1 * rng.NextDouble();
+      bb *= 0.95 + 0.1 * rng.NextDouble();
+      cc *= 0.95 + 0.1 * rng.NextDouble();
+    }
+    const double r = rng.NextDouble() * (aa + bb + cc + (1.0 - a - b - c));
+    u <<= 1;
+    v <<= 1;
+    if (r < aa) {
+      // top-left: no bits set
+    } else if (r < aa + bb) {
+      v |= 1;
+    } else if (r < aa + bb + cc) {
+      u |= 1;
+    } else {
+      u |= 1;
+      v |= 1;
+    }
+  }
+  return {static_cast<NodeId>(u), static_cast<NodeId>(v)};
+}
+
+}  // namespace
+
+Graph ErdosRenyiGraph(NodeId num_nodes, std::size_t num_edges, Rng& rng) {
+  TIRM_CHECK_GT(num_nodes, 1u);
+  const std::size_t max_edges =
+      static_cast<std::size_t>(num_nodes) * (num_nodes - 1);
+  TIRM_CHECK_LE(num_edges, max_edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.UniformBelow(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.UniformBelow(num_nodes));
+    if (u == v) continue;
+    if (seen.insert(PackEdge(u, v)).second) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+Graph RMatGraph(int scale, std::size_t num_edges, Rng& rng, RMatParams params) {
+  TIRM_CHECK(scale >= 1 && scale <= 30);
+  const NodeId n = static_cast<NodeId>(1u << scale);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges);
+  // Cap attempts to avoid pathological loops when num_edges ~ n^2.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = num_edges * 20 + 1000;
+  while (edges.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    auto [u, v] = DrawRMatEdge(scale, params, rng);
+    if (u == v) continue;
+    if (seen.insert(PackEdge(u, v)).second) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph RMatGraphSymmetric(int scale, std::size_t num_edges, Rng& rng,
+                         RMatParams params) {
+  TIRM_CHECK(scale >= 1 && scale <= 30);
+  const NodeId n = static_cast<NodeId>(1u << scale);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = num_edges * 20 + 1000;
+  while (edges.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    auto [u, v] = DrawRMatEdge(scale, params, rng);
+    if (u == v) continue;
+    if (seen.insert(PackEdge(u, v)).second) {
+      edges.emplace_back(u, v);
+      if (edges.size() < num_edges && seen.insert(PackEdge(v, u)).second) {
+        edges.emplace_back(v, u);
+      }
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph BarabasiAlbertGraph(NodeId num_nodes, int edges_per_node, Rng& rng) {
+  TIRM_CHECK_GT(num_nodes, 1u);
+  TIRM_CHECK_GE(edges_per_node, 1);
+  // `targets` holds one entry per degree unit; sampling uniformly from it
+  // implements preferential attachment.
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<std::size_t>(num_nodes) * edges_per_node * 2);
+  GraphBuilder builder;
+  builder.SetNumNodes(num_nodes);
+  targets.push_back(0);  // seed node
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const int k = std::min<int>(edges_per_node, static_cast<int>(v));
+    for (int j = 0; j < k; ++j) {
+      NodeId u = targets[rng.UniformBelow(targets.size())];
+      if (u == v) continue;
+      if (rng.Bernoulli(0.5)) {
+        builder.AddEdge(u, v);  // older influences newcomer
+      } else {
+        builder.AddEdge(v, u);
+      }
+      targets.push_back(u);
+    }
+    targets.push_back(v);
+  }
+  return builder.Build();
+}
+
+Graph PathGraph(NodeId num_nodes) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i + 1 < num_nodes; ++i) edges.emplace_back(i, i + 1);
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+Graph StarGraph(NodeId num_nodes) {
+  TIRM_CHECK_GE(num_nodes, 1u);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 1; i < num_nodes; ++i) edges.emplace_back(0, i);
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+Graph CycleGraph(NodeId num_nodes) {
+  TIRM_CHECK_GE(num_nodes, 2u);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    edges.emplace_back(i, (i + 1) % num_nodes);
+  }
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+Graph CompleteGraph(NodeId num_nodes) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+Graph Figure1Gadget() {
+  // v1..v6 -> 0..5.
+  return Graph::FromEdges(
+      6, {{0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 5}, {4, 5}});
+}
+
+}  // namespace tirm

@@ -1,0 +1,73 @@
+// Synthetic graph generators.
+//
+// The paper's datasets (FLIXSTER, EPINIONS, DBLP, LIVEJOURNAL) are social
+// graphs with heavy-tailed degree distributions. R-MAT reproduces that shape
+// and scales to arbitrary sizes, so it is the default stand-in (see
+// DESIGN.md §3). Erdős–Rényi and preferential attachment are provided for
+// experiments and tests, plus tiny deterministic gadgets used by unit tests
+// and the paper's Fig. 1 example.
+
+#ifndef TIRM_GRAPH_GENERATORS_H_
+#define TIRM_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace tirm {
+
+/// G(n, m): m distinct uniformly random arcs among n nodes.
+Graph ErdosRenyiGraph(NodeId num_nodes, std::size_t num_edges, Rng& rng);
+
+/// Parameters of the recursive R-MAT quadrant distribution.
+struct RMatParams {
+  double a = 0.45;  ///< top-left (hub-to-hub)
+  double b = 0.22;  ///< top-right
+  double c = 0.22;  ///< bottom-left
+  double d = 0.11;  ///< bottom-right
+  /// Add small per-level noise to the quadrant probabilities, which avoids
+  /// the staircase artifacts of pure R-MAT.
+  bool smooth = true;
+};
+
+/// R-MAT graph over 2^scale nodes with ~num_edges distinct arcs
+/// (duplicates and self-loops are dropped, so the realized count can be
+/// slightly lower). Heavy-tailed in- and out-degrees.
+Graph RMatGraph(int scale, std::size_t num_edges, Rng& rng,
+                RMatParams params = RMatParams{});
+
+/// R-MAT where every generated edge is added in both directions
+/// (undirected social graph directed both ways, as the paper does for DBLP).
+Graph RMatGraphSymmetric(int scale, std::size_t num_edges, Rng& rng,
+                         RMatParams params = RMatParams{});
+
+/// Preferential attachment: nodes arrive one at a time and attach
+/// `edges_per_node` arcs to existing nodes chosen proportionally to degree;
+/// each attachment is directed from the *older* node to the newcomer with
+/// probability 1/2 (both directions are socially meaningful).
+Graph BarabasiAlbertGraph(NodeId num_nodes, int edges_per_node, Rng& rng);
+
+// ------------------------------------------------------------------ gadgets
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+Graph PathGraph(NodeId num_nodes);
+
+/// Star: arcs 0 -> i for i in [1, n).
+Graph StarGraph(NodeId num_nodes);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Graph CycleGraph(NodeId num_nodes);
+
+/// Complete digraph (all ordered pairs, no self-loops).
+Graph CompleteGraph(NodeId num_nodes);
+
+/// The 6-node gadget of the paper's Fig. 1:
+///   v1->v3, v2->v3, v3->v4, v3->v5, v4->v6, v5->v6
+/// with node ids v1..v6 mapped to 0..5. Edge probabilities live in the topic
+/// model (see topic/fig1_instance.h in src/datasets).
+Graph Figure1Gadget();
+
+}  // namespace tirm
+
+#endif  // TIRM_GRAPH_GENERATORS_H_

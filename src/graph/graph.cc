@@ -1,0 +1,65 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tirm {
+
+Graph Graph::FromEdges(NodeId num_nodes,
+                       std::vector<std::pair<NodeId, NodeId>> edges) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  const std::size_t m = edges.size();
+
+  // Canonical order: stable sort by source so each node's out-edges are
+  // contiguous and EdgeIds equal out-CSR positions.
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  g.edge_source_.resize(m);
+  g.edge_target_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    TIRM_CHECK_LT(edges[i].first, num_nodes);
+    TIRM_CHECK_LT(edges[i].second, num_nodes);
+    g.edge_source_[i] = edges[i].first;
+    g.edge_target_[i] = edges[i].second;
+  }
+
+  // Out-CSR (already sorted by source).
+  g.out_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (std::size_t i = 0; i < m; ++i) ++g.out_offsets_[g.edge_source_[i] + 1];
+  std::partial_sum(g.out_offsets_.begin(), g.out_offsets_.end(),
+                   g.out_offsets_.begin());
+  g.out_targets_.resize(m);
+  g.out_edge_ids_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    g.out_targets_[i] = g.edge_target_[i];
+    g.out_edge_ids_[i] = static_cast<EdgeId>(i);
+  }
+
+  // In-CSR via counting sort on targets.
+  g.in_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (std::size_t i = 0; i < m; ++i) ++g.in_offsets_[g.edge_target_[i] + 1];
+  std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
+                   g.in_offsets_.begin());
+  g.in_sources_.resize(m);
+  g.in_edge_ids_.resize(m);
+  std::vector<std::size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    const NodeId v = g.edge_target_[i];
+    const std::size_t pos = cursor[v]++;
+    g.in_sources_[pos] = g.edge_source_[i];
+    g.in_edge_ids_[pos] = static_cast<EdgeId>(i);
+  }
+
+  return g;
+}
+
+std::size_t Graph::MemoryBytes() const {
+  auto bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  return bytes(out_offsets_) + bytes(out_targets_) + bytes(out_edge_ids_) +
+         bytes(in_offsets_) + bytes(in_sources_) + bytes(in_edge_ids_) +
+         bytes(edge_source_) + bytes(edge_target_);
+}
+
+}  // namespace tirm

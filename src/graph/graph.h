@@ -1,0 +1,107 @@
+// Immutable directed social graph in CSR (compressed sparse row) form.
+//
+// The paper's convention (§3): an arc (u, v) means "v follows u", i.e. v can
+// see u's posts, so influence flows along the arc direction u -> v.
+//
+// The graph stores both adjacency directions:
+//   * out-adjacency — forward Monte-Carlo simulation of cascades;
+//   * in-adjacency  — reverse BFS for RR-set sampling (§5.1).
+//
+// Each directed edge has a dense EdgeId (its position in the canonical edge
+// array, ordered by source node). Both adjacency views carry the EdgeId so
+// per-edge probability arrays can be indexed from either direction.
+
+#ifndef TIRM_GRAPH_GRAPH_H_
+#define TIRM_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace tirm {
+
+/// Immutable CSR digraph with out- and in-adjacency plus aligned edge ids.
+class Graph {
+ public:
+  /// An empty graph with zero nodes.
+  Graph() = default;
+
+  /// Builds a graph with `num_nodes` nodes from a list of (source, target)
+  /// arcs. Arcs keep the order given here; EdgeId i refers to edges[i] after
+  /// stable sorting by source (see edge_source/edge_target). Self-loops and
+  /// duplicates are kept verbatim; use GraphBuilder to deduplicate.
+  static Graph FromEdges(NodeId num_nodes,
+                         std::vector<std::pair<NodeId, NodeId>> edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edge_target_.size(); }
+
+  std::size_t OutDegree(NodeId u) const {
+    TIRM_DCHECK(u < num_nodes_);
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  std::size_t InDegree(NodeId v) const {
+    TIRM_DCHECK(v < num_nodes_);
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Targets of u's out-edges. Aligned with OutEdgeIds(u).
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    TIRM_DCHECK(u < num_nodes_);
+    return {out_targets_.data() + out_offsets_[u], OutDegree(u)};
+  }
+  /// EdgeIds of u's out-edges (index into per-edge probability arrays).
+  std::span<const EdgeId> OutEdgeIds(NodeId u) const {
+    TIRM_DCHECK(u < num_nodes_);
+    return {out_edge_ids_.data() + out_offsets_[u], OutDegree(u)};
+  }
+
+  /// Sources of v's in-edges. Aligned with InEdgeIds(v).
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    TIRM_DCHECK(v < num_nodes_);
+    return {in_sources_.data() + in_offsets_[v], InDegree(v)};
+  }
+  /// EdgeIds of v's in-edges.
+  std::span<const EdgeId> InEdgeIds(NodeId v) const {
+    TIRM_DCHECK(v < num_nodes_);
+    return {in_edge_ids_.data() + in_offsets_[v], InDegree(v)};
+  }
+
+  /// Source / target node of edge `e` (canonical, source-sorted order).
+  NodeId edge_source(EdgeId e) const {
+    TIRM_DCHECK(e < edge_source_.size());
+    return edge_source_[e];
+  }
+  NodeId edge_target(EdgeId e) const {
+    TIRM_DCHECK(e < edge_target_.size());
+    return edge_target_[e];
+  }
+
+  /// Approximate heap footprint of the CSR arrays, for memory reports.
+  std::size_t MemoryBytes() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+
+  // Out-CSR.
+  std::vector<std::size_t> out_offsets_;  // size n+1
+  std::vector<NodeId> out_targets_;       // size m
+  std::vector<EdgeId> out_edge_ids_;      // size m
+
+  // In-CSR.
+  std::vector<std::size_t> in_offsets_;  // size n+1
+  std::vector<NodeId> in_sources_;       // size m
+  std::vector<EdgeId> in_edge_ids_;      // size m
+
+  // Canonical edge arrays (EdgeId -> endpoints).
+  std::vector<NodeId> edge_source_;  // size m
+  std::vector<NodeId> edge_target_;  // size m
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_GRAPH_GRAPH_H_

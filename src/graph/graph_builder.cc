@@ -1,0 +1,31 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace tirm {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (options_.drop_self_loops && u == v) return;
+  edges_.emplace_back(u, v);
+  max_node_ = std::max({max_node_, u, v});
+  any_edge_ = true;
+}
+
+Graph GraphBuilder::Build() {
+  if (options_.deduplicate) {
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  }
+  NodeId n = forced_num_nodes_ > 0 ? forced_num_nodes_
+                                   : (any_edge_ ? max_node_ + 1 : 0);
+  if (any_edge_) {
+    TIRM_CHECK_GT(n, max_node_);
+  }
+  Graph g = Graph::FromEdges(n, std::move(edges_));
+  edges_.clear();
+  any_edge_ = false;
+  max_node_ = 0;
+  return g;
+}
+
+}  // namespace tirm

@@ -1,0 +1,56 @@
+// Incremental construction of Graph instances with optional deduplication.
+
+#ifndef TIRM_GRAPH_GRAPH_BUILDER_H_
+#define TIRM_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace tirm {
+
+/// Accumulates arcs and produces an immutable Graph.
+class GraphBuilder {
+ public:
+  struct Options {
+    /// Drop duplicate (u,v) arcs (keep first occurrence).
+    bool deduplicate = true;
+    /// Drop self-loops (u,u); a user does not follow herself.
+    bool drop_self_loops = true;
+  };
+
+  GraphBuilder() : options_(Options{}) {}
+  explicit GraphBuilder(Options options) : options_(options) {}
+
+  /// Adds arc u -> v ("v follows u"); node ids may be sparse, Build()
+  /// sizes the graph to max id + 1 unless SetNumNodes was called.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Adds both u -> v and v -> u (used to direct undirected graphs both
+  /// ways, as the paper does for DBLP).
+  void AddUndirectedEdge(NodeId u, NodeId v) {
+    AddEdge(u, v);
+    AddEdge(v, u);
+  }
+
+  /// Forces the node count (must be > every id added).
+  void SetNumNodes(NodeId n) { forced_num_nodes_ = n; }
+
+  std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Finalizes into a Graph; the builder is left empty.
+  Graph Build();
+
+ private:
+  Options options_;
+  NodeId max_node_ = 0;
+  bool any_edge_ = false;
+  NodeId forced_num_nodes_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_GRAPH_GRAPH_BUILDER_H_

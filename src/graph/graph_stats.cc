@@ -1,0 +1,50 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tirm {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  std::size_t sinks = 0;
+  std::size_t sources = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const std::size_t od = graph.OutDegree(u);
+    const std::size_t id = graph.InDegree(u);
+    s.max_out_degree = std::max(s.max_out_degree, od);
+    s.max_in_degree = std::max(s.max_in_degree, id);
+    if (od == 0) ++sinks;
+    if (id == 0) ++sources;
+  }
+  if (s.num_nodes > 0) {
+    s.avg_out_degree = static_cast<double>(s.num_edges) / s.num_nodes;
+    s.sink_fraction = static_cast<double>(sinks) / s.num_nodes;
+    s.source_fraction = static_cast<double>(sources) / s.num_nodes;
+  }
+  return s;
+}
+
+std::vector<std::size_t> OutDegreeHistogram(const Graph& graph,
+                                            std::size_t max_degree) {
+  std::vector<std::size_t> hist(max_degree + 1, 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    ++hist[std::min(graph.OutDegree(u), max_degree)];
+  }
+  return hist;
+}
+
+std::string FormatGraphStats(const GraphStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%u m=%zu avg_out=%.2f max_out=%zu max_in=%zu sinks=%.1f%% "
+                "sources=%.1f%%",
+                s.num_nodes, s.num_edges, s.avg_out_degree, s.max_out_degree,
+                s.max_in_degree, 100.0 * s.sink_fraction,
+                100.0 * s.source_fraction);
+  return buf;
+}
+
+}  // namespace tirm

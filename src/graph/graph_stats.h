@@ -1,0 +1,40 @@
+// Descriptive statistics over graphs (Table 1 of the paper).
+
+#ifndef TIRM_GRAPH_GRAPH_STATS_H_
+#define TIRM_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tirm {
+
+/// Summary statistics of a digraph.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  std::size_t num_edges = 0;
+  double avg_out_degree = 0.0;
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+  /// Fraction of nodes with no outgoing arcs.
+  double sink_fraction = 0.0;
+  /// Fraction of nodes with no incoming arcs.
+  double source_fraction = 0.0;
+};
+
+/// Computes summary statistics of `graph`.
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// Histogram of out-degrees: result[d] = #nodes with out-degree d
+/// (capped at `max_degree`, larger degrees land in the last bucket).
+std::vector<std::size_t> OutDegreeHistogram(const Graph& graph,
+                                            std::size_t max_degree);
+
+/// One-line human-readable rendering of `stats`.
+std::string FormatGraphStats(const GraphStats& stats);
+
+}  // namespace tirm
+
+#endif  // TIRM_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,73 @@
+#include "rrset/rr_collection.h"
+
+#include <algorithm>
+
+namespace tirm {
+
+RrCollection::RrCollection(NodeId num_nodes) {
+  set_offsets_.push_back(0);
+  coverage_.assign(num_nodes, 0);
+  index_.resize(num_nodes);
+}
+
+std::uint32_t RrCollection::AddSet(std::span<const NodeId> nodes) {
+  const std::uint32_t id = static_cast<std::uint32_t>(NumSets());
+  for (const NodeId v : nodes) {
+    TIRM_DCHECK(v < coverage_.size());
+    set_nodes_.push_back(v);
+    ++coverage_[v];
+    index_[v].push_back(id);
+  }
+  set_offsets_.push_back(set_nodes_.size());
+  covered_.push_back(0);
+  return id;
+}
+
+std::uint32_t RrCollection::CommitSeed(NodeId v) {
+  return CommitSeedOnRange(v, 0);
+}
+
+std::uint32_t RrCollection::CommitSeedOnRange(NodeId v,
+                                              std::uint32_t first_set) {
+  TIRM_CHECK_LT(v, coverage_.size());
+  std::uint32_t newly_covered = 0;
+  for (const std::uint32_t id : index_[v]) {
+    if (id < first_set || covered_[id]) continue;
+    covered_[id] = 1;
+    ++newly_covered;
+    ++num_covered_;
+    for (const NodeId member : SetMembers(id)) {
+      TIRM_DCHECK(coverage_[member] > 0);
+      --coverage_[member];
+    }
+  }
+  return newly_covered;
+}
+
+std::size_t RrCollection::MemoryBytes() const {
+  std::size_t bytes = set_offsets_.capacity() * sizeof(std::size_t) +
+                      set_nodes_.capacity() * sizeof(NodeId) +
+                      covered_.capacity() +
+                      coverage_.capacity() * sizeof(std::uint32_t) +
+                      index_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const auto& postings : index_) {
+    bytes += postings.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+void CoverageHeap::Rebuild() {
+  heap_.clear();
+  for (NodeId v = 0; v < collection_->num_nodes(); ++v) {
+    const std::uint32_t cov = collection_->CoverageOf(v);
+    if (cov > 0) heap_.push_back({cov, v});
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
+void CoverageHeap::Push(NodeId node, std::uint32_t coverage) {
+  heap_.push_back({coverage, node});
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+}  // namespace tirm

@@ -1,0 +1,153 @@
+// Storage and marginal-coverage maintenance for collections of RR sets.
+//
+// The greedy Max-Cover step of TIM / TIRM repeatedly needs
+//   argmax_v |{R in collection : v in R, R not yet covered}|
+// and, after committing a seed v, must mark every set containing v as
+// covered (decrementing the counts of all other members). RrCollection
+// keeps sets flattened (offset + node arrays), an inverted index
+// node -> set ids, and live coverage counts, so both operations are linear
+// in the touched sets.
+//
+// For TIRM's iterative sampling (Algorithm 2 lines 14-18), sets can be
+// appended in batches; AttributeNewSetsTo() lets existing seeds absorb the
+// newly added sets in selection order (UpdateEstimates, Algorithm 4).
+
+#ifndef TIRM_RRSET_RR_COLLECTION_H_
+#define TIRM_RRSET_RR_COLLECTION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace tirm {
+
+/// Flattened collection of RR sets with coverage bookkeeping.
+class RrCollection {
+ public:
+  explicit RrCollection(NodeId num_nodes);
+
+  /// Appends one set; returns its id.
+  std::uint32_t AddSet(std::span<const NodeId> nodes);
+
+  /// Number of sets ever added (covered ones included).
+  std::size_t NumSets() const { return set_offsets_.size() - 1; }
+
+  /// Number of nodes this collection indexes.
+  NodeId num_nodes() const { return static_cast<NodeId>(coverage_.size()); }
+
+  /// Number of sets currently covered by committed seeds.
+  std::size_t NumCovered() const { return num_covered_; }
+
+  /// Current (marginal) coverage of `v`: #uncovered sets containing v.
+  std::uint32_t CoverageOf(NodeId v) const {
+    TIRM_DCHECK(v < coverage_.size());
+    return coverage_[v];
+  }
+
+  /// Marks every uncovered set containing `v` as covered; returns how many
+  /// sets were newly covered (v's marginal coverage before the call).
+  std::uint32_t CommitSeed(NodeId v);
+
+  /// Marks sets with id >= `first_set` containing `v` as covered, returning
+  /// the count — used by UpdateEstimates to attribute freshly sampled sets
+  /// to already-committed seeds in their original selection order.
+  std::uint32_t CommitSeedOnRange(NodeId v, std::uint32_t first_set);
+
+  /// Members of set `id` (valid whether covered or not).
+  std::span<const NodeId> SetMembers(std::uint32_t id) const {
+    TIRM_DCHECK(id < NumSets());
+    return {set_nodes_.data() + set_offsets_[id],
+            set_offsets_[id + 1] - set_offsets_[id]};
+  }
+
+  bool IsCovered(std::uint32_t id) const {
+    TIRM_DCHECK(id < NumSets());
+    return covered_[id];
+  }
+
+  /// Node with maximum current coverage among those for which
+  /// `eligible(v)` is true; kInvalidNode if none has coverage > 0.
+  /// Linear scan fallback (tests / small instances); the greedy algorithms
+  /// use CoverageHeap (below) instead.
+  template <typename Eligible>
+  NodeId ArgMaxCoverage(Eligible eligible) const {
+    NodeId best = kInvalidNode;
+    std::uint32_t best_cov = 0;
+    for (NodeId v = 0; v < coverage_.size(); ++v) {
+      if (coverage_[v] > best_cov && eligible(v)) {
+        best = v;
+        best_cov = coverage_[v];
+      }
+    }
+    return best;
+  }
+
+  /// Approximate heap footprint in bytes (set storage + inverted index +
+  /// bookkeeping) — reported by the Table 4 memory experiment.
+  std::size_t MemoryBytes() const;
+
+ private:
+  std::size_t num_covered_ = 0;
+  std::vector<std::size_t> set_offsets_;  // size #sets+1
+  std::vector<NodeId> set_nodes_;         // flattened members
+  std::vector<std::uint8_t> covered_;     // per set
+  std::vector<std::uint32_t> coverage_;   // per node, marginal
+  std::vector<std::vector<std::uint32_t>> index_;  // node -> set ids
+};
+
+/// Lazy max-heap over node coverages (CELF-style). Valid while coverage
+/// values only decrease; call Rebuild() after a batch of sets is added.
+class CoverageHeap {
+ public:
+  explicit CoverageHeap(const RrCollection* collection)
+      : collection_(collection) {
+    Rebuild();
+  }
+
+  /// Re-inserts every node with positive coverage (after AddSet batches).
+  void Rebuild();
+
+  /// Pops the node with maximum *current* coverage among eligible ones;
+  /// stale entries are lazily refreshed. Returns kInvalidNode when no
+  /// eligible node with positive coverage remains. Nodes rejected by
+  /// `eligible` are dropped permanently (correct for attention bounds,
+  /// which only ever tighten).
+  template <typename Eligible>
+  NodeId PopBest(Eligible eligible) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+      const std::uint32_t current = collection_->CoverageOf(top.node);
+      if (current == 0) continue;
+      if (current != top.coverage) {
+        Push(top.node, current);  // stale: refresh and retry
+        continue;
+      }
+      if (!eligible(top.node)) continue;  // permanently ineligible
+      return top.node;
+    }
+    return kInvalidNode;
+  }
+
+  /// Re-inserts a node (e.g. after PopBest when the caller did not commit).
+  void Push(NodeId node, std::uint32_t coverage);
+
+ private:
+  struct Entry {
+    std::uint32_t coverage;
+    NodeId node;
+    bool operator<(const Entry& o) const { return coverage < o.coverage; }
+  };
+
+  const RrCollection* collection_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_RRSET_RR_COLLECTION_H_

@@ -1,0 +1,38 @@
+#include "rrset/theta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tirm {
+
+double LogNChooseK(std::uint64_t n, std::uint64_t k) {
+  TIRM_CHECK_LE(k, n);
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+std::uint64_t ComputeTheta(std::uint64_t num_nodes, std::uint64_t s,
+                           double opt_lower_bound, const ThetaParams& params) {
+  TIRM_CHECK_GT(num_nodes, 0u);
+  TIRM_CHECK(s >= 1 && s <= num_nodes);
+  TIRM_CHECK_GT(opt_lower_bound, 0.0);
+  TIRM_CHECK_GT(params.epsilon, 0.0);
+  TIRM_CHECK_GT(params.ell, 0.0);
+  const double n = static_cast<double>(num_nodes);
+  const double numerator =
+      (8.0 + 2.0 * params.epsilon) * n *
+      (params.ell * std::log(n) + LogNChooseK(num_nodes, s) + std::log(2.0));
+  const double theta =
+      numerator / (opt_lower_bound * params.epsilon * params.epsilon);
+  std::uint64_t out = theta >= 1e18 ? static_cast<std::uint64_t>(1e18)
+                                    : static_cast<std::uint64_t>(theta) + 1;
+  out = std::max(out, params.theta_min);
+  if (params.theta_cap > 0) out = std::min(out, params.theta_cap);
+  return out;
+}
+
+}  // namespace tirm

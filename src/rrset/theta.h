@@ -1,0 +1,38 @@
+// Sample-size computation for RR-set based estimation (Eq. 5, §5.1).
+//
+//   L(s, ε) = (8 + 2ε) · n · (ℓ·ln n + ln C(n,s) + ln 2) / (OPT_s · ε²)
+//
+// With θ ≥ L(s, ε) random RR sets, |n·F_R(S) − σ_ic(S)| < (ε/2)·OPT_s holds
+// with probability ≥ 1 − n^{−ℓ}/C(n,s) for every |S| ≤ s (Proposition 2,
+// from Tang et al. 2014). OPT_s is unknown; callers substitute a lower
+// bound (KPT estimation, see kpt_estimator.h), which only increases θ.
+
+#ifndef TIRM_RRSET_THETA_H_
+#define TIRM_RRSET_THETA_H_
+
+#include <cstdint>
+
+namespace tirm {
+
+/// Natural log of the binomial coefficient C(n, k) via lgamma.
+double LogNChooseK(std::uint64_t n, std::uint64_t k);
+
+/// Parameters of the θ computation.
+struct ThetaParams {
+  double epsilon = 0.1;  ///< ε accuracy knob (paper: 0.1 quality, 0.2 scale)
+  double ell = 1.0;      ///< ℓ failure-probability exponent
+  /// Hard upper bound on θ per ad; trades the Theorem 6 guarantee for
+  /// memory/time on small machines. 0 = uncapped.
+  std::uint64_t theta_cap = 0;
+  /// Lower bound on θ (avoid degenerate tiny samples).
+  std::uint64_t theta_min = 1024;
+};
+
+/// Evaluates L(s, ε) for seed-set size `s` with OPT_s lower bound `opt`,
+/// then clamps to [theta_min, theta_cap] (cap ignored when 0).
+std::uint64_t ComputeTheta(std::uint64_t num_nodes, std::uint64_t s,
+                           double opt_lower_bound, const ThetaParams& params);
+
+}  // namespace tirm
+
+#endif  // TIRM_RRSET_THETA_H_

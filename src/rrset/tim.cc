@@ -1,0 +1,53 @@
+#include "rrset/tim.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "rrset/kpt_estimator.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+
+namespace tirm {
+
+TimResult RunTim(const Graph& graph, std::span<const float> edge_probs,
+                 std::uint64_t k, const TimOptions& options, Rng& rng) {
+  TIRM_CHECK_GE(k, 1u);
+  TIRM_CHECK_LE(k, graph.num_nodes());
+  TimResult result;
+
+  RrSampler sampler(graph, edge_probs);
+
+  // Phase 1: KPT* lower bound on OPT_k.
+  KptEstimator kpt(&sampler, graph.num_edges(),
+                   {.ell = options.theta.ell,
+                    .max_samples = options.kpt_max_samples});
+  result.kpt = kpt.Estimate(k, rng);
+
+  // OPT_k >= max(KPT*, k): any k distinct seeds cover at least themselves.
+  const double opt_lb = std::max(result.kpt, static_cast<double>(k));
+  result.theta =
+      ComputeTheta(graph.num_nodes(), k, opt_lb, options.theta);
+
+  // Phase 2: sample θ RR sets and greedily Max k-Cover them.
+  RrCollection collection(graph.num_nodes());
+  std::vector<NodeId> scratch;
+  for (std::uint64_t i = 0; i < result.theta; ++i) {
+    sampler.SampleInto(rng, scratch);
+    collection.AddSet(scratch);
+  }
+
+  CoverageHeap heap(&collection);
+  std::uint64_t covered = 0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const NodeId best = heap.PopBest([](NodeId) { return true; });
+    if (best == kInvalidNode) break;  // every set covered already
+    covered += collection.CommitSeed(best);
+    result.seeds.push_back(best);
+  }
+  result.estimated_spread = static_cast<double>(graph.num_nodes()) *
+                            static_cast<double>(covered) /
+                            static_cast<double>(result.theta);
+  return result;
+}
+
+}  // namespace tirm

@@ -1,0 +1,64 @@
+#include "rrset/weighted_rr_collection.h"
+
+namespace tirm {
+
+WeightedRrCollection::WeightedRrCollection(NodeId num_nodes) {
+  set_offsets_.push_back(0);
+  coverage_.assign(num_nodes, 0.0);
+  index_.resize(num_nodes);
+}
+
+std::uint32_t WeightedRrCollection::AddSet(std::span<const NodeId> nodes) {
+  const std::uint32_t id = static_cast<std::uint32_t>(NumSets());
+  for (const NodeId v : nodes) {
+    TIRM_DCHECK(v < coverage_.size());
+    set_nodes_.push_back(v);
+    coverage_[v] += 1.0;
+    index_[v].push_back(id);
+  }
+  set_offsets_.push_back(set_nodes_.size());
+  survival_.push_back(1.0f);
+  return id;
+}
+
+double WeightedRrCollection::CommitSeed(NodeId v, double accept_prob) {
+  return CommitSeedOnRange(v, accept_prob, 0);
+}
+
+double WeightedRrCollection::CommitSeedOnRange(NodeId v, double accept_prob,
+                                               std::uint32_t first_set) {
+  TIRM_CHECK_LT(v, coverage_.size());
+  TIRM_CHECK(accept_prob >= 0.0 && accept_prob <= 1.0);
+  double covered_before = 0.0;
+  for (const std::uint32_t id : index_[v]) {
+    if (id < first_set) continue;
+    const double s_old = survival_[id];
+    if (s_old <= 0.0f) continue;
+    covered_before += s_old;
+    const double s_new = s_old * (1.0 - accept_prob);
+    const double delta = s_old - s_new;
+    if (delta <= 0.0) continue;
+    survival_[id] = static_cast<float>(s_new);
+    covered_mass_ += delta;
+    const std::size_t begin = set_offsets_[id];
+    const std::size_t end = set_offsets_[id + 1];
+    for (std::size_t j = begin; j < end; ++j) {
+      coverage_[set_nodes_[j]] -= delta;
+    }
+  }
+  return covered_before;
+}
+
+std::size_t WeightedRrCollection::MemoryBytes() const {
+  std::size_t bytes = set_offsets_.capacity() * sizeof(std::size_t) +
+                      set_nodes_.capacity() * sizeof(NodeId) +
+                      survival_.capacity() * sizeof(float) +
+                      coverage_.capacity() * sizeof(double) +
+                      index_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const auto& postings : index_) {
+    bytes += postings.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace tirm

@@ -1,0 +1,99 @@
+// CTP-aware (survival-weighted) RR-set coverage — an extension over the
+// paper's Algorithm 2.
+//
+// Algorithm 2 removes an RR set once any committed seed covers it, which
+// implicitly assumes committed seeds are active with probability 1. With
+// realistic CTPs (δ ≈ 1-3%) a committed seed only activates the set's root
+// with probability δ, so removal *underestimates* later seeds' marginals
+// and the allocation overshoots budgets (visible in the paper's own Fig. 5a
+// on FLIXSTER).
+//
+// Here each set R carries a survival weight
+//     survival(R) = Π_{w ∈ S ∩ R} (1 − δ(w)),
+// the exact probability that R's root has not been activated by the
+// committed seeds S (node-level CTP coins are independent). The weighted
+// coverage Σ_{R ∋ u} survival(R) then yields an unbiased estimate of the
+// *true* TIC-CTP marginal of u:
+//     Π_i(S ∪ {u}) − Π_i(S) = cpe·δ(u)·n·E[1{u ∈ R}·survival(R)].
+// Committing with δ = 1 reproduces the paper's removal semantics exactly.
+
+#ifndef TIRM_RRSET_WEIGHTED_RR_COLLECTION_H_
+#define TIRM_RRSET_WEIGHTED_RR_COLLECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace tirm {
+
+/// Flattened RR-set collection with per-set survival weights.
+class WeightedRrCollection {
+ public:
+  explicit WeightedRrCollection(NodeId num_nodes);
+
+  /// Appends one set with survival 1; returns its id.
+  std::uint32_t AddSet(std::span<const NodeId> nodes);
+
+  std::size_t NumSets() const { return set_offsets_.size() - 1; }
+  NodeId num_nodes() const { return static_cast<NodeId>(coverage_.size()); }
+
+  /// Weighted (marginal) coverage of `v`: Σ survival over sets containing v.
+  double CoverageOf(NodeId v) const {
+    TIRM_DCHECK(v < coverage_.size());
+    return coverage_[v];
+  }
+
+  /// Survival weight of set `id`.
+  double Survival(std::uint32_t id) const {
+    TIRM_DCHECK(id < NumSets());
+    return survival_[id];
+  }
+
+  /// Commits seed `v` with acceptance probability `accept_prob` = δ(v):
+  /// discounts every set containing v by (1 − δ) and returns v's weighted
+  /// coverage *before* the discount (its marginal-coverage mass).
+  double CommitSeed(NodeId v, double accept_prob);
+
+  /// Same, restricted to sets with id >= `first_set` (UpdateEstimates for
+  /// freshly sampled sets; attribution in original selection order).
+  double CommitSeedOnRange(NodeId v, double accept_prob,
+                           std::uint32_t first_set);
+
+  /// Σ (1 − survival) over all sets — the δ-discounted covered mass; n times
+  /// its mean estimates σ_i(S) (a valid, conservative OPT_s lower bound).
+  double CoveredMass() const { return covered_mass_; }
+
+  /// Node with maximum weighted coverage among eligible ones (linear scan;
+  /// weighted mode is used on quality-scale instances only). kInvalidNode
+  /// if every eligible coverage is ~0.
+  template <typename Eligible>
+  NodeId ArgMaxCoverage(Eligible eligible) const {
+    NodeId best = kInvalidNode;
+    double best_cov = 1e-12;
+    for (NodeId v = 0; v < coverage_.size(); ++v) {
+      if (coverage_[v] > best_cov && eligible(v)) {
+        best = v;
+        best_cov = coverage_[v];
+      }
+    }
+    return best;
+  }
+
+  /// Approximate heap footprint in bytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  double covered_mass_ = 0.0;
+  std::vector<std::size_t> set_offsets_;
+  std::vector<NodeId> set_nodes_;
+  std::vector<float> survival_;    // per set
+  std::vector<double> coverage_;   // per node
+  std::vector<std::vector<std::uint32_t>> index_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_RRSET_WEIGHTED_RR_COLLECTION_H_

@@ -1,0 +1,38 @@
+#include "topic/ctp_model.h"
+
+namespace tirm {
+
+ClickProbabilities ClickProbabilities::Constant(NodeId num_nodes, int num_ads,
+                                                double value) {
+  TIRM_CHECK_GT(num_ads, 0);
+  TIRM_CHECK(value >= 0.0 && value <= 1.0);
+  ClickProbabilities cp(num_nodes, num_ads);
+  cp.table_.assign(static_cast<std::size_t>(num_ads) * num_nodes,
+                   static_cast<float>(value));
+  return cp;
+}
+
+ClickProbabilities ClickProbabilities::SampleUniform(NodeId num_nodes,
+                                                     int num_ads, double lo,
+                                                     double hi, Rng& rng) {
+  TIRM_CHECK_GT(num_ads, 0);
+  TIRM_CHECK(0.0 <= lo && lo <= hi && hi <= 1.0);
+  ClickProbabilities cp(num_nodes, num_ads);
+  cp.table_.resize(static_cast<std::size_t>(num_ads) * num_nodes);
+  for (float& v : cp.table_) {
+    v = static_cast<float>(rng.UniformReal(lo, hi));
+  }
+  return cp;
+}
+
+ClickProbabilities ClickProbabilities::FromTable(NodeId num_nodes, int num_ads,
+                                                 std::vector<float> table) {
+  TIRM_CHECK_GT(num_ads, 0);
+  TIRM_CHECK_EQ(table.size(), static_cast<std::size_t>(num_ads) * num_nodes);
+  for (float v : table) TIRM_CHECK(v >= 0.0f && v <= 1.0f);
+  ClickProbabilities cp(num_nodes, num_ads);
+  cp.table_ = std::move(table);
+  return cp;
+}
+
+}  // namespace tirm

@@ -1,0 +1,65 @@
+// Click-through probabilities δ(u, i) (§3).
+//
+// δ(u, i) is the prior probability that user u clicks on promoted post i in
+// the absence of any social proof. In the TIC-CTP model a seed u ∈ S_i
+// accepts seeding (clicks) with probability δ(u, i).
+
+#ifndef TIRM_TOPIC_CTP_MODEL_H_
+#define TIRM_TOPIC_CTP_MODEL_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace tirm {
+
+/// Dense table of click-through probabilities, ad-major.
+class ClickProbabilities {
+ public:
+  /// δ(u,i) = value for all users and ads.
+  static ClickProbabilities Constant(NodeId num_nodes, int num_ads,
+                                     double value);
+
+  /// δ(u,i) ~ U[lo, hi] i.i.d. — the paper samples CTPs uniformly from
+  /// [0.01, 0.03] "in keeping with real-life CTPs" (§6).
+  static ClickProbabilities SampleUniform(NodeId num_nodes, int num_ads,
+                                          double lo, double hi, Rng& rng);
+
+  /// From an explicit ad-major table (size num_ads * num_nodes).
+  static ClickProbabilities FromTable(NodeId num_nodes, int num_ads,
+                                      std::vector<float> table);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  int num_ads() const { return num_ads_; }
+
+  /// δ(u, ad).
+  float Delta(NodeId u, AdId ad) const {
+    TIRM_DCHECK(u < num_nodes_);
+    TIRM_DCHECK(ad >= 0 && ad < num_ads_);
+    return table_[static_cast<std::size_t>(ad) * num_nodes_ + u];
+  }
+
+  void SetDelta(NodeId u, AdId ad, double value) {
+    TIRM_CHECK(u < num_nodes_);
+    TIRM_CHECK(ad >= 0 && ad < num_ads_);
+    TIRM_CHECK(value >= 0.0 && value <= 1.0);
+    table_[static_cast<std::size_t>(ad) * num_nodes_ + u] =
+        static_cast<float>(value);
+  }
+
+  std::size_t MemoryBytes() const { return table_.capacity() * sizeof(float); }
+
+ private:
+  ClickProbabilities(NodeId num_nodes, int num_ads)
+      : num_nodes_(num_nodes), num_ads_(num_ads) {}
+
+  NodeId num_nodes_ = 0;
+  int num_ads_ = 0;
+  std::vector<float> table_;  // [ad * num_nodes + u]
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_TOPIC_CTP_MODEL_H_

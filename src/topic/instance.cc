@@ -1,0 +1,96 @@
+#include "topic/instance.h"
+
+namespace tirm {
+
+ProblemInstance::ProblemInstance(const Graph* graph,
+                                 const EdgeProbabilities* edge_probs,
+                                 const ClickProbabilities* ctps,
+                                 std::vector<Advertiser> advertisers,
+                                 std::vector<std::uint16_t> attention_bounds,
+                                 double lambda, double beta)
+    : graph_(graph),
+      edge_probs_(edge_probs),
+      ctps_(ctps),
+      advertisers_(std::move(advertisers)),
+      attention_bounds_(std::move(attention_bounds)),
+      lambda_(lambda),
+      beta_(beta) {
+  TIRM_CHECK(graph_ != nullptr);
+  TIRM_CHECK(edge_probs_ != nullptr);
+  TIRM_CHECK(ctps_ != nullptr);
+  mixed_cache_.resize(advertisers_.size());
+}
+
+ProblemInstance ProblemInstance::WithUniformAttention(
+    const Graph* graph, const EdgeProbabilities* edge_probs,
+    const ClickProbabilities* ctps, std::vector<Advertiser> advertisers,
+    int kappa, double lambda, double beta) {
+  TIRM_CHECK(kappa >= 1 && kappa <= 0xFFFF);
+  std::vector<std::uint16_t> bounds(graph->num_nodes(),
+                                    static_cast<std::uint16_t>(kappa));
+  return ProblemInstance(graph, edge_probs, ctps, std::move(advertisers),
+                         std::move(bounds), lambda, beta);
+}
+
+Status ProblemInstance::Validate() const {
+  if (advertisers_.empty()) {
+    return Status::InvalidArgument("instance has no advertisers");
+  }
+  if (attention_bounds_.size() != graph_->num_nodes()) {
+    return Status::InvalidArgument("attention bound array size mismatch");
+  }
+  if (edge_probs_->num_edges() != graph_->num_edges()) {
+    return Status::InvalidArgument("edge probability array size mismatch");
+  }
+  if (ctps_->num_nodes() != graph_->num_nodes() ||
+      ctps_->num_ads() < num_ads()) {
+    return Status::InvalidArgument("CTP table shape mismatch");
+  }
+  if (lambda_ < 0.0) {
+    return Status::InvalidArgument("lambda must be non-negative");
+  }
+  if (beta_ < 0.0) {
+    return Status::InvalidArgument("beta must be non-negative");
+  }
+  const int num_topics = edge_probs_->num_topics();
+  for (const Advertiser& a : advertisers_) {
+    if (a.budget < 0.0) return Status::InvalidArgument("negative budget");
+    if (a.cpe <= 0.0) return Status::InvalidArgument("non-positive CPE");
+    if (edge_probs_->mode() == EdgeProbabilities::Mode::kPerTopic &&
+        a.gamma.num_topics() != num_topics) {
+      return Status::InvalidArgument("advertiser topic count mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+double ProblemInstance::TotalBudget() const {
+  double total = 0.0;
+  for (const Advertiser& a : advertisers_) total += a.budget;
+  return total;
+}
+
+const std::vector<float>& ProblemInstance::EdgeProbsForAd(AdId i) const {
+  TIRM_CHECK(i >= 0 && i < num_ads());
+  // Shared (topic-blind) probabilities: one materialized array for all ads.
+  const std::size_t slot =
+      edge_probs_->mode() == EdgeProbabilities::Mode::kShared
+          ? 0
+          : static_cast<std::size_t>(i);
+  auto& entry = mixed_cache_[slot];
+  if (entry == nullptr) {
+    entry = std::make_unique<std::vector<float>>(
+        edge_probs_->MixForAd(advertiser(static_cast<AdId>(slot)).gamma));
+  }
+  return *entry;
+}
+
+std::size_t ProblemInstance::CacheMemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& entry : mixed_cache_) {
+    if (entry != nullptr) total += entry->capacity() * sizeof(float);
+  }
+  return total;
+}
+
+}  // namespace tirm

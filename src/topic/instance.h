@@ -1,0 +1,107 @@
+// The full REGRET-MINIMIZATION problem instance (Problem 1, §3).
+//
+// Bundles: social graph G, per-edge per-topic probabilities, advertisers
+// (topic distribution ~γ_i, budget B_i, cpe(i)), CTPs δ(u,i), attention
+// bounds κ_u, the seed penalty λ, and the optional budget-boost β
+// (B'_i = (1+β)·B_i, §3 Discussion).
+//
+// ProblemInstance is a non-owning view over graph/probability containers so
+// multiple instances (e.g. λ sweeps) can share the expensive structures;
+// datasets/ provides owning builders.
+
+#ifndef TIRM_TOPIC_INSTANCE_H_
+#define TIRM_TOPIC_INSTANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "topic/ctp_model.h"
+#include "topic/edge_probabilities.h"
+#include "topic/topic_distribution.h"
+
+namespace tirm {
+
+/// One advertiser a_i and its ad (§3: topic distribution, budget, CPE).
+struct Advertiser {
+  TopicDistribution gamma;  ///< topic distribution ~γ_i of the ad
+  double budget = 0.0;      ///< campaign budget B_i (monetary)
+  double cpe = 1.0;         ///< cost-per-engagement cpe(i)
+};
+
+/// Non-owning problem instance; see file comment.
+class ProblemInstance {
+ public:
+  ProblemInstance(const Graph* graph, const EdgeProbabilities* edge_probs,
+                  const ClickProbabilities* ctps,
+                  std::vector<Advertiser> advertisers,
+                  std::vector<std::uint16_t> attention_bounds, double lambda,
+                  double beta = 0.0);
+
+  /// Convenience: uniform attention bound κ for every user.
+  static ProblemInstance WithUniformAttention(
+      const Graph* graph, const EdgeProbabilities* edge_probs,
+      const ClickProbabilities* ctps, std::vector<Advertiser> advertisers,
+      int kappa, double lambda, double beta = 0.0);
+
+  /// Validates internal consistency (sizes, ranges).
+  Status Validate() const;
+
+  const Graph& graph() const { return *graph_; }
+  const EdgeProbabilities& edge_probs() const { return *edge_probs_; }
+  const ClickProbabilities& ctps() const { return *ctps_; }
+
+  int num_ads() const { return static_cast<int>(advertisers_.size()); }
+  const Advertiser& advertiser(AdId i) const {
+    TIRM_DCHECK(i >= 0 && i < num_ads());
+    return advertisers_[static_cast<std::size_t>(i)];
+  }
+  const std::vector<Advertiser>& advertisers() const { return advertisers_; }
+
+  /// Attention bound κ_u.
+  int AttentionBound(NodeId u) const {
+    TIRM_DCHECK(u < attention_bounds_.size());
+    return attention_bounds_[u];
+  }
+
+  double lambda() const { return lambda_; }
+  double beta() const { return beta_; }
+
+  /// Effective (possibly β-boosted) budget B'_i = (1+β)·B_i.
+  double EffectiveBudget(AdId i) const {
+    return (1.0 + beta_) * advertiser(i).budget;
+  }
+
+  /// Total declared budget Σ B_i (the paper reports regrets relative to it).
+  double TotalBudget() const;
+
+  /// δ(u, i) shorthand.
+  float Delta(NodeId u, AdId i) const { return ctps_->Delta(u, i); }
+
+  /// Ad-specific edge probabilities p^i_{u,v} (Eq. 1), materialized and
+  /// cached on first use. In kShared probability mode all ads share one
+  /// array. Returns a reference valid for the life of the instance.
+  const std::vector<float>& EdgeProbsForAd(AdId i) const;
+
+  /// Bytes held by the per-ad probability cache.
+  std::size_t CacheMemoryBytes() const;
+
+ private:
+  const Graph* graph_;
+  const EdgeProbabilities* edge_probs_;
+  const ClickProbabilities* ctps_;
+  std::vector<Advertiser> advertisers_;
+  std::vector<std::uint16_t> attention_bounds_;
+  double lambda_;
+  double beta_;
+
+  // Lazily filled per-ad mixed probabilities; index 0 doubles as the shared
+  // array in kShared mode.
+  mutable std::vector<std::unique_ptr<std::vector<float>>> mixed_cache_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_TOPIC_INSTANCE_H_

@@ -1,0 +1,206 @@
+#include "topic/instance_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tirm {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'I', 'R', 'M', 'I', 'N', '0', '1'};
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  FileCloser(const FileCloser&) = delete;
+  FileCloser& operator=(const FileCloser&) = delete;
+
+ private:
+  std::FILE* f_;
+};
+
+bool WriteU64(std::FILE* f, std::uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool WriteF64(std::FILE* f, double v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool ReadU64(std::FILE* f, std::uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+bool ReadF64(std::FILE* f, double* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+bool WriteFloats(std::FILE* f, const float* data, std::size_t count) {
+  return count == 0 || std::fwrite(data, sizeof(float), count, f) == count;
+}
+bool ReadFloats(std::FILE* f, float* data, std::size_t count) {
+  return count == 0 || std::fread(data, sizeof(float), count, f) == count;
+}
+
+}  // namespace
+
+Status SaveInstanceBundle(const Graph& graph,
+                          const EdgeProbabilities& edge_probs,
+                          const ClickProbabilities& ctps,
+                          const std::vector<Advertiser>& advertisers,
+                          const std::string& path) {
+  if (edge_probs.num_edges() != graph.num_edges()) {
+    return Status::InvalidArgument("edge probability size mismatch");
+  }
+  if (ctps.num_nodes() != graph.num_nodes()) {
+    return Status::InvalidArgument("CTP table size mismatch");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for write");
+  FileCloser closer(f);
+
+  std::fwrite(kMagic, 1, sizeof(kMagic), f);
+  const std::uint64_t n = graph.num_nodes();
+  const std::uint64_t m = graph.num_edges();
+  const std::uint64_t num_topics =
+      static_cast<std::uint64_t>(edge_probs.num_topics());
+  const std::uint64_t shared =
+      edge_probs.mode() == EdgeProbabilities::Mode::kShared ? 1 : 0;
+  const std::uint64_t h = advertisers.size();
+  if (!WriteU64(f, n) || !WriteU64(f, m) || !WriteU64(f, num_topics) ||
+      !WriteU64(f, shared) || !WriteU64(f, h)) {
+    return Status::IOError("short write (header)");
+  }
+
+  // Edges (canonical order).
+  for (EdgeId e = 0; e < m; ++e) {
+    const NodeId uv[2] = {graph.edge_source(e), graph.edge_target(e)};
+    if (std::fwrite(uv, sizeof(NodeId), 2, f) != 2) {
+      return Status::IOError("short write (edges)");
+    }
+  }
+
+  // Probabilities.
+  std::vector<float> buffer;
+  if (shared == 1) {
+    buffer.resize(m);
+    for (EdgeId e = 0; e < m; ++e) buffer[e] = edge_probs.Prob(e, 0);
+  } else {
+    buffer.resize(m * num_topics);
+    for (EdgeId e = 0; e < m; ++e) {
+      const auto block = edge_probs.TopicBlock(e);
+      std::memcpy(buffer.data() + static_cast<std::size_t>(e) * num_topics,
+                  block.data(), num_topics * sizeof(float));
+    }
+  }
+  if (!WriteFloats(f, buffer.data(), buffer.size())) {
+    return Status::IOError("short write (probabilities)");
+  }
+
+  // CTPs (ad-major, only the first h ads).
+  buffer.resize(static_cast<std::size_t>(h) * n);
+  for (std::uint64_t i = 0; i < h; ++i) {
+    for (NodeId u = 0; u < n; ++u) {
+      buffer[i * n + u] = ctps.Delta(u, static_cast<AdId>(i));
+    }
+  }
+  if (!WriteFloats(f, buffer.data(), buffer.size())) {
+    return Status::IOError("short write (CTPs)");
+  }
+
+  // Advertisers.
+  for (const Advertiser& a : advertisers) {
+    const std::uint64_t k = static_cast<std::uint64_t>(a.gamma.num_topics());
+    if (!WriteU64(f, k) || !WriteF64(f, a.budget) || !WriteF64(f, a.cpe)) {
+      return Status::IOError("short write (advertiser)");
+    }
+    for (TopicId z = 0; z < a.gamma.num_topics(); ++z) {
+      if (!WriteF64(f, a.gamma.Mass(z))) {
+        return Status::IOError("short write (gamma)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<InstanceBundle> LoadInstanceBundle(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  FileCloser closer(f);
+
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::IOError(path + ": not a tirm instance bundle");
+  }
+  std::uint64_t n = 0, m = 0, num_topics = 0, shared = 0, h = 0;
+  if (!ReadU64(f, &n) || !ReadU64(f, &m) || !ReadU64(f, &num_topics) ||
+      !ReadU64(f, &shared) || !ReadU64(f, &h)) {
+    return Status::IOError(path + ": truncated header");
+  }
+  if (num_topics == 0 || h == 0) {
+    return Status::IOError(path + ": corrupt header");
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    NodeId uv[2];
+    if (std::fread(uv, sizeof(NodeId), 2, f) != 2) {
+      return Status::IOError(path + ": truncated edges");
+    }
+    edges[e] = {uv[0], uv[1]};
+  }
+
+  InstanceBundle bundle;
+  bundle.graph = std::make_unique<Graph>(
+      Graph::FromEdges(static_cast<NodeId>(n), std::move(edges)));
+
+  std::vector<float> buffer;
+  if (shared == 1) {
+    buffer.resize(m);
+    if (!ReadFloats(f, buffer.data(), buffer.size())) {
+      return Status::IOError(path + ": truncated probabilities");
+    }
+    bundle.edge_probs = std::make_unique<EdgeProbabilities>(
+        EdgeProbabilities::FromShared(*bundle.graph, std::move(buffer)));
+  } else {
+    buffer.resize(m * num_topics);
+    if (!ReadFloats(f, buffer.data(), buffer.size())) {
+      return Status::IOError(path + ": truncated probabilities");
+    }
+    EdgeProbabilities ep = EdgeProbabilities::ZeroPerTopic(
+        *bundle.graph, static_cast<int>(num_topics));
+    for (EdgeId e = 0; e < m; ++e) {
+      for (std::uint64_t z = 0; z < num_topics; ++z) {
+        ep.SetProb(e, static_cast<TopicId>(z),
+                   buffer[static_cast<std::size_t>(e) * num_topics + z]);
+      }
+    }
+    bundle.edge_probs = std::make_unique<EdgeProbabilities>(std::move(ep));
+  }
+
+  buffer.resize(static_cast<std::size_t>(h) * n);
+  if (!ReadFloats(f, buffer.data(), buffer.size())) {
+    return Status::IOError(path + ": truncated CTPs");
+  }
+  bundle.ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::FromTable(static_cast<NodeId>(n),
+                                    static_cast<int>(h), std::move(buffer)));
+
+  bundle.advertisers.resize(h);
+  for (std::uint64_t i = 0; i < h; ++i) {
+    std::uint64_t k = 0;
+    Advertiser& a = bundle.advertisers[i];
+    if (!ReadU64(f, &k) || !ReadF64(f, &a.budget) || !ReadF64(f, &a.cpe)) {
+      return Status::IOError(path + ": truncated advertiser");
+    }
+    if (k == 0 || k > 1024) return Status::IOError(path + ": corrupt gamma");
+    std::vector<double> mass(k);
+    for (auto& v : mass) {
+      if (!ReadF64(f, &v)) return Status::IOError(path + ": truncated gamma");
+    }
+    a.gamma = TopicDistribution(std::move(mass));
+  }
+  return bundle;
+}
+
+}  // namespace tirm

@@ -1,0 +1,62 @@
+// Topic distributions ~γ_i over the K latent topics (§3).
+//
+// Each ad i has a distribution γ_i with γ_i^z = Pr(Z = z | i), Σ_z γ_i^z = 1.
+// The host owns a precomputed topic model (e.g. LDA); here distributions are
+// either constructed explicitly or sampled (concentrated / uniform /
+// Dirichlet), matching the paper's experimental setup where each ad has mass
+// 0.91 on its own topic and 0.01 on the others.
+
+#ifndef TIRM_TOPIC_TOPIC_DISTRIBUTION_H_
+#define TIRM_TOPIC_TOPIC_DISTRIBUTION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace tirm {
+
+/// A normalized distribution over K latent topics.
+class TopicDistribution {
+ public:
+  TopicDistribution() = default;
+
+  /// Takes ownership of `mass`; normalizes it to sum 1 (sum must be > 0).
+  explicit TopicDistribution(std::vector<double> mass);
+
+  /// Point mass `peak` on `topic`, remainder spread evenly over the others.
+  /// The paper's quality experiments use peak = 0.91 with K = 10
+  /// (0.01 on each other topic).
+  static TopicDistribution Concentrated(int num_topics, TopicId topic,
+                                        double peak);
+
+  /// Uniform over all topics.
+  static TopicDistribution Uniform(int num_topics);
+
+  /// Symmetric Dirichlet(alpha) sample.
+  static TopicDistribution SampleDirichlet(int num_topics, double alpha,
+                                           Rng& rng);
+
+  int num_topics() const { return static_cast<int>(mass_.size()); }
+  double Mass(TopicId z) const {
+    TIRM_DCHECK(z >= 0 && z < num_topics());
+    return mass_[static_cast<std::size_t>(z)];
+  }
+  std::span<const double> mass() const { return mass_; }
+
+  /// Dot product with a per-topic value vector (Eq. 1 mixing weight).
+  double Mix(std::span<const float> per_topic_values) const;
+
+  /// L1 distance to another distribution (used to model topical closeness /
+  /// competition between ads).
+  double L1Distance(const TopicDistribution& other) const;
+
+ private:
+  std::vector<double> mass_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_TOPIC_TOPIC_DISTRIBUTION_H_

@@ -1,0 +1,203 @@
+// Tests for allocation validity and regret arithmetic (alloc/allocation,
+// alloc/regret, alloc/regret_evaluator).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "alloc/regret.h"
+#include "alloc/regret_evaluator.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "topic/instance.h"
+
+namespace tirm {
+namespace {
+
+class AllocationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = PathGraph(5);
+    probs_ = std::make_unique<EdgeProbabilities>(
+        EdgeProbabilities::Constant(graph_, 0.5));
+    ctps_ = std::make_unique<ClickProbabilities>(
+        ClickProbabilities::Constant(5, 3, 1.0));
+    ads_.resize(3);
+    for (auto& a : ads_) {
+      a.gamma = TopicDistribution::Uniform(1);
+      a.budget = 3.0;
+      a.cpe = 1.0;
+    }
+  }
+
+  ProblemInstance MakeInstance(int kappa, double lambda, double beta = 0.0) {
+    return ProblemInstance::WithUniformAttention(
+        &graph_, probs_.get(), ctps_.get(), ads_, kappa, lambda, beta);
+  }
+
+  Graph graph_;
+  std::unique_ptr<EdgeProbabilities> probs_;
+  std::unique_ptr<ClickProbabilities> ctps_;
+  std::vector<Advertiser> ads_;
+};
+
+TEST_F(AllocationTest, TotalAndDistinctSeeds) {
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {0, 1};
+  a.seeds[1] = {1, 2};
+  a.seeds[2] = {};
+  EXPECT_EQ(a.TotalSeeds(), 4u);
+  EXPECT_EQ(a.DistinctTargetedUsers(5), 3u);
+}
+
+TEST_F(AllocationTest, AssignmentCounts) {
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {0, 1};
+  a.seeds[1] = {1};
+  auto counts = AssignmentCounts(a, 5);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST_F(AllocationTest, ValidAllocationPasses) {
+  ProblemInstance inst = MakeInstance(2, 0.0);
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {0, 1};
+  a.seeds[1] = {1};
+  EXPECT_TRUE(ValidateAllocation(inst, a).ok());
+}
+
+TEST_F(AllocationTest, AttentionViolationDetected) {
+  ProblemInstance inst = MakeInstance(1, 0.0);
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {1};
+  a.seeds[1] = {1};  // node 1 assigned twice with kappa = 1
+  Status s = ValidateAllocation(inst, a);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AllocationTest, DuplicateSeedWithinAdDetected) {
+  ProblemInstance inst = MakeInstance(3, 0.0);
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {2, 2};
+  EXPECT_FALSE(ValidateAllocation(inst, a).ok());
+}
+
+TEST_F(AllocationTest, OutOfRangeSeedDetected) {
+  ProblemInstance inst = MakeInstance(3, 0.0);
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {99};
+  EXPECT_FALSE(ValidateAllocation(inst, a).ok());
+}
+
+TEST_F(AllocationTest, AdCountMismatchDetected) {
+  ProblemInstance inst = MakeInstance(3, 0.0);
+  Allocation a = Allocation::Empty(2);
+  EXPECT_FALSE(ValidateAllocation(inst, a).ok());
+}
+
+// ------------------------------------------------------------------ regret
+
+TEST_F(AllocationTest, BudgetRegretUnderAndOvershoot) {
+  ProblemInstance inst = MakeInstance(1, 0.0);
+  EXPECT_DOUBLE_EQ(BudgetRegret(inst, 0, 0.0), 3.0);   // undershoot
+  EXPECT_DOUBLE_EQ(BudgetRegret(inst, 0, 3.0), 0.0);   // exact
+  EXPECT_DOUBLE_EQ(BudgetRegret(inst, 0, 5.0), 2.0);   // overshoot
+}
+
+TEST_F(AllocationTest, RegretDropRegimes) {
+  ProblemInstance inst = MakeInstance(1, 0.0);
+  // Revenue 0, budget 3: marginal 2 -> drop 2 (pure progress).
+  EXPECT_DOUBLE_EQ(RegretDrop(inst, 0, 0.0, 2.0), 2.0);
+  // Marginal 4 crosses the budget: |3-0|-|3-4| = 2.
+  EXPECT_DOUBLE_EQ(RegretDrop(inst, 0, 0.0, 4.0), 2.0);
+  // Marginal 8 overshoots badly: 3 - 5 = -2 (regret increases).
+  EXPECT_DOUBLE_EQ(RegretDrop(inst, 0, 0.0, 8.0), -2.0);
+  // Already over budget: any addition hurts.
+  EXPECT_LT(RegretDrop(inst, 0, 4.0, 1.0), 0.0);
+}
+
+TEST_F(AllocationTest, RegretDropIncludesLambdaPenalty) {
+  ProblemInstance inst = MakeInstance(1, 0.5);
+  EXPECT_DOUBLE_EQ(RegretDrop(inst, 0, 0.0, 2.0), 1.5);
+}
+
+TEST_F(AllocationTest, AdRegretComposition) {
+  ProblemInstance inst = MakeInstance(1, 0.25);
+  // |3 - 2| + 0.25*4 = 2.0
+  EXPECT_DOUBLE_EQ(AdRegret(inst, 0, 2.0, 4), 2.0);
+}
+
+TEST_F(AllocationTest, BoostedBudgetShiftsRegret) {
+  ProblemInstance inst = MakeInstance(1, 0.0, /*beta=*/1.0);  // B' = 6
+  EXPECT_DOUBLE_EQ(BudgetRegret(inst, 0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(BudgetRegret(inst, 0, 6.0), 0.0);
+}
+
+TEST_F(AllocationTest, MakeRegretReportAggregates) {
+  ProblemInstance inst = MakeInstance(1, 0.1);
+  std::vector<std::vector<NodeId>> seeds = {{0, 1}, {2}, {}};
+  std::vector<double> spreads = {2.0, 5.0, 0.0};
+  RegretReport r = MakeRegretReport(inst, seeds, spreads);
+  ASSERT_EQ(r.ads.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.ads[0].revenue, 2.0);
+  EXPECT_DOUBLE_EQ(r.ads[0].budget_regret, 1.0);
+  EXPECT_DOUBLE_EQ(r.ads[1].budget_regret, 2.0);  // overshoot 5 vs 3
+  EXPECT_DOUBLE_EQ(r.ads[2].budget_regret, 3.0);  // empty set
+  EXPECT_DOUBLE_EQ(r.total_budget_regret, 6.0);
+  EXPECT_NEAR(r.total_seed_regret, 0.3, 1e-12);
+  EXPECT_NEAR(r.total_regret, 6.3, 1e-12);
+  EXPECT_EQ(r.total_seeds, 3u);
+  EXPECT_EQ(r.distinct_targeted, 3u);
+  EXPECT_DOUBLE_EQ(r.total_budget, 9.0);
+  EXPECT_NEAR(r.RegretFractionOfBudget(), 6.3 / 9.0, 1e-12);
+}
+
+// -------------------------------------------------------------- evaluator
+
+TEST_F(AllocationTest, EvaluatorMatchesClosedFormOnPath) {
+  // Path 0->..->4 with p=0.5, delta=1, cpe=1: seeds {0} give
+  // sigma = 1 + 0.5 + 0.25 + 0.125 + 0.0625 = 1.9375.
+  ProblemInstance inst = MakeInstance(1, 0.0);
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {0};
+  RegretEvaluator ev(&inst, {.num_sims = 60000});
+  Rng rng(1);
+  RegretReport r = ev.Evaluate(a, rng);
+  EXPECT_NEAR(r.ads[0].spread, 1.9375, 0.03);
+  EXPECT_NEAR(r.ads[0].budget_regret, 3.0 - 1.9375, 0.03);
+  EXPECT_DOUBLE_EQ(r.ads[1].revenue, 0.0);
+}
+
+TEST_F(AllocationTest, EvaluatorDeterministicUnderSeed) {
+  ProblemInstance inst = MakeInstance(1, 0.0);
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {0, 2};
+  a.seeds[1] = {1};
+  RegretEvaluator ev(&inst, {.num_sims = 2000});
+  Rng r1(5);
+  Rng r2(5);
+  EXPECT_DOUBLE_EQ(ev.Evaluate(a, r1).total_regret,
+                   ev.Evaluate(a, r2).total_regret);
+}
+
+TEST_F(AllocationTest, EvaluatorAppliesCtp) {
+  // delta = 0.5 halves the single-seed spread.
+  auto half_ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(5, 3, 0.5));
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph_, probs_.get(), half_ctps.get(), ads_, 1, 0.0);
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {0};
+  RegretEvaluator ev(&inst, {.num_sims = 60000});
+  Rng rng(7);
+  RegretReport r = ev.Evaluate(a, rng);
+  EXPECT_NEAR(r.ads[0].spread, 0.5 * 1.9375, 0.03);
+}
+
+}  // namespace
+}  // namespace tirm

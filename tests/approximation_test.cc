@@ -1,0 +1,158 @@
+// Approximation-quality checks against brute-force optima on small graphs:
+//   * TIM's seed set achieves >= (1 - 1/e - eps) of the true optimum
+//     (Proposition 2's guarantee), verified by exhaustively enumerating all
+//     k-subsets and computing exact spreads;
+//   * KPT* never exceeds the true OPT_s by more than sampling slack;
+//   * greedy regret-drop selection matches Claim 1's characterization on a
+//     hand-analyzable instance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "alloc/greedy.h"
+#include "alloc/regret.h"
+#include "common/rng.h"
+#include "diffusion/exact_spread.h"
+#include "graph/generators.h"
+#include "rrset/kpt_estimator.h"
+#include "rrset/rr_sampler.h"
+#include "rrset/tim.h"
+#include "topic/instance.h"
+
+namespace tirm {
+namespace {
+
+// Exact optimal spread over all k-subsets of a tiny graph.
+double BruteForceOptimalSpread(const Graph& g, std::span<const float> probs,
+                               int k, std::vector<NodeId>* best_out) {
+  std::vector<NodeId> nodes(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) nodes[u] = u;
+  std::vector<bool> select(g.num_nodes(), false);
+  std::fill(select.end() - k, select.end(), true);
+  double best = 0.0;
+  std::vector<NodeId> chosen;
+  do {
+    chosen.clear();
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (select[u]) chosen.push_back(u);
+    }
+    const double spread = ExactSpread(g, probs, chosen);
+    if (spread > best) {
+      best = spread;
+      if (best_out != nullptr) *best_out = chosen;
+    }
+  } while (std::next_permutation(select.begin(), select.end()));
+  return best;
+}
+
+TEST(TimApproximationTest, WithinGuaranteeOfBruteForceOptimum) {
+  // 11 nodes / 20 edges: 2^20 worlds x C(11,2) subsets is tractable.
+  Rng graph_rng(7);
+  Graph g = ErdosRenyiGraph(11, 20, graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.4f);
+  const int k = 2;
+  const double opt = BruteForceOptimalSpread(g, probs, k, nullptr);
+
+  TimOptions options;
+  options.theta.epsilon = 0.1;
+  options.theta.theta_min = 1 << 15;
+  options.theta.theta_cap = 1 << 18;
+  Rng rng(8);
+  TimResult tim = RunTim(g, probs, k, options, rng);
+  ASSERT_EQ(tim.seeds.size(), static_cast<std::size_t>(k));
+  const double tim_spread = ExactSpread(g, probs, tim.seeds);
+  // Guarantee: (1 - 1/e - eps) * OPT; greedy Max-Cover usually does much
+  // better on instances this small.
+  EXPECT_GE(tim_spread, (1.0 - 1.0 / 2.718281828 - 0.1) * opt - 1e-9);
+}
+
+TEST(TimApproximationTest, SingleSeedNearOptimal) {
+  Rng graph_rng(17);
+  for (int trial = 0; trial < 3; ++trial) {
+    Graph g = ErdosRenyiGraph(12, 18, graph_rng);
+    std::vector<float> probs(g.num_edges(), 0.5f);
+    const double opt = BruteForceOptimalSpread(g, probs, 1, nullptr);
+    TimOptions options;
+    options.theta.epsilon = 0.1;
+    options.theta.theta_min = 1 << 15;
+    Rng rng(18 + static_cast<std::uint64_t>(trial));
+    TimResult tim = RunTim(g, probs, 1, options, rng);
+    const double spread = ExactSpread(g, probs, tim.seeds);
+    // k = 1: Max-Cover is exact, so only estimation error remains.
+    EXPECT_GE(spread, 0.9 * opt);
+  }
+}
+
+TEST(KptTest, NeverWildlyExceedsTrueOptimum) {
+  Rng graph_rng(27);
+  Graph g = ErdosRenyiGraph(12, 20, graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.3f);
+  const double opt1 = BruteForceOptimalSpread(g, probs, 1, nullptr);
+  RrSampler sampler(g, probs);
+  KptEstimator kpt(&sampler, g.num_edges(), {.ell = 1.0, .max_samples = 1 << 16});
+  Rng rng(28);
+  const double est = kpt.Estimate(1, rng);
+  // KPT* is a w.h.p. *lower* bound on OPT; allow generous sampling slack on
+  // the upper side only.
+  EXPECT_LE(est, 1.6 * opt1);
+}
+
+// Claim 1: while Pi < B, greedy adds the node with the largest marginal
+// (all nodes contribute lambda equally to seed-regret).
+TEST(Claim1Test, GreedyAddsLargestMarginalWhileUnderBudget) {
+  // Isolated nodes with distinct CTPs: marginal revenue of u = delta(u).
+  const NodeId n = 6;
+  Graph g = Graph::FromEdges(n, {});
+  auto probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::Constant(g, 0.0));
+  std::vector<float> table = {0.30f, 0.10f, 0.50f, 0.20f, 0.60f, 0.40f};
+  auto ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::FromTable(n, 1, std::move(table)));
+  std::vector<Advertiser> ads(1);
+  ads[0].gamma = TopicDistribution::Uniform(1);
+  ads[0].budget = 1.5;
+  ads[0].cpe = 1.0;
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &g, probs.get(), ctps.get(), ads, 1, 0.0);
+  McMarginalOracle oracle(&inst, Rng(1), {.num_sims = 50});
+  GreedyAllocator greedy(&inst, &oracle);
+  GreedyResult r = greedy.Run();
+  // Descending-delta order until the budget is met: 0.6, 0.5, 0.4 -> 1.5.
+  ASSERT_GE(r.allocation.seeds[0].size(), 3u);
+  EXPECT_EQ(r.allocation.seeds[0][0], 4u);
+  EXPECT_EQ(r.allocation.seeds[0][1], 2u);
+  EXPECT_EQ(r.allocation.seeds[0][2], 5u);
+  // Exactly at budget now; any further node increases regret.
+  EXPECT_EQ(r.allocation.seeds[0].size(), 3u);
+}
+
+// Theorem 4 flavor: on instances where each node's value is a p-fraction of
+// the budget, final budget-regret <= (p/2)B.
+TEST(Theorem4Test, HalfMaxMarginalBoundAcrossBudgets) {
+  const NodeId n = 50;
+  Graph g = Graph::FromEdges(n, {});
+  auto probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::Constant(g, 0.0));
+  auto ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(n, 1, 1.0));
+  for (const double budget : {7.5, 10.25, 13.75}) {
+    std::vector<Advertiser> ads(1);
+    ads[0].gamma = TopicDistribution::Uniform(1);
+    ads[0].budget = budget;
+    ads[0].cpe = 1.0;
+    ProblemInstance inst = ProblemInstance::WithUniformAttention(
+        &g, probs.get(), ctps.get(), ads, 1, 0.0);
+    McMarginalOracle oracle(&inst, Rng(2), {.num_sims = 20});
+    GreedyAllocator greedy(&inst, &oracle);
+    GreedyResult r = greedy.Run();
+    // Each node is worth exactly 1 = p*B with p = 1/B; bound = 1/2.
+    const double revenue = static_cast<double>(r.allocation.seeds[0].size());
+    EXPECT_LE(std::fabs(budget - revenue), 0.5 + 1e-9) << "B=" << budget;
+  }
+}
+
+}  // namespace
+}  // namespace tirm

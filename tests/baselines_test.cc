@@ -1,0 +1,168 @@
+// Tests for the MYOPIC and MYOPIC+ baselines (alloc/myopic).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "alloc/myopic.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "topic/instance.h"
+
+namespace tirm {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  // 6 nodes, 3 ads with distinct CTP orderings.
+  void SetUp() override {
+    graph_ = PathGraph(6);
+    probs_ = std::make_unique<EdgeProbabilities>(
+        EdgeProbabilities::Constant(graph_, 0.1));
+    // Ad 0: high CTP everywhere; ad 1 medium; ad 2 low.
+    std::vector<float> table;
+    const float deltas[3] = {0.9f, 0.5f, 0.1f};
+    for (int ad = 0; ad < 3; ++ad) {
+      for (NodeId u = 0; u < 6; ++u) table.push_back(deltas[ad]);
+    }
+    ctps_ = std::make_unique<ClickProbabilities>(
+        ClickProbabilities::FromTable(6, 3, std::move(table)));
+    ads_.resize(3);
+    for (auto& a : ads_) {
+      a.gamma = TopicDistribution::Uniform(1);
+      a.budget = 2.0;
+      a.cpe = 1.0;
+    }
+  }
+
+  ProblemInstance MakeInstance(int kappa, double lambda = 0.0) {
+    return ProblemInstance::WithUniformAttention(
+        &graph_, probs_.get(), ctps_.get(), ads_, kappa, lambda);
+  }
+
+  Graph graph_;
+  std::unique_ptr<EdgeProbabilities> probs_;
+  std::unique_ptr<ClickProbabilities> ctps_;
+  std::vector<Advertiser> ads_;
+};
+
+// ------------------------------------------------------------------ MYOPIC
+
+TEST_F(BaselinesTest, MyopicKappa1AssignsTopAdToEveryone) {
+  ProblemInstance inst = MakeInstance(1);
+  Allocation a = MyopicAllocate(inst);
+  EXPECT_EQ(a.seeds[0].size(), 6u);  // ad 0 dominates with delta 0.9
+  EXPECT_TRUE(a.seeds[1].empty());
+  EXPECT_TRUE(a.seeds[2].empty());
+  EXPECT_TRUE(ValidateAllocation(inst, a).ok());
+}
+
+TEST_F(BaselinesTest, MyopicKappa2AssignsTopTwo) {
+  ProblemInstance inst = MakeInstance(2);
+  Allocation a = MyopicAllocate(inst);
+  EXPECT_EQ(a.seeds[0].size(), 6u);
+  EXPECT_EQ(a.seeds[1].size(), 6u);
+  EXPECT_TRUE(a.seeds[2].empty());
+  EXPECT_TRUE(ValidateAllocation(inst, a).ok());
+}
+
+TEST_F(BaselinesTest, MyopicKappaBeyondAdsTargetsAll) {
+  ProblemInstance inst = MakeInstance(5);
+  Allocation a = MyopicAllocate(inst);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(a.seeds[i].size(), 6u);
+}
+
+TEST_F(BaselinesTest, MyopicRanksByCpeTimesDelta) {
+  // Bump ad 2's CPE so that delta*cpe beats ad 1: 0.1*10 = 1 > 0.5*1.
+  ads_[2].cpe = 10.0;
+  ProblemInstance inst = MakeInstance(2);
+  Allocation a = MyopicAllocate(inst);
+  EXPECT_EQ(a.seeds[0].size(), 6u);  // 0.9 still wins
+  EXPECT_TRUE(a.seeds[1].empty());
+  EXPECT_EQ(a.seeds[2].size(), 6u);
+}
+
+// ---------------------------------------------------------------- MYOPIC+
+
+TEST_F(BaselinesTest, MyopicPlusStopsAtBudget) {
+  // Budget 2, cpe 1, delta(ad0) = 0.9 -> naive revenue hits 2.0 after 3
+  // seeds (0.9*3 = 2.7 >= 2 after the 3rd).
+  ProblemInstance inst = MakeInstance(3);
+  Allocation a = MyopicPlusAllocate(inst);
+  EXPECT_EQ(a.seeds[0].size(), 3u);
+  // Ad 1: 0.5 per seed -> 4 seeds reach 2.0.
+  EXPECT_EQ(a.seeds[1].size(), 4u);
+  // Ad 2: 0.1 per seed, only 6 users exist -> all 6, never reaches budget.
+  EXPECT_EQ(a.seeds[2].size(), 6u);
+  EXPECT_TRUE(ValidateAllocation(inst, a).ok());
+}
+
+TEST_F(BaselinesTest, MyopicPlusHonorsAttentionBounds) {
+  ProblemInstance inst = MakeInstance(1);
+  Allocation a = MyopicPlusAllocate(inst);
+  EXPECT_TRUE(ValidateAllocation(inst, a).ok());
+  // kappa=1: the 6 users split across ads without overlap.
+  auto counts = AssignmentCounts(a, 6);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_LE(counts[u], 1u);
+}
+
+TEST_F(BaselinesTest, MyopicPlusPrefersHighCtpUsers) {
+  // Give ad 0 user-specific CTPs: users 4,5 much higher.
+  std::vector<float> table;
+  for (int ad = 0; ad < 3; ++ad) {
+    for (NodeId u = 0; u < 6; ++u) {
+      float d = 0.1f;
+      if (ad == 0 && u >= 4) d = 0.9f;
+      table.push_back(d);
+    }
+  }
+  ctps_ = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::FromTable(6, 3, std::move(table)));
+  ads_[0].budget = 1.0;  // one high-CTP seed overshoots: 0.9 < 1 -> 2 seeds
+  ProblemInstance inst = MakeInstance(3);
+  Allocation a = MyopicPlusAllocate(inst);
+  ASSERT_GE(a.seeds[0].size(), 1u);
+  EXPECT_GE(a.seeds[0][0], 4u);  // best CTP user taken first
+}
+
+TEST_F(BaselinesTest, MyopicPlusTargetsFewerThanMyopic) {
+  ProblemInstance inst = MakeInstance(2);
+  Allocation myopic = MyopicAllocate(inst);
+  Allocation plus = MyopicPlusAllocate(inst);
+  EXPECT_LE(plus.TotalSeeds(), myopic.TotalSeeds());
+}
+
+TEST_F(BaselinesTest, BothDeterministic) {
+  ProblemInstance inst = MakeInstance(2);
+  Allocation a1 = MyopicAllocate(inst);
+  Allocation a2 = MyopicAllocate(inst);
+  EXPECT_EQ(a1.seeds, a2.seeds);
+  Allocation p1 = MyopicPlusAllocate(inst);
+  Allocation p2 = MyopicPlusAllocate(inst);
+  EXPECT_EQ(p1.seeds, p2.seeds);
+}
+
+TEST_F(BaselinesTest, LargerGraphStaysValid) {
+  Rng rng(1);
+  Graph g = RMatGraph(9, 2000, rng);
+  auto probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::WeightedCascade(g));
+  Rng ctp_rng(2);
+  auto ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::SampleUniform(g.num_nodes(), 4, 0.01, 0.03, ctp_rng));
+  std::vector<Advertiser> ads(4);
+  for (auto& a : ads) {
+    a.gamma = TopicDistribution::Uniform(1);
+    a.budget = 5.0;
+    a.cpe = 2.0;
+  }
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &g, probs.get(), ctps.get(), ads, 2, 0.0);
+  EXPECT_TRUE(ValidateAllocation(inst, MyopicAllocate(inst)).ok());
+  EXPECT_TRUE(ValidateAllocation(inst, MyopicPlusAllocate(inst)).ok());
+}
+
+}  // namespace
+}  // namespace tirm

@@ -1,0 +1,320 @@
+// Unit tests for src/common: Status/Result, Rng, stats, flags, tables,
+// memory probes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/memory_info.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace tirm {
+namespace {
+
+// ----------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = r.MoveValue();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUInt64(), b.NextUInt64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUInt64() == b.NextUInt64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.NextDouble());
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, UniformBelowInRangeAndCoversAll) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.UniformBelow(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(23);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.Exponential(30.0));
+  EXPECT_NEAR(stat.mean(), 1.0 / 30.0, 0.0005);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.Exponential(2.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(37);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkStreamsAreDecorrelated) {
+  Rng base(41);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUInt64() == b.NextUInt64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng x(43);
+  Rng y(43);
+  Rng fx = x.Fork(9);
+  Rng fy = y.Fork(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fx.NextUInt64(), fy.NextUInt64());
+}
+
+// ------------------------------------------------------------------ Stats
+
+TEST(RunningStatTest, EmptyStat) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSequence) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, Ci95ShrinksWithSamples) {
+  Rng rng(47);
+  RunningStat small;
+  RunningStat large;
+  for (int i = 0; i < 100; ++i) small.Add(rng.NextDouble());
+  for (int i = 0; i < 10000; ++i) large.Add(rng.NextDouble());
+  EXPECT_LT(large.ci95_halfwidth(), small.ci95_halfwidth());
+}
+
+TEST(QuantileTest, MedianOfOddList) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 9.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+// ------------------------------------------------------------------ Flags
+
+TEST(FlagsTest, ParsesKeyValue) {
+  const char* argv[] = {"prog", "--scale=0.5", "--name=abc", "--verbose"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags;
+  EXPECT_EQ(flags.GetInt("missing", 17), 17);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 2.5), 2.5);
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagsTest, RejectsMalformed) {
+  const char* argv[] = {"prog", "scale=0.5"};
+  Flags flags;
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, EnvFallback) {
+  ::setenv("TIRM_TEST_FALLBACK_KNOB", "99", 1);
+  Flags flags;
+  EXPECT_EQ(flags.GetInt("test_fallback_knob", 1), 99);
+  ::unsetenv("TIRM_TEST_FALLBACK_KNOB");
+}
+
+TEST(FlagsTest, CommandLineBeatsEnv) {
+  ::setenv("TIRM_PRIO", "1", 1);
+  const char* argv[] = {"prog", "--prio=2"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("prio", 0), 2);
+  ::unsetenv("TIRM_PRIO");
+}
+
+TEST(FlagsTest, EnvNameMapping) {
+  EXPECT_EQ(Flags::EnvName("eval-sims"), "TIRM_EVAL_SIMS");
+  EXPECT_EQ(Flags::EnvName("scale"), "TIRM_SCALE");
+}
+
+// ----------------------------------------------------------------- Tables
+
+TEST(TablePrinterTest, AlignedTextAndCsv) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", TablePrinter::Num(1.5, 1)});
+  t.AddRow({"b", TablePrinter::Int(42)});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("b,42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("x,,"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Memory
+
+TEST(MemoryInfoTest, RssIsPositiveOnLinux) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+}
+
+TEST(MemoryInfoTest, HumanBytesFormatting) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+// ------------------------------------------------------------------ Timer
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.Seconds(), 0.0);
+  EXPECT_GT(sink, 0.0);
+  const double before = t.Seconds();
+  t.Reset();
+  EXPECT_LE(t.Seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace tirm

@@ -1,0 +1,158 @@
+// Tests for the dataset harness (src/datasets): shapes, probability
+// models, advertiser generation, Fig. 1 instance.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/dataset.h"
+#include "graph/graph_stats.h"
+
+namespace tirm {
+namespace {
+
+TEST(DatasetTest, FlixsterLikeShape) {
+  Rng rng(1);
+  BuiltInstance b = BuildDataset(FlixsterLike(0.02), rng);
+  // Scale 0.02 of 30K nodes -> ~600 (rounded to power of two by R-MAT).
+  EXPECT_GE(b.graph->num_nodes(), 512u);
+  EXPECT_LE(b.graph->num_nodes(), 2048u);
+  EXPECT_GT(b.graph->num_edges(), 5000u);
+  EXPECT_EQ(static_cast<int>(b.advertisers.size()), 10);
+  EXPECT_EQ(b.edge_probs->num_topics(), 10);
+  EXPECT_EQ(b.edge_probs->mode(), EdgeProbabilities::Mode::kPerTopic);
+}
+
+TEST(DatasetTest, FlixsterBudgetsAndCpesScaledFromTable2) {
+  Rng rng(2);
+  const double scale = 0.1;
+  BuiltInstance b = BuildDataset(FlixsterLike(scale), rng);
+  for (const auto& a : b.advertisers) {
+    EXPECT_GE(a.budget, 200.0 * scale - 1e-9);
+    EXPECT_LE(a.budget, 600.0 * scale + 1e-9);
+    EXPECT_GE(a.cpe, 5.0);
+    EXPECT_LE(a.cpe, 6.0 + 1e-9);
+  }
+}
+
+TEST(DatasetTest, FlixsterTopicDistributionsConcentrated) {
+  Rng rng(3);
+  BuiltInstance b = BuildDataset(FlixsterLike(0.02), rng);
+  for (std::size_t i = 0; i < b.advertisers.size(); ++i) {
+    const auto& gamma = b.advertisers[i].gamma;
+    EXPECT_NEAR(gamma.Mass(static_cast<TopicId>(i % 10)), 0.91, 1e-9);
+  }
+}
+
+TEST(DatasetTest, FlixsterCtpsInRange) {
+  Rng rng(4);
+  BuiltInstance b = BuildDataset(FlixsterLike(0.02), rng);
+  for (NodeId u = 0; u < b.graph->num_nodes(); u += 7) {
+    for (AdId i = 0; i < 10; ++i) {
+      const float d = b.ctps->Delta(u, i);
+      EXPECT_GE(d, 0.01f);
+      EXPECT_LE(d, 0.03f);
+    }
+  }
+}
+
+TEST(DatasetTest, EpinionsLikeUsesExponentialRecipe) {
+  Rng rng(5);
+  BuiltInstance b = BuildDataset(EpinionsLike(0.02), rng);
+  EXPECT_EQ(b.edge_probs->mode(), EdgeProbabilities::Mode::kPerTopic);
+  // Mean probability ~ 1/30.
+  double sum = 0.0;
+  std::size_t cnt = 0;
+  for (EdgeId e = 0; e < b.graph->num_edges(); e += 3) {
+    sum += b.edge_probs->Prob(e, 0);
+    ++cnt;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(cnt), 1.0 / 30.0, 0.01);
+}
+
+TEST(DatasetTest, DblpLikeIsSymmetricWeightedCascade) {
+  Rng rng(6);
+  BuiltInstance b = BuildDataset(DblpLike(0.003), rng);
+  EXPECT_EQ(b.edge_probs->mode(), EdgeProbabilities::Mode::kShared);
+  // CPE = CTP = 1 per the scalability setup.
+  EXPECT_FLOAT_EQ(b.ctps->Delta(0, 0), 1.0f);
+  EXPECT_DOUBLE_EQ(b.advertisers[0].cpe, 1.0);
+  // WC: probability of an edge = 1/indeg(target).
+  for (EdgeId e = 0; e < b.graph->num_edges(); e += 11) {
+    const NodeId tgt = b.graph->edge_target(e);
+    EXPECT_FLOAT_EQ(b.edge_probs->Prob(e, 0),
+                    1.0f / static_cast<float>(b.graph->InDegree(tgt)));
+  }
+}
+
+TEST(DatasetTest, LiveJournalLikeBuildsAtTinyScale) {
+  Rng rng(7);
+  BuiltInstance b = BuildDataset(LiveJournalLike(0.0005), rng);
+  EXPECT_GT(b.graph->num_nodes(), 1000u);
+  EXPECT_GT(b.graph->num_edges(), 10000u);
+  EXPECT_EQ(b.edge_probs->mode(), EdgeProbabilities::Mode::kShared);
+}
+
+TEST(DatasetTest, NumAdsOverride) {
+  Rng rng(8);
+  BuiltInstance b = BuildDataset(DblpLike(0.003), rng, /*num_ads_override=*/7);
+  EXPECT_EQ(static_cast<int>(b.advertisers.size()), 7);
+  EXPECT_EQ(b.ctps->num_ads(), 7);
+}
+
+TEST(DatasetTest, BudgetOverride) {
+  Rng rng(9);
+  BuiltInstance b =
+      BuildDataset(DblpLike(0.003), rng, /*num_ads_override=*/2,
+                   /*budget_override=*/123.0);
+  for (const auto& a : b.advertisers) EXPECT_DOUBLE_EQ(a.budget, 123.0);
+}
+
+TEST(DatasetTest, MakeInstanceValidates) {
+  Rng rng(10);
+  BuiltInstance b = BuildDataset(EpinionsLike(0.01), rng);
+  ProblemInstance inst = b.MakeInstance(3, 0.5);
+  EXPECT_TRUE(inst.Validate().ok()) << inst.Validate().ToString();
+  EXPECT_EQ(inst.AttentionBound(0), 3);
+  EXPECT_DOUBLE_EQ(inst.lambda(), 0.5);
+}
+
+TEST(DatasetTest, DeterministicUnderSeed) {
+  Rng a(11);
+  Rng b(11);
+  BuiltInstance x = BuildDataset(FlixsterLike(0.01), a);
+  BuiltInstance y = BuildDataset(FlixsterLike(0.01), b);
+  EXPECT_EQ(x.graph->num_edges(), y.graph->num_edges());
+  EXPECT_DOUBLE_EQ(x.advertisers[0].budget, y.advertisers[0].budget);
+  EXPECT_FLOAT_EQ(x.ctps->Delta(5, 2), y.ctps->Delta(5, 2));
+}
+
+TEST(DatasetTest, HeavyTailedDegrees) {
+  Rng rng(12);
+  BuiltInstance b = BuildDataset(EpinionsLike(0.02), rng);
+  GraphStats stats = ComputeGraphStats(*b.graph);
+  EXPECT_GT(static_cast<double>(stats.max_out_degree),
+            8.0 * stats.avg_out_degree);
+}
+
+TEST(DatasetTest, Figure1InstanceMatchesPaper) {
+  BuiltInstance b = BuildFigure1Instance();
+  EXPECT_EQ(b.graph->num_nodes(), 6u);
+  EXPECT_EQ(b.graph->num_edges(), 6u);
+  ASSERT_EQ(b.advertisers.size(), 4u);
+  EXPECT_DOUBLE_EQ(b.advertisers[0].budget, 4.0);
+  EXPECT_DOUBLE_EQ(b.advertisers[3].budget, 1.0);
+  ProblemInstance inst = b.MakeInstance(1, 0.0);
+  EXPECT_TRUE(inst.Validate().ok());
+  // Edge v1->v3 carries probability 0.2.
+  const auto& probs = inst.EdgeProbsForAd(0);
+  for (EdgeId e = 0; e < b.graph->num_edges(); ++e) {
+    if (b.graph->edge_source(e) == 0 && b.graph->edge_target(e) == 2) {
+      EXPECT_FLOAT_EQ(probs[e], 0.2f);
+    }
+    if (b.graph->edge_source(e) == 2) EXPECT_FLOAT_EQ(probs[e], 0.5f);
+    if (b.graph->edge_target(e) == 5) EXPECT_FLOAT_EQ(probs[e], 0.1f);
+  }
+}
+
+}  // namespace
+}  // namespace tirm

@@ -1,0 +1,252 @@
+// Tests for the substrate extensions: weakly-connected components,
+// instance-bundle serialization, and heterogeneous per-user attention
+// bounds flowing through every algorithm.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "alloc/allocation.h"
+#include "alloc/myopic.h"
+#include "alloc/tirm.h"
+#include "common/rng.h"
+#include "datasets/dataset.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "topic/instance_io.h"
+
+namespace tirm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// --------------------------------------------------------------- components
+
+TEST(ComponentsTest, SingleComponentOnCycle) {
+  ComponentInfo info = WeaklyConnectedComponents(CycleGraph(8));
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_EQ(info.largest_size, 8u);
+  EXPECT_DOUBLE_EQ(info.largest_fraction, 1.0);
+}
+
+TEST(ComponentsTest, DisconnectedPieces) {
+  // Two paths: 0->1->2 and 3->4, plus isolated node 5.
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}});
+  ComponentInfo info = WeaklyConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 3u);
+  EXPECT_EQ(info.largest_size, 3u);
+  EXPECT_EQ(info.component[0], info.component[2]);
+  EXPECT_EQ(info.component[3], info.component[4]);
+  EXPECT_NE(info.component[0], info.component[3]);
+  EXPECT_NE(info.component[5], info.component[0]);
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  // Arcs 0->1 and 2->1: weakly one component despite no directed path 0~2.
+  Graph g = Graph::FromEdges(3, {{0, 1}, {2, 1}});
+  ComponentInfo info = WeaklyConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 1u);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  ComponentInfo info = WeaklyConnectedComponents(Graph());
+  EXPECT_EQ(info.num_components, 0u);
+  EXPECT_EQ(info.largest_size, 0u);
+}
+
+TEST(ComponentsTest, RMatHasDominantComponent) {
+  Rng rng(3);
+  Graph g = RMatGraph(10, 8000, rng);
+  ComponentInfo info = WeaklyConnectedComponents(g);
+  // Social-graph stand-ins should be dominated by one giant component
+  // among non-isolated nodes.
+  EXPECT_GT(info.largest_fraction, 0.5);
+}
+
+TEST(ComponentsTest, ForwardReachability) {
+  Graph g = PathGraph(5);
+  EXPECT_EQ(CountForwardReachable(g, 0), 5u);
+  EXPECT_EQ(CountForwardReachable(g, 3), 2u);
+  EXPECT_EQ(CountForwardReachable(g, 4), 1u);
+}
+
+// ------------------------------------------------------------- instance IO
+
+class InstanceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(11);
+    built_ = BuildDataset(FlixsterLike(0.005), rng);
+  }
+  BuiltInstance built_;
+};
+
+TEST_F(InstanceIoTest, RoundTripPerTopic) {
+  const std::string path = TempPath("bundle_pertopic.bin");
+  ASSERT_TRUE(SaveInstanceBundle(*built_.graph, *built_.edge_probs,
+                                 *built_.ctps, built_.advertisers, path)
+                  .ok());
+  auto loaded = LoadInstanceBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const InstanceBundle& b = *loaded;
+  EXPECT_EQ(b.graph->num_nodes(), built_.graph->num_nodes());
+  EXPECT_EQ(b.graph->num_edges(), built_.graph->num_edges());
+  EXPECT_EQ(b.edge_probs->num_topics(), built_.edge_probs->num_topics());
+  EXPECT_EQ(b.edge_probs->mode(), EdgeProbabilities::Mode::kPerTopic);
+  // Byte-identical probabilities and CTPs.
+  for (EdgeId e = 0; e < b.graph->num_edges(); e += 17) {
+    for (TopicId z = 0; z < b.edge_probs->num_topics(); ++z) {
+      EXPECT_FLOAT_EQ(b.edge_probs->Prob(e, z), built_.edge_probs->Prob(e, z));
+    }
+  }
+  for (NodeId u = 0; u < b.graph->num_nodes(); u += 13) {
+    for (AdId i = 0; i < static_cast<AdId>(b.advertisers.size()); ++i) {
+      EXPECT_FLOAT_EQ(b.ctps->Delta(u, i), built_.ctps->Delta(u, i));
+    }
+  }
+  ASSERT_EQ(b.advertisers.size(), built_.advertisers.size());
+  for (std::size_t i = 0; i < b.advertisers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.advertisers[i].budget, built_.advertisers[i].budget);
+    EXPECT_DOUBLE_EQ(b.advertisers[i].cpe, built_.advertisers[i].cpe);
+    EXPECT_NEAR(b.advertisers[i].gamma.L1Distance(built_.advertisers[i].gamma),
+                0.0, 1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(InstanceIoTest, RoundTripShared) {
+  Rng rng(12);
+  BuiltInstance wc = BuildDataset(DblpLike(0.002), rng);
+  const std::string path = TempPath("bundle_shared.bin");
+  ASSERT_TRUE(SaveInstanceBundle(*wc.graph, *wc.edge_probs, *wc.ctps,
+                                 wc.advertisers, path)
+                  .ok());
+  auto loaded = LoadInstanceBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->edge_probs->mode(), EdgeProbabilities::Mode::kShared);
+  for (EdgeId e = 0; e < loaded->graph->num_edges(); e += 23) {
+    EXPECT_FLOAT_EQ(loaded->edge_probs->Prob(e, 0), wc.edge_probs->Prob(e, 0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(InstanceIoTest, LoadedInstanceValidatesAndRuns) {
+  const std::string path = TempPath("bundle_runs.bin");
+  ASSERT_TRUE(SaveInstanceBundle(*built_.graph, *built_.edge_probs,
+                                 *built_.ctps, built_.advertisers, path)
+                  .ok());
+  auto loaded = LoadInstanceBundle(path);
+  ASSERT_TRUE(loaded.ok());
+  ProblemInstance inst = loaded->MakeInstance(1, 0.0);
+  ASSERT_TRUE(inst.Validate().ok()) << inst.Validate().ToString();
+  TirmOptions o;
+  o.theta.epsilon = 0.3;
+  o.theta.theta_cap = 1 << 15;
+  Rng rng(13);
+  TirmResult r = RunTirm(inst, o, rng);
+  EXPECT_TRUE(ValidateAllocation(inst, r.allocation).ok());
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIoErrorsTest, MissingFile) {
+  auto loaded = LoadInstanceBundle("/nonexistent/bundle.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(InstanceIoErrorsTest, GarbageFile) {
+  const std::string path = TempPath("garbage_bundle.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  auto loaded = LoadInstanceBundle(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------- heterogeneous attention bounds
+
+class HeterogeneousKappaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = StarGraph(10);
+    probs_ = std::make_unique<EdgeProbabilities>(
+        EdgeProbabilities::Constant(graph_, 0.3));
+    ctps_ = std::make_unique<ClickProbabilities>(
+        ClickProbabilities::Constant(10, 3, 1.0));
+    ads_.resize(3);
+    for (auto& a : ads_) {
+      a.gamma = TopicDistribution::Uniform(1);
+      a.budget = 4.0;
+      a.cpe = 1.0;
+    }
+    // Hub allows 3 promoted ads; leaves allow only 1.
+    bounds_.assign(10, 1);
+    bounds_[0] = 3;
+  }
+
+  ProblemInstance MakeInstance(double lambda = 0.0) {
+    return ProblemInstance(&graph_, probs_.get(), ctps_.get(), ads_, bounds_,
+                           lambda);
+  }
+
+  Graph graph_;
+  std::unique_ptr<EdgeProbabilities> probs_;
+  std::unique_ptr<ClickProbabilities> ctps_;
+  std::vector<Advertiser> ads_;
+  std::vector<std::uint16_t> bounds_;
+};
+
+TEST_F(HeterogeneousKappaTest, InstanceExposesPerUserBounds) {
+  ProblemInstance inst = MakeInstance();
+  ASSERT_TRUE(inst.Validate().ok());
+  EXPECT_EQ(inst.AttentionBound(0), 3);
+  EXPECT_EQ(inst.AttentionBound(5), 1);
+}
+
+TEST_F(HeterogeneousKappaTest, ValidatorEnforcesPerUserBounds) {
+  ProblemInstance inst = MakeInstance();
+  Allocation a = Allocation::Empty(3);
+  a.seeds[0] = {0, 1};
+  a.seeds[1] = {0};
+  a.seeds[2] = {0};
+  EXPECT_TRUE(ValidateAllocation(inst, a).ok());  // hub used 3x: allowed
+  a.seeds[0].push_back(2);
+  a.seeds[1].push_back(2);  // leaf 2 used twice: violation
+  EXPECT_FALSE(ValidateAllocation(inst, a).ok());
+}
+
+TEST_F(HeterogeneousKappaTest, MyopicRespectsPerUserBounds) {
+  ProblemInstance inst = MakeInstance();
+  Allocation a = MyopicAllocate(inst);
+  EXPECT_TRUE(ValidateAllocation(inst, a).ok());
+  // Hub gets all 3 ads, leaves exactly one.
+  auto counts = AssignmentCounts(a, 10);
+  EXPECT_EQ(counts[0], 3u);
+  for (NodeId u = 1; u < 10; ++u) EXPECT_EQ(counts[u], 1u);
+}
+
+TEST_F(HeterogeneousKappaTest, TirmSharesTheHubAcrossAds) {
+  ProblemInstance inst = MakeInstance();
+  TirmOptions o;
+  o.theta.epsilon = 0.2;
+  o.theta.theta_min = 8192;
+  o.theta.theta_cap = 1 << 16;
+  Rng rng(21);
+  TirmResult r = RunTirm(inst, o, rng);
+  EXPECT_TRUE(ValidateAllocation(inst, r.allocation).ok());
+  // sigma({hub}) = 1 + 9*0.3 = 3.7 ~ budget 4: the hub is the best seed for
+  // every ad and its bound of 3 lets all of them take it.
+  int hub_uses = 0;
+  for (const auto& seeds : r.allocation.seeds) {
+    for (const NodeId v : seeds) hub_uses += (v == 0);
+  }
+  EXPECT_EQ(hub_uses, 3);
+}
+
+}  // namespace
+}  // namespace tirm

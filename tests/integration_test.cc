@@ -1,0 +1,180 @@
+// End-to-end integration tests: full pipeline (dataset -> algorithms ->
+// MC evaluation) on miniature instances, cross-algorithm comparisons that
+// mirror the paper's §6 claims at toy scale, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "alloc/allocation.h"
+#include "alloc/greedy.h"
+#include "alloc/irie.h"
+#include "alloc/myopic.h"
+#include "alloc/regret_evaluator.h"
+#include "alloc/tirm.h"
+#include "common/rng.h"
+#include "datasets/dataset.h"
+
+namespace tirm {
+namespace {
+
+TirmOptions FastTirm() {
+  TirmOptions o;
+  o.theta.epsilon = 0.3;
+  o.theta.theta_min = 4096;
+  o.theta.theta_cap = 1 << 16;
+  o.kpt_max_samples = 1 << 13;
+  return o;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(42);
+    built_ = BuildDataset(FlixsterLike(0.01), rng);  // ~1K nodes
+  }
+
+  std::map<std::string, RegretReport> RunAll(int kappa, double lambda,
+                                             std::size_t eval_sims = 2000) {
+    ProblemInstance inst = built_.MakeInstance(kappa, lambda);
+    std::map<std::string, Allocation> allocations;
+    allocations["myopic"] = MyopicAllocate(inst);
+    allocations["myopic+"] = MyopicPlusAllocate(inst);
+    {
+      IrieOracle oracle(&inst, {.alpha = 0.8});
+      GreedyAllocator greedy(&inst, &oracle);
+      allocations["greedy-irie"] = greedy.Run().allocation;
+    }
+    {
+      Rng rng(7);
+      allocations["tirm"] = RunTirm(inst, FastTirm(), rng).allocation;
+    }
+    std::map<std::string, RegretReport> reports;
+    RegretEvaluator ev(&inst, {.num_sims = eval_sims});
+    for (auto& [name, alloc] : allocations) {
+      EXPECT_TRUE(ValidateAllocation(inst, alloc).ok()) << name;
+      Rng rng(1000);
+      reports[name] = ev.Evaluate(alloc, rng);
+    }
+    return reports;
+  }
+
+  BuiltInstance built_;
+};
+
+TEST_F(PipelineTest, AllAlgorithmsProduceValidAllocations) {
+  auto reports = RunAll(/*kappa=*/1, /*lambda=*/0.0);
+  EXPECT_EQ(reports.size(), 4u);
+  for (const auto& [name, r] : reports) {
+    EXPECT_GT(r.total_budget, 0.0) << name;
+  }
+}
+
+// The paper's headline quality claim (Fig. 3): TIRM's total regret is far
+// below MYOPIC's and MYOPIC+'s, which overshoot by ignoring virality.
+TEST_F(PipelineTest, TirmBeatsMyopicBaselines) {
+  auto reports = RunAll(1, 0.0);
+  const double tirm = reports["tirm"].total_regret;
+  EXPECT_LT(tirm, reports["myopic"].total_regret * 0.6);
+  EXPECT_LT(tirm, reports["myopic+"].total_regret * 0.6);
+}
+
+// MYOPIC targets every user; MYOPIC+ fewer; TIRM far fewer (Table 3).
+TEST_F(PipelineTest, TargetedUserOrdering) {
+  auto reports = RunAll(1, 0.0);
+  const auto n = built_.graph->num_nodes();
+  EXPECT_EQ(reports["myopic"].distinct_targeted, n);
+  EXPECT_LE(reports["myopic+"].distinct_targeted,
+            reports["myopic"].distinct_targeted);
+  EXPECT_LT(reports["tirm"].distinct_targeted,
+            reports["myopic+"].distinct_targeted);
+}
+
+// Myopic baselines overshoot every budget (they ignore virality).
+TEST_F(PipelineTest, MyopicOvershootsBudgets) {
+  auto reports = RunAll(2, 0.0);
+  const RegretReport& myopic = reports["myopic"];
+  int overshoots = 0;
+  for (const auto& ad : myopic.ads) {
+    if (ad.revenue > ad.budget) ++overshoots;
+  }
+  EXPECT_GE(overshoots, static_cast<int>(myopic.ads.size()) - 2);
+}
+
+TEST_F(PipelineTest, LambdaIncreasesTotalRegret) {
+  auto r0 = RunAll(1, 0.0, 1000);
+  auto r5 = RunAll(1, 0.5, 1000);
+  for (const char* name : {"tirm", "greedy-irie"}) {
+    EXPECT_GE(r5[name].total_regret + 1e-6, r0[name].total_regret) << name;
+  }
+}
+
+TEST_F(PipelineTest, DeterministicEndToEnd) {
+  ProblemInstance inst = built_.MakeInstance(1, 0.0);
+  Rng a(9);
+  Rng b(9);
+  TirmResult ra = RunTirm(inst, FastTirm(), a);
+  TirmResult rb = RunTirm(inst, FastTirm(), b);
+  EXPECT_EQ(ra.allocation.seeds, rb.allocation.seeds);
+}
+
+// Epinions-like pipeline smoke test at tiny scale.
+TEST(EpinionsPipelineTest, TirmOutperformsBaselines) {
+  Rng rng(77);
+  BuiltInstance built = BuildDataset(EpinionsLike(0.01), rng);
+  ProblemInstance inst = built.MakeInstance(1, 0.0);
+  Rng trng(78);
+  TirmResult tirm = RunTirm(inst, FastTirm(), trng);
+  Allocation myopic = MyopicAllocate(inst);
+  RegretEvaluator ev(&inst, {.num_sims = 2000});
+  Rng e1(79);
+  Rng e2(79);
+  const double tirm_regret = ev.Evaluate(tirm.allocation, e1).total_regret;
+  const double myopic_regret = ev.Evaluate(myopic, e2).total_regret;
+  EXPECT_LT(tirm_regret, myopic_regret);
+}
+
+// Scalability-shaped instance (weighted cascade, CPE=CTP=1, kappa=1):
+// mirrors §6.2's setup where all ads compete for the same influencers.
+TEST(ScalabilityShapeTest, TirmHandlesCompetingAds) {
+  Rng rng(88);
+  BuiltInstance built =
+      BuildDataset(DblpLike(0.002), rng, /*num_ads_override=*/4,
+                   /*budget_override=*/25.0);
+  ProblemInstance inst = built.MakeInstance(1, 0.0);
+  Rng trng(89);
+  TirmResult r = RunTirm(inst, FastTirm(), trng);
+  EXPECT_TRUE(ValidateAllocation(inst, r.allocation).ok());
+  RegretEvaluator ev(&inst, {.num_sims = 2000});
+  Rng erng(90);
+  RegretReport report = ev.Evaluate(r.allocation, erng);
+  // All 4 ads should get substantial revenue (budget 25 each, total 100).
+  EXPECT_LT(report.total_regret, 60.0);
+  for (const auto& ad : report.ads) EXPECT_GT(ad.revenue, 5.0);
+}
+
+// Boosted-budget extension (§3 Discussion): with beta > 0, the host tunes
+// revenue toward (1+beta)·B, so realized revenue should rise.
+TEST(BoostedBudgetTest, BetaRaisesRevenue) {
+  Rng rng(99);
+  BuiltInstance built =
+      BuildDataset(DblpLike(0.002), rng, /*num_ads_override=*/2,
+                   /*budget_override=*/20.0);
+  ProblemInstance plain = built.MakeInstance(1, 0.0, /*beta=*/0.0);
+  ProblemInstance boosted = built.MakeInstance(1, 0.0, /*beta=*/0.5);
+  Rng a(100);
+  Rng b(100);
+  TirmResult rp = RunTirm(plain, FastTirm(), a);
+  TirmResult rb = RunTirm(boosted, FastTirm(), b);
+  RegretEvaluator evp(&plain, {.num_sims = 2000});
+  RegretEvaluator evb(&boosted, {.num_sims = 2000});
+  Rng e1(101);
+  Rng e2(101);
+  const double rev_plain = evp.Evaluate(rp.allocation, e1).total_revenue;
+  const double rev_boost = evb.Evaluate(rb.allocation, e2).total_revenue;
+  EXPECT_GT(rev_boost, rev_plain);
+}
+
+}  // namespace
+}  // namespace tirm

@@ -1,0 +1,381 @@
+// Property-based / parameterized suites validating the paper's structural
+// claims across graph families and parameter sweeps:
+//   * Proposition 1: n·E[F_R(S)] is an unbiased estimator of sigma_ic(S);
+//   * Lemma 1: delta-scaling of marginals (singleton case, exact);
+//   * monotonicity and submodularity of sampled spreads;
+//   * Theorem 1's reduction gadget: zero-regret instances exist and greedy
+//     achieves low regret on them (Theorem 3/4 style bounds);
+//   * RegretDrop algebra invariants.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "alloc/greedy.h"
+#include "alloc/regret.h"
+#include "alloc/regret_evaluator.h"
+#include "alloc/tirm.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "diffusion/exact_spread.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/generators.h"
+#include "rrset/rr_sampler.h"
+#include "topic/instance.h"
+
+namespace tirm {
+namespace {
+
+enum class GraphFamily { kErdosRenyi, kRMat, kStar, kPath, kBarabasiAlbert };
+
+std::string FamilyName(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kErdosRenyi: return "ErdosRenyi";
+    case GraphFamily::kRMat: return "RMat";
+    case GraphFamily::kStar: return "Star";
+    case GraphFamily::kPath: return "Path";
+    case GraphFamily::kBarabasiAlbert: return "BarabasiAlbert";
+  }
+  return "?";
+}
+
+Graph MakeFamilyGraph(GraphFamily f, Rng& rng) {
+  switch (f) {
+    case GraphFamily::kErdosRenyi: return ErdosRenyiGraph(60, 240, rng);
+    case GraphFamily::kRMat: return RMatGraph(6, 200, rng);  // 64 nodes
+    case GraphFamily::kStar: return StarGraph(40);
+    case GraphFamily::kPath: return PathGraph(30);
+    case GraphFamily::kBarabasiAlbert: return BarabasiAlbertGraph(60, 2, rng);
+  }
+  return Graph();
+}
+
+// ------------------------------------------------ estimator unbiasedness
+
+class UnbiasednessTest
+    : public ::testing::TestWithParam<std::tuple<GraphFamily, double>> {};
+
+TEST_P(UnbiasednessTest, RrEstimateMatchesMonteCarlo) {
+  const auto [family, p] = GetParam();
+  Rng graph_rng(1234);
+  Graph g = MakeFamilyGraph(family, graph_rng);
+  std::vector<float> probs(g.num_edges(), static_cast<float>(p));
+
+  // Seed set: 3 nodes spread over the id range.
+  std::vector<NodeId> seeds = {0, static_cast<NodeId>(g.num_nodes() / 2),
+                               static_cast<NodeId>(g.num_nodes() - 1)};
+
+  // RR estimate: n * fraction of sets hit by seeds.
+  RrSampler sampler(g, probs);
+  Rng rr_rng(99);
+  std::vector<NodeId> set;
+  const int num_sets = 40000;
+  int hit = 0;
+  for (int i = 0; i < num_sets; ++i) {
+    sampler.SampleInto(rr_rng, set);
+    for (const NodeId v : set) {
+      if (v == seeds[0] || v == seeds[1] || v == seeds[2]) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  const double rr_estimate =
+      static_cast<double>(g.num_nodes()) * hit / num_sets;
+
+  SpreadSimulator sim(g, probs);
+  Rng mc_rng(77);
+  const RunningStat mc = sim.EstimateSpread(seeds, 30000, mc_rng);
+
+  EXPECT_NEAR(rr_estimate, mc.mean(),
+              0.06 * mc.mean() + 4 * mc.ci95_halfwidth() + 0.1)
+      << FamilyName(family) << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, UnbiasednessTest,
+    ::testing::Combine(::testing::Values(GraphFamily::kErdosRenyi,
+                                         GraphFamily::kRMat, GraphFamily::kStar,
+                                         GraphFamily::kPath,
+                                         GraphFamily::kBarabasiAlbert),
+                       ::testing::Values(0.05, 0.2, 0.5)),
+    [](const auto& info) {
+      return FamilyName(std::get<0>(info.param)) + std::string("_p") +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// ------------------------------------------ monotonicity & submodularity
+
+class SpreadShapeTest : public ::testing::TestWithParam<GraphFamily> {};
+
+TEST_P(SpreadShapeTest, SpreadIsMonotone) {
+  Rng graph_rng(555);
+  Graph g = MakeFamilyGraph(GetParam(), graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.15f);
+  SpreadSimulator sim(g, probs);
+  Rng rng(556);
+  std::vector<NodeId> s;
+  double prev = 0.0;
+  for (NodeId u = 0; u < 6 && u < g.num_nodes(); ++u) {
+    s.push_back(u);
+    const double cur = sim.EstimateSpread(s, 20000, rng).mean();
+    EXPECT_GE(cur + 0.08, prev) << FamilyName(GetParam()) << " |S|=" << s.size();
+    prev = cur;
+  }
+}
+
+TEST_P(SpreadShapeTest, MarginalGainsDiminish) {
+  // sigma(S+x) - sigma(S) >= sigma(T+x) - sigma(T) for S subset T.
+  Rng graph_rng(777);
+  Graph g = MakeFamilyGraph(GetParam(), graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.2f);
+  SpreadSimulator sim(g, probs);
+  Rng rng(778);
+  const NodeId x = static_cast<NodeId>(g.num_nodes() - 1);
+  std::vector<NodeId> small = {0};
+  std::vector<NodeId> large = {0, 1, 2, 3};
+  auto marginal = [&](std::vector<NodeId> base) {
+    const double without = sim.EstimateSpread(base, 40000, rng).mean();
+    base.push_back(x);
+    const double with = sim.EstimateSpread(base, 40000, rng).mean();
+    return with - without;
+  };
+  const double mg_small = marginal(small);
+  const double mg_large = marginal(large);
+  EXPECT_GE(mg_small + 0.15, mg_large) << FamilyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SpreadShapeTest,
+                         ::testing::Values(GraphFamily::kErdosRenyi,
+                                           GraphFamily::kRMat,
+                                           GraphFamily::kStar,
+                                           GraphFamily::kPath,
+                                           GraphFamily::kBarabasiAlbert),
+                         [](const auto& info) { return FamilyName(info.param); });
+
+// -------------------------------------------------- Lemma 1 delta-scaling
+
+TEST(Lemma1Test, SingletonMarginalScalesByDelta) {
+  // sigma_i({u}) = delta(u) * sigma_ic({u}) exactly. (Edge count stays
+  // within the exact enumerator's 24-bit budget.)
+  Rng graph_rng(31);
+  Graph g = ErdosRenyiGraph(14, 22, graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.3f);
+  for (NodeId u = 0; u < 5; ++u) {
+    std::vector<NodeId> s = {u};
+    const double plain = ExactSpread(g, probs, s);
+    for (double delta : {0.1, 0.5, 0.9}) {
+      const double ctp =
+          ExactSpreadWithCtp(g, probs, s, [delta](NodeId) { return delta; });
+      EXPECT_NEAR(ctp, delta * plain, 1e-9);
+    }
+  }
+}
+
+// --------------------------------- Theorem 1 gadget (3-PARTITION reduction)
+
+// Builds the reduction instance: for each number x_j, a "U" node with
+// x_j - 1 out-neighbors, influence probability 1, budgets C/m, CTP 1.
+struct GadgetInstance {
+  Graph graph;
+  std::unique_ptr<EdgeProbabilities> probs;
+  std::unique_ptr<ClickProbabilities> ctps;
+  std::vector<Advertiser> ads;
+  std::vector<NodeId> u_nodes;
+
+  ProblemInstance Make() {
+    return ProblemInstance::WithUniformAttention(&graph, probs.get(),
+                                                 ctps.get(), ads, 1, 0.0);
+  }
+};
+
+GadgetInstance MakeReductionGadget(const std::vector<int>& numbers,
+                                   int num_ads, double budget) {
+  GadgetInstance gi;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId next = 0;
+  for (const int x : numbers) {
+    const NodeId u = next++;
+    gi.u_nodes.push_back(u);
+    for (int j = 0; j < x - 1; ++j) edges.push_back({u, next++});
+  }
+  gi.graph = Graph::FromEdges(next, std::move(edges));
+  gi.probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::Constant(gi.graph, 1.0));
+  gi.ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(gi.graph.num_nodes(), num_ads, 1.0));
+  gi.ads.resize(static_cast<std::size_t>(num_ads));
+  for (auto& a : gi.ads) {
+    a.gamma = TopicDistribution::Uniform(1);
+    a.budget = budget;
+    a.cpe = 1.0;
+  }
+  return gi;
+}
+
+TEST(ReductionGadgetTest, SpreadOfUNodeEqualsItsNumber) {
+  GadgetInstance gi = MakeReductionGadget({3, 4, 5}, 1, 4.0);
+  ProblemInstance inst = gi.Make();
+  RegretEvaluator ev(&inst, {.num_sims = 10});
+  Rng rng(1);
+  for (std::size_t j = 0; j < gi.u_nodes.size(); ++j) {
+    const double spread = ev.EvaluateSpread(0, {gi.u_nodes[j]}, rng);
+    EXPECT_DOUBLE_EQ(spread, static_cast<double>(std::vector<int>{3, 4, 5}[j]));
+  }
+}
+
+TEST(ReductionGadgetTest, GreedyFindsZeroRegretOnYesInstance) {
+  // YES-instance of 3-PARTITION: {2,3,4, 2,3,4} with m=2, C/m = 9.
+  GadgetInstance gi = MakeReductionGadget({2, 3, 4, 2, 3, 4}, 2, 9.0);
+  ProblemInstance inst = gi.Make();
+  McMarginalOracle oracle(&inst, Rng(5), {.num_sims = 400});
+  GreedyAllocator greedy(&inst, &oracle);
+  GreedyResult r = greedy.Run();
+  RegretEvaluator ev(&inst, {.num_sims = 10});
+  Rng rng(6);
+  RegretReport report = ev.Evaluate(r.allocation, rng);
+  // Theorem 3: on instances admitting regret <= B/3 (here 0), greedy stays
+  // under B/3 = 6. (Greedy is not optimal — zero is not guaranteed.)
+  EXPECT_LE(report.total_regret, 6.0);
+}
+
+TEST(ReductionGadgetTest, TirmStaysWithinTheoremBoundOnYesInstance) {
+  GadgetInstance gi = MakeReductionGadget({2, 3, 4, 2, 3, 4}, 2, 9.0);
+  ProblemInstance inst = gi.Make();
+  TirmOptions o;
+  o.theta.epsilon = 0.15;
+  o.theta.theta_min = 8192;
+  o.theta.theta_cap = 1 << 16;
+  Rng rng(7);
+  TirmResult r = RunTirm(inst, o, rng);
+  RegretEvaluator ev(&inst, {.num_sims = 10});
+  Rng eval_rng(8);
+  RegretReport report = ev.Evaluate(r.allocation, eval_rng);
+  EXPECT_LE(report.total_regret, 6.0);  // B/3 with B = 18
+}
+
+// Theorem 4-flavored check: when every single node's revenue is a small
+// fraction p of the budget, greedy's per-ad budget-regret stays within
+// (p/2)·B + slack.
+TEST(RegretBoundTest, PerAdRegretBoundedByHalfMaxMarginal) {
+  // 40 isolated nodes, delta=1, cpe=1: every node worth exactly 1.
+  Graph g = Graph::FromEdges(40, {});
+  auto probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::Constant(g, 0.0));
+  auto ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(40, 2, 1.0));
+  std::vector<Advertiser> ads(2);
+  for (auto& a : ads) {
+    a.gamma = TopicDistribution::Uniform(1);
+    a.budget = 10.5;  // p_i = 1/10.5
+    a.cpe = 1.0;
+  }
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &g, probs.get(), ctps.get(), ads, 1, 0.0);
+  McMarginalOracle oracle(&inst, Rng(9), {.num_sims = 50});
+  GreedyAllocator greedy(&inst, &oracle);
+  GreedyResult r = greedy.Run();
+  RegretEvaluator ev(&inst, {.num_sims = 10});
+  Rng rng(10);
+  RegretReport report = ev.Evaluate(r.allocation, rng);
+  for (const auto& ad : report.ads) {
+    // Case 2a/2b of Theorem 4: budget-regret <= (p_i/2)·B_i = 0.5.
+    EXPECT_LE(ad.budget_regret, 0.5 + 1e-6);
+  }
+}
+
+// ----------------------------------------------------- RegretDrop algebra
+
+class RegretDropAlgebraTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegretDropAlgebraTest, DropNeverExceedsMarginalMinusLambda) {
+  const double lambda = GetParam();
+  Graph g = PathGraph(2);
+  auto probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::Constant(g, 0.5));
+  auto ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(2, 1, 1.0));
+  std::vector<Advertiser> ads(1);
+  ads[0].gamma = TopicDistribution::Uniform(1);
+  ads[0].budget = 7.0;
+  ads[0].cpe = 1.0;
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &g, probs.get(), ctps.get(), ads, 1, lambda);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const double revenue = rng.UniformReal(0.0, 12.0);
+    const double mg = rng.UniformReal(0.0, 5.0);
+    const double drop = RegretDrop(inst, 0, revenue, mg);
+    EXPECT_LE(drop, mg - lambda + 1e-9);
+    // Triangle inequality form: |before - after| <= mg.
+    EXPECT_GE(drop, -mg - lambda - 1e-9);
+    // Exact algebra in the pure-undershoot regime.
+    if (revenue + mg <= 7.0) {
+      EXPECT_NEAR(drop, mg - lambda, 1e-9);
+    }
+    // Once over budget, additions always hurt.
+    if (revenue >= 7.0) {
+      EXPECT_LE(drop, -lambda + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RegretDropAlgebraTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0),
+                         [](const auto& info) {
+                           return "lambda" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 10));
+                         });
+
+// ---------------------------------------- TIRM across epsilon / families
+
+class TirmSweepTest
+    : public ::testing::TestWithParam<std::tuple<GraphFamily, double>> {};
+
+TEST_P(TirmSweepTest, ValidAllocationAndBoundedRegret) {
+  const auto [family, eps] = GetParam();
+  Rng graph_rng(2024);
+  Graph g = MakeFamilyGraph(family, graph_rng);
+  auto probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::Constant(g, 0.2));
+  auto ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(g.num_nodes(), 2, 1.0));
+  std::vector<Advertiser> ads(2);
+  for (auto& a : ads) {
+    a.gamma = TopicDistribution::Uniform(1);
+    a.budget = 8.0;
+    a.cpe = 1.0;
+  }
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &g, probs.get(), ctps.get(), ads, 1, 0.0);
+  TirmOptions o;
+  o.theta.epsilon = eps;
+  o.theta.theta_min = 4096;
+  o.theta.theta_cap = 1 << 16;
+  Rng rng(2025);
+  TirmResult r = RunTirm(inst, o, rng);
+  EXPECT_TRUE(ValidateAllocation(inst, r.allocation).ok());
+  RegretEvaluator ev(&inst, {.num_sims = 4000});
+  Rng eval_rng(2026);
+  RegretReport report = ev.Evaluate(r.allocation, eval_rng);
+  // Far better than the empty allocation (regret = 16).
+  EXPECT_LT(report.total_regret, 12.0) << FamilyName(family) << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesByEps, TirmSweepTest,
+    ::testing::Combine(::testing::Values(GraphFamily::kErdosRenyi,
+                                         GraphFamily::kRMat,
+                                         GraphFamily::kBarabasiAlbert),
+                       ::testing::Values(0.1, 0.3)),
+    [](const auto& info) {
+      return FamilyName(std::get<0>(info.param)) + std::string("_eps") +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace tirm

@@ -1,0 +1,143 @@
+// Tests for the TIM influence-maximization substrate (rrset/tim.h).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/generators.h"
+#include "rrset/tim.h"
+
+namespace tirm {
+namespace {
+
+TimOptions SmallOptions(double eps = 0.2) {
+  TimOptions o;
+  o.theta.epsilon = eps;
+  o.theta.ell = 1.0;
+  o.theta.theta_min = 2048;
+  o.theta.theta_cap = 1 << 18;
+  return o;
+}
+
+TEST(TimTest, PicksTheHubOnStar) {
+  // Star 0->{1..49}, p=0.5: node 0 is the unique best single seed.
+  Graph g = StarGraph(50);
+  std::vector<float> probs(g.num_edges(), 0.5f);
+  Rng rng(1);
+  TimResult res = RunTim(g, probs, 1, SmallOptions(), rng);
+  ASSERT_EQ(res.seeds.size(), 1u);
+  EXPECT_EQ(res.seeds[0], 0u);
+  // sigma({0}) = 1 + 49*0.5 = 25.5; the estimate should be near.
+  EXPECT_NEAR(res.estimated_spread, 25.5, 3.0);
+}
+
+TEST(TimTest, PicksChainHeadOnDeterministicPath) {
+  Graph g = PathGraph(6);
+  std::vector<float> probs(g.num_edges(), 1.0f);
+  Rng rng(2);
+  TimResult res = RunTim(g, probs, 1, SmallOptions(), rng);
+  ASSERT_EQ(res.seeds.size(), 1u);
+  EXPECT_EQ(res.seeds[0], 0u);
+  EXPECT_NEAR(res.estimated_spread, 6.0, 0.5);
+}
+
+TEST(TimTest, TwoSeedsCoverTwoStars) {
+  // Two disjoint stars: 0->{2..25}, 1->{26..49}.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 2; v < 26; ++v) edges.push_back({0, v});
+  for (NodeId v = 26; v < 50; ++v) edges.push_back({1, v});
+  Graph g = Graph::FromEdges(50, std::move(edges));
+  std::vector<float> probs(g.num_edges(), 0.8f);
+  Rng rng(3);
+  TimResult res = RunTim(g, probs, 2, SmallOptions(), rng);
+  std::set<NodeId> seeds(res.seeds.begin(), res.seeds.end());
+  EXPECT_EQ(seeds, (std::set<NodeId>{0, 1}));
+}
+
+TEST(TimTest, SeedsAreDistinct) {
+  Rng graph_rng(4);
+  Graph g = ErdosRenyiGraph(100, 500, graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.1f);
+  Rng rng(5);
+  TimResult res = RunTim(g, probs, 10, SmallOptions(), rng);
+  std::set<NodeId> unique(res.seeds.begin(), res.seeds.end());
+  EXPECT_EQ(unique.size(), res.seeds.size());
+  EXPECT_LE(res.seeds.size(), 10u);
+}
+
+TEST(TimTest, EstimateTracksMonteCarloTruth) {
+  Rng graph_rng(6);
+  Graph g = ErdosRenyiGraph(150, 900, graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.08f);
+  Rng rng(7);
+  TimResult res = RunTim(g, probs, 5, SmallOptions(0.15), rng);
+  SpreadSimulator sim(g, probs);
+  Rng mc_rng(8);
+  const double mc = sim.EstimateSpread(res.seeds, 20000, mc_rng).mean();
+  // RR estimate within ~10% + slack of the MC ground truth.
+  EXPECT_NEAR(res.estimated_spread, mc, 0.12 * mc + 0.5);
+}
+
+TEST(TimTest, GreedyBeatsRandomSeeds) {
+  Rng graph_rng(9);
+  Graph g = RMatGraph(9, 3000, graph_rng);  // 512 nodes, skewed
+  std::vector<float> probs(g.num_edges(), 0.1f);
+  Rng rng(10);
+  TimResult res = RunTim(g, probs, 8, SmallOptions(), rng);
+  SpreadSimulator sim(g, probs);
+  Rng mc_rng(11);
+  const double tim_spread = sim.EstimateSpread(res.seeds, 10000, mc_rng).mean();
+  // Random baseline (averaged over a few draws).
+  Rng pick_rng(12);
+  double random_spread = 0.0;
+  const int reps = 5;
+  for (int r = 0; r < reps; ++r) {
+    std::set<NodeId> s;
+    while (s.size() < res.seeds.size()) {
+      s.insert(static_cast<NodeId>(pick_rng.UniformBelow(g.num_nodes())));
+    }
+    std::vector<NodeId> seeds(s.begin(), s.end());
+    random_spread += sim.EstimateSpread(seeds, 4000, mc_rng).mean();
+  }
+  random_spread /= reps;
+  EXPECT_GT(tim_spread, random_spread);
+}
+
+TEST(TimTest, ThetaRespectsCap) {
+  Graph g = PathGraph(50);
+  std::vector<float> probs(g.num_edges(), 0.2f);
+  TimOptions o = SmallOptions();
+  o.theta.theta_cap = 4096;
+  Rng rng(13);
+  TimResult res = RunTim(g, probs, 3, o, rng);
+  EXPECT_LE(res.theta, 4096u);
+  EXPECT_GE(res.theta, o.theta.theta_min);
+}
+
+TEST(TimTest, KptReportedPositive) {
+  Rng graph_rng(14);
+  Graph g = ErdosRenyiGraph(80, 400, graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.1f);
+  Rng rng(15);
+  TimResult res = RunTim(g, probs, 4, SmallOptions(), rng);
+  EXPECT_GE(res.kpt, 1.0);
+}
+
+TEST(TimTest, DeterministicUnderSeed) {
+  Rng graph_rng(16);
+  Graph g = ErdosRenyiGraph(60, 300, graph_rng);
+  std::vector<float> probs(g.num_edges(), 0.15f);
+  Rng a(17);
+  Rng b(17);
+  TimResult ra = RunTim(g, probs, 5, SmallOptions(), a);
+  TimResult rb = RunTim(g, probs, 5, SmallOptions(), b);
+  EXPECT_EQ(ra.seeds, rb.seeds);
+  EXPECT_DOUBLE_EQ(ra.estimated_spread, rb.estimated_spread);
+}
+
+}  // namespace
+}  // namespace tirm

@@ -1,0 +1,239 @@
+// Tests for TIRM (Algorithm 2) on controlled instances.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "alloc/regret_evaluator.h"
+#include "alloc/tirm.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "topic/instance.h"
+
+namespace tirm {
+namespace {
+
+struct TestInstance {
+  Graph graph;
+  std::unique_ptr<EdgeProbabilities> probs;
+  std::unique_ptr<ClickProbabilities> ctps;
+  std::vector<Advertiser> ads;
+
+  ProblemInstance Make(int kappa, double lambda) {
+    return ProblemInstance::WithUniformAttention(&graph, probs.get(),
+                                                 ctps.get(), ads, kappa,
+                                                 lambda);
+  }
+};
+
+TestInstance MakeStarInstance(int num_ads, double budget, double delta = 1.0) {
+  TestInstance s;
+  s.graph = StarGraph(12);
+  s.probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::Constant(s.graph, 0.5));
+  s.ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(12, num_ads, delta));
+  s.ads.resize(static_cast<std::size_t>(num_ads));
+  for (auto& a : s.ads) {
+    a.gamma = TopicDistribution::Uniform(1);
+    a.budget = budget;
+    a.cpe = 1.0;
+  }
+  return s;
+}
+
+TestInstance MakeRMatInstance(int num_ads, double budget, double delta = 1.0,
+                              double cpe = 1.0) {
+  TestInstance s;
+  Rng rng(500);
+  s.graph = RMatGraph(9, 2500, rng);
+  s.probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::WeightedCascade(s.graph));
+  s.ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(s.graph.num_nodes(), num_ads, delta));
+  s.ads.resize(static_cast<std::size_t>(num_ads));
+  for (auto& a : s.ads) {
+    a.gamma = TopicDistribution::Uniform(1);
+    a.budget = budget;
+    a.cpe = cpe;
+  }
+  return s;
+}
+
+TirmOptions FastOptions() {
+  TirmOptions o;
+  o.theta.epsilon = 0.2;
+  o.theta.theta_min = 4096;
+  o.theta.theta_cap = 1 << 17;
+  o.kpt_max_samples = 1 << 14;
+  return o;
+}
+
+TEST(TirmTest, PicksHubOnStar) {
+  TestInstance s = MakeStarInstance(1, 6.5);  // sigma({0}) = 6.5
+  ProblemInstance inst = s.Make(1, 0.0);
+  Rng rng(1);
+  TirmResult r = RunTirm(inst, FastOptions(), rng);
+  ASSERT_FALSE(r.allocation.seeds[0].empty());
+  EXPECT_EQ(r.allocation.seeds[0][0], 0u);
+  EXPECT_NEAR(r.estimated_revenue[0], 6.5, 1.0);
+}
+
+TEST(TirmTest, StopsNearBudget) {
+  TestInstance s = MakeStarInstance(1, 6.5);
+  ProblemInstance inst = s.Make(1, 0.0);
+  Rng rng(2);
+  TirmResult r = RunTirm(inst, FastOptions(), rng);
+  // Hub alone hits the budget; more seeds would overshoot.
+  EXPECT_LE(r.allocation.seeds[0].size(), 2u);
+}
+
+TEST(TirmTest, AllocationAlwaysValid) {
+  TestInstance s = MakeRMatInstance(4, 15.0);
+  ProblemInstance inst = s.Make(1, 0.0);
+  Rng rng(3);
+  TirmResult r = RunTirm(inst, FastOptions(), rng);
+  EXPECT_TRUE(ValidateAllocation(inst, r.allocation).ok());
+}
+
+TEST(TirmTest, RevenueTracksBudgets) {
+  TestInstance s = MakeRMatInstance(2, 30.0);
+  ProblemInstance inst = s.Make(1, 0.0);
+  Rng rng(4);
+  TirmResult r = RunTirm(inst, FastOptions(), rng);
+  RegretEvaluator ev(&inst, {.num_sims = 8000});
+  Rng eval_rng(5);
+  RegretReport report = ev.Evaluate(r.allocation, eval_rng);
+  // Each ad's revenue should be within ~40% of its budget (empty allocation
+  // would be at 100%).
+  for (const auto& ad : report.ads) {
+    EXPECT_LT(ad.budget_regret, 0.4 * ad.budget)
+        << "revenue " << ad.revenue << " vs budget " << ad.budget;
+  }
+}
+
+TEST(TirmTest, SeedCountEstimateGrows) {
+  // Low CTP keeps per-seed revenue well below the budget (a hub's WC
+  // spread on this graph is tens of nodes), so the iterative seed-count
+  // estimation must kick in.
+  TestInstance s = MakeRMatInstance(1, 40.0, /*delta=*/0.2);
+  ProblemInstance inst = s.Make(1, 0.0);
+  Rng rng(6);
+  TirmResult r = RunTirm(inst, FastOptions(), rng);
+  const TirmAdStats& stats = r.ad_stats[0];
+  EXPECT_GT(stats.final_s, 1u);
+  EXPECT_GT(stats.num_seeds, 3u);
+  EXPECT_GE(stats.theta, FastOptions().theta.theta_min);
+}
+
+TEST(TirmTest, CtpScalingReducesPerSeedRevenue) {
+  TestInstance full = MakeRMatInstance(1, 30.0, /*delta=*/0.2);
+  TestInstance half = MakeRMatInstance(1, 30.0, /*delta=*/0.1);
+  ProblemInstance inst_full = full.Make(1, 0.0);
+  ProblemInstance inst_half = half.Make(1, 0.0);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  TirmResult r_full = RunTirm(inst_full, FastOptions(), rng_a);
+  TirmResult r_half = RunTirm(inst_half, FastOptions(), rng_b);
+  // Halving CTP requires more seeds for the same budget.
+  EXPECT_GT(r_half.allocation.seeds[0].size(),
+            r_full.allocation.seeds[0].size());
+}
+
+TEST(TirmTest, LambdaReducesSeedUsage) {
+  TestInstance s = MakeRMatInstance(1, 20.0);
+  ProblemInstance inst_free = s.Make(1, 0.0);
+  ProblemInstance inst_pen = s.Make(1, 0.5);
+  Rng a(8);
+  Rng b(8);
+  TirmResult free_run = RunTirm(inst_free, FastOptions(), a);
+  TirmResult pen_run = RunTirm(inst_pen, FastOptions(), b);
+  EXPECT_LE(pen_run.allocation.TotalSeeds(), free_run.allocation.TotalSeeds());
+}
+
+TEST(TirmTest, AttentionBoundsAcrossCompetingAds) {
+  // All ads share the same (uniform-topic) probabilities — full competition.
+  TestInstance s = MakeRMatInstance(5, 12.0);
+  ProblemInstance inst = s.Make(1, 0.0);
+  Rng rng(9);
+  TirmResult r = RunTirm(inst, FastOptions(), rng);
+  EXPECT_TRUE(ValidateAllocation(inst, r.allocation).ok());
+  auto counts = AssignmentCounts(r.allocation, s.graph.num_nodes());
+  for (NodeId u = 0; u < s.graph.num_nodes(); ++u) EXPECT_LE(counts[u], 1u);
+}
+
+TEST(TirmTest, HigherKappaLowersRegret) {
+  TestInstance s = MakeRMatInstance(5, 12.0);
+  ProblemInstance inst_k1 = s.Make(1, 0.0);
+  ProblemInstance inst_k3 = s.Make(3, 0.0);
+  Rng a(10);
+  Rng b(10);
+  TirmResult r1 = RunTirm(inst_k1, FastOptions(), a);
+  TirmResult r3 = RunTirm(inst_k3, FastOptions(), b);
+  RegretEvaluator ev1(&inst_k1, {.num_sims = 4000});
+  RegretEvaluator ev3(&inst_k3, {.num_sims = 4000});
+  Rng e1(11);
+  Rng e2(11);
+  const double regret1 = ev1.Evaluate(r1.allocation, e1).total_regret;
+  const double regret3 = ev3.Evaluate(r3.allocation, e2).total_regret;
+  // More attention -> at least as good (allow small MC slack).
+  EXPECT_LE(regret3, regret1 * 1.15 + 1.0);
+}
+
+TEST(TirmTest, DeterministicUnderSeed) {
+  TestInstance s = MakeRMatInstance(2, 10.0);
+  ProblemInstance i1 = s.Make(1, 0.0);
+  ProblemInstance i2 = s.Make(1, 0.0);
+  Rng a(12);
+  Rng b(12);
+  TirmResult ra = RunTirm(i1, FastOptions(), a);
+  TirmResult rb = RunTirm(i2, FastOptions(), b);
+  EXPECT_EQ(ra.allocation.seeds, rb.allocation.seeds);
+}
+
+TEST(TirmTest, ReportsMemoryAndSampleStats) {
+  TestInstance s = MakeRMatInstance(2, 10.0);
+  ProblemInstance inst = s.Make(1, 0.0);
+  Rng rng(13);
+  TirmResult r = RunTirm(inst, FastOptions(), rng);
+  EXPECT_GT(r.rr_memory_bytes, 0u);
+  EXPECT_GT(r.total_rr_sets, 0u);
+  for (const auto& st : r.ad_stats) {
+    EXPECT_GE(st.kpt, 1.0);
+    EXPECT_GE(st.theta, FastOptions().theta.theta_min);
+  }
+}
+
+TEST(TirmTest, MaxSeedCapRespected) {
+  TestInstance s = MakeRMatInstance(2, 50.0);
+  ProblemInstance inst = s.Make(1, 0.0);
+  TirmOptions o = FastOptions();
+  o.max_total_seeds = 7;
+  Rng rng(14);
+  TirmResult r = RunTirm(inst, o, rng);
+  EXPECT_LE(r.allocation.TotalSeeds(), 7u);
+}
+
+TEST(TirmTest, WeightByCtpVariantRuns) {
+  TestInstance s = MakeRMatInstance(2, 10.0, /*delta=*/0.5);
+  ProblemInstance inst = s.Make(1, 0.0);
+  TirmOptions o = FastOptions();
+  o.weight_by_ctp = true;
+  Rng rng(15);
+  TirmResult r = RunTirm(inst, o, rng);
+  EXPECT_TRUE(ValidateAllocation(inst, r.allocation).ok());
+  EXPECT_GT(r.allocation.TotalSeeds(), 0u);
+}
+
+TEST(TirmTest, ZeroBudgetsNoSeeds) {
+  TestInstance s = MakeRMatInstance(2, 0.0);
+  ProblemInstance inst = s.Make(1, 0.0);
+  Rng rng(16);
+  TirmResult r = RunTirm(inst, FastOptions(), rng);
+  EXPECT_EQ(r.allocation.TotalSeeds(), 0u);
+}
+
+}  // namespace
+}  // namespace tirm

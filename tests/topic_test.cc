@@ -1,0 +1,276 @@
+// Unit tests for src/topic: distributions, edge probabilities (Eq. 1),
+// CTPs, and the ProblemInstance container.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "topic/ctp_model.h"
+#include "topic/edge_probabilities.h"
+#include "topic/instance.h"
+#include "topic/topic_distribution.h"
+
+namespace tirm {
+namespace {
+
+// --------------------------------------------------------- distributions
+
+TEST(TopicDistributionTest, NormalizesOnConstruction) {
+  TopicDistribution d({2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.Mass(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.Mass(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.Mass(2), 0.5);
+}
+
+TEST(TopicDistributionTest, ConcentratedMatchesPaperSetup) {
+  // Paper §6: mass 0.91 on own topic, 0.01 on each of the other 9.
+  TopicDistribution d = TopicDistribution::Concentrated(10, 3, 0.91);
+  EXPECT_NEAR(d.Mass(3), 0.91, 1e-12);
+  for (TopicId z = 0; z < 10; ++z) {
+    if (z != 3) EXPECT_NEAR(d.Mass(z), 0.01, 1e-12);
+  }
+}
+
+TEST(TopicDistributionTest, SumsToOne) {
+  Rng rng(1);
+  for (double alpha : {0.1, 1.0, 10.0}) {
+    TopicDistribution d = TopicDistribution::SampleDirichlet(8, alpha, rng);
+    double sum = 0.0;
+    for (TopicId z = 0; z < 8; ++z) sum += d.Mass(z);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(TopicDistributionTest, UniformMass) {
+  TopicDistribution d = TopicDistribution::Uniform(4);
+  for (TopicId z = 0; z < 4; ++z) EXPECT_DOUBLE_EQ(d.Mass(z), 0.25);
+}
+
+TEST(TopicDistributionTest, MixIsDotProduct) {
+  TopicDistribution d({0.5, 0.5});
+  const float values[] = {0.2f, 0.6f};
+  EXPECT_NEAR(d.Mix(values), 0.4, 1e-7);
+}
+
+TEST(TopicDistributionTest, L1Distance) {
+  TopicDistribution a = TopicDistribution::Concentrated(4, 0, 1.0);
+  TopicDistribution b = TopicDistribution::Concentrated(4, 1, 1.0);
+  EXPECT_NEAR(a.L1Distance(b), 2.0, 1e-12);
+  EXPECT_NEAR(a.L1Distance(a), 0.0, 1e-12);
+}
+
+TEST(TopicDistributionTest, DirichletConcentration) {
+  Rng rng(2);
+  // Large alpha -> near uniform; small alpha -> spiky.
+  TopicDistribution smooth = TopicDistribution::SampleDirichlet(5, 100.0, rng);
+  double max_smooth = 0.0;
+  for (TopicId z = 0; z < 5; ++z) max_smooth = std::max(max_smooth, smooth.Mass(z));
+  EXPECT_LT(max_smooth, 0.4);
+}
+
+// ------------------------------------------------------ edge probabilities
+
+TEST(EdgeProbabilitiesTest, PerTopicSetAndGet) {
+  Graph g = PathGraph(3);
+  EdgeProbabilities ep = EdgeProbabilities::ZeroPerTopic(g, 2);
+  ep.SetProb(0, 0, 0.3f);
+  ep.SetProb(0, 1, 0.7f);
+  EXPECT_FLOAT_EQ(ep.Prob(0, 0), 0.3f);
+  EXPECT_FLOAT_EQ(ep.Prob(0, 1), 0.7f);
+  EXPECT_FLOAT_EQ(ep.Prob(1, 0), 0.0f);
+}
+
+TEST(EdgeProbabilitiesTest, Eq1MixingIsWeightedAverage) {
+  Graph g = PathGraph(3);
+  EdgeProbabilities ep = EdgeProbabilities::ZeroPerTopic(g, 2);
+  ep.SetProb(0, 0, 0.2f);
+  ep.SetProb(0, 1, 0.6f);
+  TopicDistribution gamma({0.75, 0.25});
+  // Eq. 1: p = 0.75*0.2 + 0.25*0.6 = 0.3
+  EXPECT_NEAR(ep.MixEdge(0, gamma), 0.3, 1e-6);
+  auto mixed = ep.MixForAd(gamma);
+  EXPECT_NEAR(mixed[0], 0.3, 1e-6);
+  EXPECT_NEAR(mixed[1], 0.0, 1e-6);
+}
+
+TEST(EdgeProbabilitiesTest, SharedModeIgnoresGamma) {
+  Graph g = PathGraph(4);
+  EdgeProbabilities ep = EdgeProbabilities::Constant(g, 0.42);
+  TopicDistribution gamma = TopicDistribution::Concentrated(10, 2, 0.91);
+  EXPECT_FLOAT_EQ(ep.MixEdge(0, gamma), 0.42f);
+  auto mixed = ep.MixForAd(gamma);
+  for (float p : mixed) EXPECT_FLOAT_EQ(p, 0.42f);
+}
+
+TEST(EdgeProbabilitiesTest, ExponentialSamplesClippedToUnit) {
+  Rng rng(3);
+  Graph g = CompleteGraph(10);
+  EdgeProbabilities ep = EdgeProbabilities::SampleExponential(g, 3, 30.0, rng);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (TopicId z = 0; z < 3; ++z) {
+      const float p = ep.Prob(e, z);
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+      sum += p;
+      ++count;
+    }
+  }
+  // Mean ~ 1/30 (clipping negligible).
+  EXPECT_NEAR(sum / static_cast<double>(count), 1.0 / 30.0, 0.01);
+}
+
+TEST(EdgeProbabilitiesTest, WeightedCascadeInverseInDegree) {
+  Graph g = Graph::FromEdges(4, {{0, 3}, {1, 3}, {2, 3}, {0, 1}});
+  EdgeProbabilities ep = EdgeProbabilities::WeightedCascade(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId tgt = g.edge_target(e);
+    EXPECT_FLOAT_EQ(ep.Prob(e, 0),
+                    1.0f / static_cast<float>(g.InDegree(tgt)));
+  }
+}
+
+TEST(EdgeProbabilitiesTest, TrivalencyLevels) {
+  Rng rng(4);
+  Graph g = CompleteGraph(8);
+  EdgeProbabilities ep = EdgeProbabilities::Trivalency(g, rng);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const float p = ep.Prob(e, 0);
+    EXPECT_TRUE(p == 0.1f || p == 0.01f || p == 0.001f);
+  }
+}
+
+TEST(EdgeProbabilitiesTest, FromSharedExactValues) {
+  Graph g = PathGraph(3);
+  EdgeProbabilities ep = EdgeProbabilities::FromShared(g, {0.1f, 0.9f});
+  EXPECT_FLOAT_EQ(ep.Prob(0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(ep.Prob(1, 0), 0.9f);
+}
+
+// ------------------------------------------------------------------- CTPs
+
+TEST(ClickProbabilitiesTest, ConstantTable) {
+  ClickProbabilities cp = ClickProbabilities::Constant(5, 2, 0.5);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_FLOAT_EQ(cp.Delta(u, 0), 0.5f);
+    EXPECT_FLOAT_EQ(cp.Delta(u, 1), 0.5f);
+  }
+}
+
+TEST(ClickProbabilitiesTest, UniformSamplesWithinRange) {
+  Rng rng(5);
+  ClickProbabilities cp =
+      ClickProbabilities::SampleUniform(1000, 3, 0.01, 0.03, rng);
+  double sum = 0.0;
+  for (NodeId u = 0; u < 1000; ++u) {
+    for (AdId i = 0; i < 3; ++i) {
+      const float d = cp.Delta(u, i);
+      EXPECT_GE(d, 0.01f);
+      EXPECT_LE(d, 0.03f);
+      sum += d;
+    }
+  }
+  EXPECT_NEAR(sum / 3000.0, 0.02, 0.001);
+}
+
+TEST(ClickProbabilitiesTest, SetDelta) {
+  ClickProbabilities cp = ClickProbabilities::Constant(3, 1, 0.0);
+  cp.SetDelta(2, 0, 0.9);
+  EXPECT_FLOAT_EQ(cp.Delta(2, 0), 0.9f);
+  EXPECT_FLOAT_EQ(cp.Delta(1, 0), 0.0f);
+}
+
+// --------------------------------------------------------------- instance
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = PathGraph(4);
+    probs_ = std::make_unique<EdgeProbabilities>(
+        EdgeProbabilities::Constant(graph_, 0.5));
+    ctps_ = std::make_unique<ClickProbabilities>(
+        ClickProbabilities::Constant(4, 2, 0.02));
+    ads_.resize(2);
+    for (auto& a : ads_) {
+      a.gamma = TopicDistribution::Uniform(1);
+      a.budget = 10.0;
+      a.cpe = 2.0;
+    }
+  }
+
+  Graph graph_;
+  std::unique_ptr<EdgeProbabilities> probs_;
+  std::unique_ptr<ClickProbabilities> ctps_;
+  std::vector<Advertiser> ads_;
+};
+
+TEST_F(InstanceTest, ValidInstancePasses) {
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph_, probs_.get(), ctps_.get(), ads_, 1, 0.0);
+  EXPECT_TRUE(inst.Validate().ok());
+  EXPECT_EQ(inst.num_ads(), 2);
+  EXPECT_EQ(inst.AttentionBound(0), 1);
+  EXPECT_DOUBLE_EQ(inst.TotalBudget(), 20.0);
+  EXPECT_FLOAT_EQ(inst.Delta(1, 0), 0.02f);
+}
+
+TEST_F(InstanceTest, BoostedBudget) {
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph_, probs_.get(), ctps_.get(), ads_, 1, 0.0, /*beta=*/0.25);
+  EXPECT_DOUBLE_EQ(inst.EffectiveBudget(0), 12.5);
+}
+
+TEST_F(InstanceTest, RejectsNegativeLambda) {
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph_, probs_.get(), ctps_.get(), ads_, 1, -0.5);
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST_F(InstanceTest, RejectsEmptyAdvertisers) {
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph_, probs_.get(), ctps_.get(), {}, 1, 0.0);
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST_F(InstanceTest, RejectsBadCpe) {
+  ads_[0].cpe = 0.0;
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph_, probs_.get(), ctps_.get(), ads_, 1, 0.0);
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST_F(InstanceTest, SharedProbCacheIsShared) {
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph_, probs_.get(), ctps_.get(), ads_, 1, 0.0);
+  const auto& p0 = inst.EdgeProbsForAd(0);
+  const auto& p1 = inst.EdgeProbsForAd(1);
+  EXPECT_EQ(&p0, &p1);  // kShared mode: one materialized array
+  EXPECT_EQ(p0.size(), graph_.num_edges());
+}
+
+TEST_F(InstanceTest, PerTopicCacheDiffersByAd) {
+  Rng rng(6);
+  auto per_topic = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::SampleExponential(graph_, 4, 10.0, rng));
+  ads_[0].gamma = TopicDistribution::Concentrated(4, 0, 0.95);
+  ads_[1].gamma = TopicDistribution::Concentrated(4, 1, 0.95);
+  ProblemInstance inst = ProblemInstance::WithUniformAttention(
+      &graph_, per_topic.get(), ctps_.get(), ads_, 1, 0.0);
+  ASSERT_TRUE(inst.Validate().ok());
+  const auto& p0 = inst.EdgeProbsForAd(0);
+  const auto& p1 = inst.EdgeProbsForAd(1);
+  EXPECT_NE(&p0, &p1);
+  // Mixed values match manual Eq. 1 on edge 0.
+  double manual = 0.0;
+  for (TopicId z = 0; z < 4; ++z) {
+    manual += ads_[0].gamma.Mass(z) * per_topic->Prob(0, z);
+  }
+  EXPECT_NEAR(p0[0], manual, 1e-6);
+  EXPECT_GT(inst.CacheMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tirm
