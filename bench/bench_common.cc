@@ -17,19 +17,22 @@ BenchConfig BenchConfig::FromFlags(const Flags& flags, double default_scale,
       static_cast<std::uint64_t>(flags.GetInt("theta_cap", 1 << 18));
   c.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2015));
   c.irie_alpha = flags.GetDouble("irie_alpha", 0.8);
+  c.threads = flags.GetThreads(1);
   return c;
 }
 
 void BenchConfig::Print(const char* bench_name) const {
   std::printf(
       "== %s ==\n"
-      "config: scale=%.4g eval_sims=%zu eps=%.2f theta_cap=%llu seed=%llu\n"
+      "config: scale=%.4g eval_sims=%zu eps=%.2f theta_cap=%llu seed=%llu "
+      "threads=%d\n"
       "(paper settings: eval_sims=10000, eps=0.1 quality / 0.2 scalability,\n"
       " no theta cap; raise via TIRM_EVAL_SIMS / TIRM_EPS / TIRM_THETA_CAP /\n"
-      " TIRM_SCALE env vars to approach them)\n\n",
+      " TIRM_SCALE env vars to approach them; TIRM_THREADS / --threads\n"
+      " parallelizes RR-set sampling)\n\n",
       bench_name, scale, eval_sims, eps,
       static_cast<unsigned long long>(theta_cap),
-      static_cast<unsigned long long>(seed));
+      static_cast<unsigned long long>(seed), threads);
 }
 
 AlgoRun RunAlgorithm(const std::string& name, const ProblemInstance& instance,

@@ -44,6 +44,7 @@ struct BenchConfig {
   std::uint64_t theta_cap = 1 << 18;
   std::uint64_t seed = 2015;
   double irie_alpha = 0.8;
+  int threads = 1;  ///< RR-sampling worker threads (--threads, 0 = hardware)
 
   static BenchConfig FromFlags(const Flags& flags, double default_scale,
                                double default_eps = 0.25);
@@ -52,6 +53,7 @@ struct BenchConfig {
     TirmOptions o;
     o.theta.epsilon = eps;
     o.theta.theta_cap = theta_cap;
+    o.num_threads = threads;
     return o;
   }
 

@@ -12,15 +12,74 @@
 // stays flat in budget; GREEDY-IRIE grows super-linearly and is orders of
 // magnitude slower.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "rrset/parallel_rr_builder.h"
 
 namespace {
 
 using namespace tirm;
 using namespace tirm::bench;
+
+// ---- Parallel RR-set engine: generation throughput vs worker threads.
+//
+// Samples a fixed batch of RR sets on the DBLP-shaped instance with
+// ParallelRrBuilder at 1/2/4/8 workers and reports sets/s plus the speedup
+// over a single worker. Also runs full TIRM serially and with the largest
+// thread count to confirm the allocations remain statistically equivalent
+// (same #seeds ballpark and revenue within Monte-Carlo noise).
+void RunThreadSweep(const BenchConfig& config,
+                    const std::vector<int>& thread_counts) {
+  Rng build_rng(config.seed + 101);
+  const BuiltInstance built = BuildDataset(DblpLike(config.scale), build_rng,
+                                           /*num_ads_override=*/1,
+                                           /*budget_override=*/-1.0);
+  const ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
+  const std::uint64_t batch = 20000;
+
+  std::printf("\n--- parallel RR-set engine: throughput vs threads (%llu sets, "
+              "dblp-like) ---\n",
+              static_cast<unsigned long long>(batch));
+  TablePrinter t({"threads", "seconds", "sets/s", "speedup", "avg |R|"});
+  double base_seconds = 0.0;
+  for (const int threads : thread_counts) {
+    ParallelRrBuilder builder(*built.graph, inst.EdgeProbsForAd(0),
+                              {.num_threads = threads});
+    Rng rng(config.seed + 202);  // same master stream per row
+    WallTimer timer;
+    const ParallelRrBuilder::Batch out = builder.SampleBatch(batch, rng);
+    const double seconds = timer.Seconds();
+    if (threads == thread_counts.front()) base_seconds = seconds;
+    const double avg_size =
+        static_cast<double>(out.nodes.size()) / static_cast<double>(out.size());
+    t.AddRow({TablePrinter::Int(threads), TablePrinter::Num(seconds, 3),
+              TablePrinter::Num(static_cast<double>(batch) / seconds, 0),
+              TablePrinter::Num(base_seconds / seconds, 2),
+              TablePrinter::Num(avg_size, 1)});
+  }
+  t.Print();
+
+  std::printf("\n--- TIRM serial vs parallel sampling (statistical "
+              "equivalence) ---\n");
+  TablePrinter cmp({"threads", "tirm (s)", "seeds", "est revenue"});
+  for (const int threads : {1, thread_counts.back()}) {
+    BenchConfig cfg = config;
+    cfg.threads = threads;
+    Rng rng(cfg.seed + 17);
+    WallTimer timer;
+    const TirmResult result = RunTirm(inst, cfg.MakeTirmOptions(), rng);
+    double revenue = 0.0;
+    for (const double r : result.estimated_revenue) revenue += r;
+    cmp.AddRow({TablePrinter::Int(threads), TablePrinter::Num(timer.Seconds(), 2),
+                TablePrinter::Int(
+                    static_cast<long long>(result.allocation.TotalSeeds())),
+                TablePrinter::Num(revenue, 1)});
+  }
+  cmp.Print();
+}
 
 void RunSweep(const char* title, const DatasetSpec& spec,
               const std::vector<int>& h_values,
@@ -100,6 +159,17 @@ int main(int argc, char** argv) {
   BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.02,
                                               /*default_eps=*/0.2);
   config.Print("bench_fig6_scalability: Fig. 6 running time (DBLP / LJ shaped)");
+
+  // Thread-count sweep of the parallel RR-set engine (beyond the paper,
+  // which is single-threaded). Override the sweep via --threads to add a
+  // point at the requested count.
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  if (const int t = config.threads;
+      t > 1 && std::find(thread_counts.begin(), thread_counts.end(), t) ==
+                   thread_counts.end()) {
+    thread_counts.push_back(t);
+  }
+  RunThreadSweep(config, thread_counts);
 
   // DBLP (paper: budgets 5K at 317K nodes; h sweep 1..20; budget sweep to
   // 30K). Scaled: budgets scale with the graph.

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "rrset/kpt_estimator.h"
+#include "rrset/parallel_rr_builder.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 #include "rrset/weighted_rr_collection.h"
@@ -112,16 +113,44 @@ class WeightedBackend : public CoverageBackend {
 // Per-ad mutable state of the TIRM main loop.
 struct AdState {
   AdState(const Graph& graph, std::span<const float> probs, NodeId num_nodes,
-          bool weighted)
-      : sampler(graph, probs) {
+          bool weighted, int num_threads) {
     if (weighted) {
       backend = std::make_unique<WeightedBackend>(num_nodes);
     } else {
       backend = std::make_unique<RemovalBackend>(num_nodes);
     }
+    if (num_threads != 1) {
+      builder = std::make_unique<ParallelRrBuilder>(
+          graph, probs, ParallelRrBuilder::Options{.num_threads = num_threads});
+    } else {
+      sampler = std::make_unique<RrSampler>(graph, probs);
+    }
   }
 
-  RrSampler sampler;
+  // Samples `count` sets into the backend: fanned out via the builder when
+  // parallel sampling is enabled, else the seed's exact serial stream.
+  // Parallel batches are drawn in bounded chunks so peak memory stays
+  // O(chunk), not O(theta), even with the theta cap raised.
+  void SampleSets(std::uint64_t count, Rng& rng, std::vector<NodeId>& scratch) {
+    if (builder != nullptr) {
+      constexpr std::uint64_t kChunk = 1 << 16;
+      for (std::uint64_t done = 0; done < count;) {
+        const std::uint64_t take = std::min(kChunk, count - done);
+        builder->SampleSetsInto(
+            take, rng,
+            [this](std::span<const NodeId> set) { backend->AddSet(set); });
+        done += take;
+      }
+      return;
+    }
+    for (std::uint64_t t = 0; t < count; ++t) {
+      sampler->SampleInto(rng, scratch);
+      backend->AddSet(scratch);
+    }
+  }
+
+  std::unique_ptr<RrSampler> sampler;          // non-null iff threads == 1
+  std::unique_ptr<ParallelRrBuilder> builder;  // non-null iff threads != 1
   std::unique_ptr<CoverageBackend> backend;
   std::unique_ptr<KptEstimator> kpt;
 
@@ -160,21 +189,24 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
   std::vector<NodeId> scratch;
   for (AdId j = 0; j < h; ++j) {
     auto st = std::make_unique<AdState>(graph, instance.EdgeProbsForAd(j), n,
-                                        options.ctp_aware_coverage);
+                                        options.ctp_aware_coverage,
+                                        options.num_threads);
     st->in_seed_set.assign(n, 0);
     Rng kpt_rng = rng.Fork(0x1000 + static_cast<std::uint64_t>(j));
-    st->kpt = std::make_unique<KptEstimator>(
-        &st->sampler, graph.num_edges(),
-        KptEstimator::Options{.ell = options.theta.ell,
-                              .max_samples = options.kpt_max_samples});
+    const KptEstimator::Options kpt_options{
+        .ell = options.theta.ell, .max_samples = options.kpt_max_samples};
+    st->kpt = st->builder != nullptr
+                  ? std::make_unique<KptEstimator>(st->builder.get(),
+                                                   graph.num_edges(),
+                                                   kpt_options)
+                  : std::make_unique<KptEstimator>(st->sampler.get(),
+                                                   graph.num_edges(),
+                                                   kpt_options);
     st->kpt_value = st->kpt->Estimate(st->s, kpt_rng);
     const double opt_lb = std::max(st->kpt_value, static_cast<double>(st->s));
     st->theta = ComputeTheta(n, st->s, opt_lb, options.theta);
     Rng sample_rng = rng.Fork(0x2000 + static_cast<std::uint64_t>(j));
-    for (std::uint64_t t = 0; t < st->theta; ++t) {
-      st->sampler.SampleInto(sample_rng, scratch);
-      st->backend->AddSet(scratch);
-    }
+    st->SampleSets(st->theta, sample_rng, scratch);
     st->backend->OnSetsAdded();
     ads.push_back(std::move(st));
   }
@@ -331,10 +363,7 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
         Rng sample_rng =
             rng.Fork(0x3000 + static_cast<std::uint64_t>(best_ad) * 0x100 +
                      st.expansions);
-        for (std::uint64_t t = st.theta; t < new_theta; ++t) {
-          st.sampler.SampleInto(sample_rng, scratch);
-          st.backend->AddSet(scratch);
-        }
+        st.SampleSets(new_theta - st.theta, sample_rng, scratch);
         const std::uint64_t old_theta = st.theta;
         st.theta = new_theta;
 

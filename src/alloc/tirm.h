@@ -70,6 +70,12 @@ struct TirmOptions {
   double min_drop = 1e-12;
   /// KPT estimation sampling cap per ad.
   std::uint64_t kpt_max_samples = 1 << 17;
+  /// Worker threads for RR-set generation (ParallelRrBuilder). 1 keeps the
+  /// seed's exact serial sampling streams; 0 selects the hardware
+  /// concurrency; N > 1 fans each ad's sampling batches out over N threads
+  /// with deterministic per-thread substreams (results are deterministic
+  /// for a fixed thread count, and statistically equivalent across counts).
+  int num_threads = 1;
   /// Ablation: rank candidates by δ(u,i)·coverage instead of Algorithm 3's
   /// raw coverage (linear scan; small instances only).
   bool weight_by_ctp = false;

@@ -1,9 +1,12 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+
+#include "common/threading.h"
 
 namespace tirm {
 namespace {
@@ -71,6 +74,13 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
   std::string s = GetString(key, "");
   if (s.empty()) return default_value;
   return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+int Flags::GetThreads(int default_value) const {
+  const std::int64_t v = GetInt("threads", default_value);
+  if (v < 0) return default_value;
+  return ResolveThreadCount(static_cast<int>(
+      std::min<std::int64_t>(v, kMaxSamplingThreads)));
 }
 
 }  // namespace tirm

@@ -35,6 +35,12 @@ class Flags {
   std::int64_t GetInt(const std::string& key, std::int64_t default_value) const;
   bool GetBool(const std::string& key, bool default_value) const;
 
+  /// Resolves the shared `--threads` flag (env `TIRM_THREADS`): values >= 1
+  /// are clamped to kMaxSamplingThreads, 0 maps to the hardware
+  /// concurrency, and negative / unparsable values fall back to
+  /// `default_value` (see common/threading.h for the shared policy).
+  int GetThreads(int default_value = 1) const;
+
   /// Environment variable name used for `key` ("eval_sims" -> "TIRM_EVAL_SIMS").
   static std::string EnvName(const std::string& key);
 

@@ -1,0 +1,16 @@
+#include "common/threading.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace tirm {
+
+int ResolveThreadCount(int requested) {
+  if (requested <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::clamp(requested, 1, kMaxSamplingThreads);
+}
+
+}  // namespace tirm

@@ -1,0 +1,24 @@
+// Shared thread-count policy for sampling fan-out.
+//
+// Both the --threads flag layer (common/flags.cc) and ParallelRrBuilder
+// resolve requested worker counts through this single helper so the two
+// can never diverge: 0 means "hardware concurrency", and every request is
+// clamped to kMaxSamplingThreads.
+
+#ifndef TIRM_COMMON_THREADING_H_
+#define TIRM_COMMON_THREADING_H_
+
+namespace tirm {
+
+/// Hard cap on sampling worker threads (guards against e.g.
+/// --threads=100000 exhausting OS thread limits).
+inline constexpr int kMaxSamplingThreads = 256;
+
+/// Resolves a requested worker count: <= 0 selects
+/// std::thread::hardware_concurrency() (1 if unknown); the result is
+/// always in [1, kMaxSamplingThreads].
+int ResolveThreadCount(int requested);
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_THREADING_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "rrset/parallel_rr_builder.h"
 
 namespace tirm {
 
@@ -13,6 +14,29 @@ KptEstimator::KptEstimator(RrSampler* sampler, std::uint64_t num_edges,
   TIRM_CHECK(sampler_ != nullptr);
   num_nodes_ = sampler_->graph().num_nodes();
   TIRM_CHECK_GT(num_nodes_, 0u);
+}
+
+KptEstimator::KptEstimator(ParallelRrBuilder* builder, std::uint64_t num_edges,
+                           Options options)
+    : builder_(builder), num_edges_(num_edges), options_(options) {
+  TIRM_CHECK(builder_ != nullptr);
+  num_nodes_ = builder_->graph().num_nodes();
+  TIRM_CHECK_GT(num_nodes_, 0u);
+}
+
+void KptEstimator::SampleWidths(std::uint64_t target, Rng& rng) {
+  if (widths_.size() >= target) return;
+  if (builder_ != nullptr) {
+    const std::vector<std::uint64_t> widths =
+        builder_->SampleWidths(target - widths_.size(), rng);
+    widths_.insert(widths_.end(), widths.begin(), widths.end());
+    return;
+  }
+  std::vector<NodeId> scratch;
+  while (widths_.size() < target) {
+    sampler_->SampleInto(rng, scratch);
+    widths_.push_back(sampler_->last_width());
+  }
 }
 
 double KptEstimator::MeanKappa(std::uint64_t s) const {
@@ -34,17 +58,13 @@ double KptEstimator::Estimate(std::uint64_t s, Rng& rng) {
   const double n = static_cast<double>(num_nodes_);
   const double log2n = std::log2(n);
   const int max_iter = std::max(1, static_cast<int>(log2n) - 1);
-  std::vector<NodeId> scratch;
   for (int i = 1; i <= max_iter; ++i) {
     const double ci_d = (6.0 * options_.ell * std::log(n) +
                          6.0 * std::log(std::max(2.0, log2n))) *
                         std::pow(2.0, i);
     const std::uint64_t ci = std::min<std::uint64_t>(
         options_.max_samples, static_cast<std::uint64_t>(ci_d) + 1);
-    while (widths_.size() < ci) {
-      sampler_->SampleInto(rng, scratch);
-      widths_.push_back(sampler_->last_width());
-    }
+    SampleWidths(ci, rng);
     const double c = MeanKappa(s);
     if (c > 1.0 / std::pow(2.0, i)) {
       return std::max(1.0, n * c / 2.0);

@@ -23,6 +23,8 @@
 
 namespace tirm {
 
+class ParallelRrBuilder;  // rrset/parallel_rr_builder.h
+
 /// Runs TIM's geometric KPT estimation once, then answers KPT(s) queries
 /// for arbitrary s from the cached width sample.
 class KptEstimator {
@@ -38,6 +40,13 @@ class KptEstimator {
   /// interest.
   KptEstimator(RrSampler* sampler, std::uint64_t num_edges, Options options);
 
+  /// Parallel variant: each geometric round's sample demand is fanned out
+  /// through `builder` (widths arrive batch-at-a-time; the estimate is a
+  /// function of the width multiset only, so parallel and serial estimates
+  /// agree in distribution).
+  KptEstimator(ParallelRrBuilder* builder, std::uint64_t num_edges,
+               Options options);
+
   /// Runs the geometric estimation for size `s`; caches widths.
   /// Returns KPT*(s) >= 1.
   double Estimate(std::uint64_t s, Rng& rng);
@@ -51,8 +60,10 @@ class KptEstimator {
 
  private:
   double MeanKappa(std::uint64_t s) const;
+  void SampleWidths(std::uint64_t target, Rng& rng);
 
-  RrSampler* sampler_;
+  RrSampler* sampler_ = nullptr;          // serial path
+  ParallelRrBuilder* builder_ = nullptr;  // parallel path
   std::uint64_t num_edges_;
   Options options_;
   std::uint64_t num_nodes_ = 0;

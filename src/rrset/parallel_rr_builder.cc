@@ -1,0 +1,184 @@
+#include "rrset/parallel_rr_builder.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/threading.h"
+
+namespace tirm {
+
+ParallelRrBuilder::ParallelRrBuilder(const Graph& graph,
+                                     std::span<const float> edge_probs,
+                                     Options options)
+    : graph_(graph),
+      edge_probs_(edge_probs),
+      num_threads_(ResolveThreadCount(options.num_threads)),
+      min_parallel_batch_(options.min_parallel_batch) {
+  TIRM_CHECK_EQ(edge_probs_.size(), graph_.num_edges());
+  samplers_.resize(static_cast<std::size_t>(num_threads_));
+}
+
+ParallelRrBuilder::ParallelRrBuilder(const Graph& graph,
+                                     std::span<const float> edge_probs,
+                                     std::function<double(NodeId)> ctp,
+                                     Options options)
+    : graph_(graph),
+      edge_probs_(edge_probs),
+      ctp_(std::move(ctp)),
+      num_threads_(ResolveThreadCount(options.num_threads)),
+      min_parallel_batch_(options.min_parallel_batch) {
+  TIRM_CHECK_EQ(edge_probs_.size(), graph_.num_edges());
+  TIRM_CHECK(ctp_ != nullptr);
+  samplers_.resize(static_cast<std::size_t>(num_threads_));
+}
+
+RrSampler& ParallelRrBuilder::SamplerFor(int worker) {
+  auto& slot = samplers_[static_cast<std::size_t>(worker)];
+  if (slot == nullptr) {
+    slot = ctp_ == nullptr
+               ? std::make_unique<RrSampler>(graph_, edge_probs_)
+               : std::make_unique<RrSampler>(graph_, edge_probs_, ctp_);
+  }
+  return *slot;
+}
+
+ParallelRrBuilder::Batch ParallelRrBuilder::SampleBatch(std::uint64_t count,
+                                                        Rng& master) {
+  return SampleImpl(count, master, /*keep_sets=*/true, /*keep_stats=*/true);
+}
+
+std::vector<std::uint64_t> ParallelRrBuilder::SampleWidths(std::uint64_t count,
+                                                           Rng& master) {
+  return SampleImpl(count, master, /*keep_sets=*/false, /*keep_stats=*/true)
+      .widths;
+}
+
+ParallelRrBuilder::Batch ParallelRrBuilder::SampleSetsOnly(std::uint64_t count,
+                                                           Rng& master) {
+  return SampleImpl(count, master, /*keep_sets=*/true, /*keep_stats=*/false);
+}
+
+void ParallelRrBuilder::SampleSetsInto(
+    std::uint64_t count, Rng& master,
+    const std::function<void(std::span<const NodeId>)>& sink) {
+  const std::vector<Batch> parts =
+      SampleParts(count, master, /*keep_sets=*/true, /*keep_stats=*/false);
+  std::uint64_t emitted = 0;
+  for (const Batch& p : parts) {
+    for (std::size_t k = 0; k < p.size(); ++k) sink(p.Set(k));
+    emitted += p.size();
+  }
+  TIRM_CHECK_EQ(emitted, count);
+}
+
+std::vector<ParallelRrBuilder::Batch> ParallelRrBuilder::SampleParts(
+    std::uint64_t count, Rng& master, bool keep_sets, bool keep_stats) {
+  // Fork the per-worker streams sequentially on the calling thread; the
+  // result is a pure function of the master state, independent of scheduling.
+  const int workers =
+      count < min_parallel_batch_
+          ? 1
+          : static_cast<int>(
+                std::min<std::uint64_t>(count,
+                                        static_cast<std::uint64_t>(num_threads_)));
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    streams.push_back(master.Fork(static_cast<std::uint64_t>(i)));
+  }
+
+  const std::uint64_t base = workers == 0 ? 0 : count / workers;
+  const std::uint64_t rem = workers == 0 ? 0 : count % workers;
+  std::vector<Batch> parts(static_cast<std::size_t>(workers));
+
+  auto run_worker = [&](int w) {
+    const std::uint64_t quota =
+        base + (static_cast<std::uint64_t>(w) < rem ? 1 : 0);
+    RrSampler& sampler = SamplerFor(w);
+    Rng& rng = streams[static_cast<std::size_t>(w)];
+    Batch& part = parts[static_cast<std::size_t>(w)];
+    if (keep_sets) {
+      part.offsets.reserve(quota + 1);
+      part.offsets.push_back(0);
+    }
+    if (keep_stats) {
+      part.roots.reserve(quota);
+      part.widths.reserve(quota);
+    }
+    std::vector<NodeId> scratch;
+    for (std::uint64_t t = 0; t < quota; ++t) {
+      const NodeId root = sampler.SampleInto(rng, scratch);
+      if (keep_sets) {
+        part.nodes.insert(part.nodes.end(), scratch.begin(), scratch.end());
+        part.offsets.push_back(part.nodes.size());
+      }
+      if (keep_stats) {
+        part.roots.push_back(root);
+        part.widths.push_back(sampler.last_width());
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    if (workers == 1) run_worker(0);
+  } else {
+    // SamplerFor mutates samplers_; materialize every worker's sampler
+    // before the threads start so the workers only touch their own slot.
+    for (int w = 0; w < workers; ++w) SamplerFor(w);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int w = 1; w < workers; ++w) {
+      threads.emplace_back(run_worker, w);
+    }
+    run_worker(0);
+    for (auto& t : threads) t.join();
+  }
+  return parts;
+}
+
+ParallelRrBuilder::Batch ParallelRrBuilder::SampleImpl(std::uint64_t count,
+                                                       Rng& master,
+                                                       bool keep_sets,
+                                                       bool keep_stats) {
+  const std::vector<Batch> parts =
+      SampleParts(count, master, keep_sets, keep_stats);
+  // Concatenate in worker order — deterministic regardless of scheduling.
+  Batch out;
+  if (!keep_sets) {
+    std::size_t total_sets = 0;
+    for (const Batch& p : parts) total_sets += p.widths.size();
+    out.widths.reserve(total_sets);
+    for (const Batch& p : parts) {
+      out.widths.insert(out.widths.end(), p.widths.begin(), p.widths.end());
+    }
+    TIRM_CHECK_EQ(out.widths.size(), count);
+    return out;
+  }
+  std::size_t total_nodes = 0;
+  std::size_t total_sets = 0;
+  for (const Batch& p : parts) {
+    total_nodes += p.nodes.size();
+    total_sets += p.size();
+  }
+  out.nodes.reserve(total_nodes);
+  out.offsets.reserve(total_sets + 1);
+  if (keep_stats) {
+    out.roots.reserve(total_sets);
+    out.widths.reserve(total_sets);
+  }
+  out.offsets.push_back(0);
+  for (const Batch& p : parts) {
+    const std::size_t shift = out.nodes.size();
+    out.nodes.insert(out.nodes.end(), p.nodes.begin(), p.nodes.end());
+    for (std::size_t k = 1; k < p.offsets.size(); ++k) {
+      out.offsets.push_back(shift + p.offsets[k]);
+    }
+    out.roots.insert(out.roots.end(), p.roots.begin(), p.roots.end());
+    out.widths.insert(out.widths.end(), p.widths.begin(), p.widths.end());
+  }
+  TIRM_CHECK_EQ(out.size(), count);
+  return out;
+}
+
+}  // namespace tirm

@@ -1,0 +1,125 @@
+// Parallel RR/RRC-set generation (the dominant cost of TIM/TIRM, §5).
+//
+// RrSampler is deliberately "not thread-safe; create one per thread" — this
+// builder does exactly that: it owns one RrSampler per worker slot and fans a
+// requested batch of `count` sets out across N threads. Determinism is
+// preserved for a fixed (master RNG state, count, thread count):
+//
+//  * the master Rng forks one child stream per worker, sequentially, on the
+//    calling thread (Rng::Fork is deterministic in state and salt);
+//  * worker i samples a fixed contiguous chunk of the batch with its own
+//    sampler and its own stream, writing into worker-local storage;
+//  * chunks are concatenated in worker order, so the resulting Batch is
+//    byte-identical no matter how the OS schedules the threads.
+//
+// The produced Batch carries the flattened sets, their roots, and the TIM
+// widths w(R) (sum of in-degrees over the traversal), so both KPT estimation
+// and θ-driven collection growth can consume the same output without
+// resampling.
+
+#ifndef TIRM_RRSET_PARALLEL_RR_BUILDER_H_
+#define TIRM_RRSET_PARALLEL_RR_BUILDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "rrset/rr_sampler.h"
+
+namespace tirm {
+
+/// Fans RR/RRC-set sampling out over worker threads; deterministic in
+/// (master seed, batch size, thread count). Reusable across batches; not
+/// itself thread-safe (one builder per orchestrating thread).
+class ParallelRrBuilder {
+ public:
+  struct Options {
+    /// Worker threads; <= 0 selects std::thread::hardware_concurrency().
+    int num_threads = 1;
+    /// Batches smaller than this run inline on the calling thread — thread
+    /// spawn overhead dwarfs the sampling work below it.
+    std::uint64_t min_parallel_batch = 256;
+  };
+
+  /// One sampled batch, chunks concatenated in worker order. Set k occupies
+  /// nodes[offsets[k] .. offsets[k+1]). roots/widths are empty for batches
+  /// from SampleSetsOnly (and nodes/offsets/roots for SampleWidths).
+  struct Batch {
+    std::vector<std::size_t> offsets;   // size() + 1 entries
+    std::vector<NodeId> nodes;          // flattened members
+    std::vector<NodeId> roots;          // per set
+    std::vector<std::uint64_t> widths;  // per set, TIM w(R)
+
+    std::size_t size() const {
+      return offsets.empty() ? widths.size() : offsets.size() - 1;
+    }
+    std::span<const NodeId> Set(std::size_t k) const {
+      TIRM_DCHECK(k < size());
+      return {nodes.data() + offsets[k], offsets[k + 1] - offsets[k]};
+    }
+  };
+
+  /// Plain RR-set builder (RrSampler::Mode::kPlain).
+  ParallelRrBuilder(const Graph& graph, std::span<const float> edge_probs,
+                    Options options);
+
+  /// RRC-set builder with node-level CTP coins; `ctp` must be safe to call
+  /// concurrently from multiple threads (pure function of the node).
+  ParallelRrBuilder(const Graph& graph, std::span<const float> edge_probs,
+                    std::function<double(NodeId)> ctp, Options options);
+
+  /// Samples `count` sets. Consumes one fork of `master` per active worker —
+  /// min(count, num_threads()) forks, or a single fork when `count` is below
+  /// `min_parallel_batch` — so the master stream's advancement depends on the
+  /// batch size as well as the thread count. Chunk sizes differ by at most
+  /// one across workers.
+  Batch SampleBatch(std::uint64_t count, Rng& master);
+
+  /// Widths-only variant for KPT estimation: same sampling streams as
+  /// SampleBatch (identical widths for an identical master state) but skips
+  /// accumulating the flattened node lists.
+  std::vector<std::uint64_t> SampleWidths(std::uint64_t count, Rng& master);
+
+  /// Sets-only variant for coverage building: same streams as SampleBatch
+  /// but skips the per-set roots/widths arrays that coverage backends never
+  /// read.
+  Batch SampleSetsOnly(std::uint64_t count, Rng& master);
+
+  /// Streaming variant of SampleSetsOnly: invokes `sink` once per set, in
+  /// the same deterministic worker order, straight from the worker-local
+  /// buffers — no concatenation copy. The hot path for feeding coverage
+  /// collections.
+  void SampleSetsInto(std::uint64_t count, Rng& master,
+                      const std::function<void(std::span<const NodeId>)>& sink);
+
+  /// Resolved worker count (>= 1, clamped to kMaxSamplingThreads —
+  /// see common/threading.h).
+  int num_threads() const { return num_threads_; }
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  RrSampler& SamplerFor(int worker);
+  /// Worker-local chunks in worker order (the deterministic pre-merge form).
+  std::vector<Batch> SampleParts(std::uint64_t count, Rng& master,
+                                 bool keep_sets, bool keep_stats);
+  Batch SampleImpl(std::uint64_t count, Rng& master, bool keep_sets,
+                   bool keep_stats);
+
+  const Graph& graph_;
+  std::span<const float> edge_probs_;
+  std::function<double(NodeId)> ctp_;  // null => plain mode
+  int num_threads_;
+  std::uint64_t min_parallel_batch_;
+  // Lazily created so a builder configured for N threads but only ever used
+  // for tiny inline batches allocates a single sampler.
+  std::vector<std::unique_ptr<RrSampler>> samplers_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_RRSET_PARALLEL_RR_BUILDER_H_

@@ -308,7 +308,11 @@ TEST(MemoryInfoTest, HumanBytesFormatting) {
 TEST(TimerTest, MeasuresElapsed) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += std::sqrt(static_cast<double>(i));
+  // Plain assignment: compound assignment on a volatile lvalue is
+  // deprecated in C++20 (-Wvolatile).
+  for (int i = 0; i < 2000000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   EXPECT_GT(t.Seconds(), 0.0);
   EXPECT_GT(sink, 0.0);
   const double before = t.Seconds();

@@ -149,8 +149,12 @@ TEST(DatasetTest, Figure1InstanceMatchesPaper) {
     if (b.graph->edge_source(e) == 0 && b.graph->edge_target(e) == 2) {
       EXPECT_FLOAT_EQ(probs[e], 0.2f);
     }
-    if (b.graph->edge_source(e) == 2) EXPECT_FLOAT_EQ(probs[e], 0.5f);
-    if (b.graph->edge_target(e) == 5) EXPECT_FLOAT_EQ(probs[e], 0.1f);
+    if (b.graph->edge_source(e) == 2) {
+      EXPECT_FLOAT_EQ(probs[e], 0.5f);
+    }
+    if (b.graph->edge_target(e) == 5) {
+      EXPECT_FLOAT_EQ(probs[e], 0.1f);
+    }
   }
 }
 

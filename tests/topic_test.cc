@@ -29,7 +29,9 @@ TEST(TopicDistributionTest, ConcentratedMatchesPaperSetup) {
   TopicDistribution d = TopicDistribution::Concentrated(10, 3, 0.91);
   EXPECT_NEAR(d.Mass(3), 0.91, 1e-12);
   for (TopicId z = 0; z < 10; ++z) {
-    if (z != 3) EXPECT_NEAR(d.Mass(z), 0.01, 1e-12);
+    if (z != 3) {
+      EXPECT_NEAR(d.Mass(z), 0.01, 1e-12);
+    }
   }
 }
 
