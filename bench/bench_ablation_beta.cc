@@ -31,8 +31,7 @@ int main(int argc, char** argv) {
   for (const double beta : {0.0, 0.1, 0.25, 0.5}) {
     ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0,
                                               beta);
-    Rng algo_rng(config.seed + 17);
-    TirmResult result = RunTirm(inst, config.MakeTirmOptions(), algo_rng);
+    AllocationResult result = RunAlgorithm("tirm", inst, config);
     RegretReport report = EvaluateChecked(
         inst, result.allocation, config,
         static_cast<std::uint64_t>(beta * 100));

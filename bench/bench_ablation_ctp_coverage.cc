@@ -38,13 +38,12 @@ int main(int argc, char** argv) {
     TablePrinter t({"variant", "MC regret", "% of budget",
                     "mean |internal-MC| per ad", "seeds", "time (s)"});
     for (const bool weighted : {false, true}) {
-      TirmOptions options = config.MakeTirmOptions();
-      options.ctp_aware_coverage = weighted;
+      AllocatorConfig algo_config = config.MakeAllocatorConfig("tirm");
+      algo_config.ctp_aware_coverage = weighted;
       ProblemInstance inst = built.MakeInstance(3, 0.0);
-      WallTimer timer;
-      Rng algo_rng(config.seed + 17);
-      TirmResult result = RunTirm(inst, options, algo_rng);
-      const double seconds = timer.Seconds();
+      AllocationResult result =
+          RunConfigured(algo_config, inst, config.seed + 17);
+      const double seconds = result.seconds;
       RegretReport report = EvaluateChecked(inst, result.allocation, config,
                                             weighted ? 1 : 0);
       double est_err = 0.0;

@@ -37,33 +37,27 @@ int main(int argc, char** argv) {
                   "time (s)"});
 
   {
-    WallTimer timer;
-    McMarginalOracle oracle(&inst, Rng(config.seed + 5),
-                            {.num_sims = mc_sims});
-    GreedyAllocator greedy(&inst, &oracle);
-    GreedyResult r = greedy.Run();
-    const double seconds = timer.Seconds();
+    AllocatorConfig algo_config = config.MakeAllocatorConfig("greedy-mc");
+    algo_config.mc_sims = mc_sims;
+    AllocationResult r = RunConfigured(algo_config, inst, config.seed + 5);
     RegretReport report = EvaluateChecked(inst, r.allocation, config, 1);
     t.AddRow({"greedy-mc (Alg. 1 reference)",
               TablePrinter::Num(report.total_regret, 2),
               TablePrinter::Num(100.0 * report.RegretFractionOfBudget(), 1),
               TablePrinter::Int(static_cast<long long>(report.total_seeds)),
-              TablePrinter::Num(seconds, 2)});
+              TablePrinter::Num(r.seconds, 2)});
   }
   for (const bool weighted : {false, true}) {
-    WallTimer timer;
-    TirmOptions options = config.MakeTirmOptions();
-    options.ctp_aware_coverage = weighted;
-    Rng algo_rng(config.seed + 17);
-    TirmResult r = RunTirm(inst, options, algo_rng);
-    const double seconds = timer.Seconds();
+    AllocatorConfig algo_config = config.MakeAllocatorConfig("tirm");
+    algo_config.ctp_aware_coverage = weighted;
+    AllocationResult r = RunConfigured(algo_config, inst, config.seed + 17);
     RegretReport report =
         EvaluateChecked(inst, r.allocation, config, weighted ? 3 : 2);
     t.AddRow({weighted ? "tirm (ctp-aware coverage)" : "tirm (Alg. 2)",
               TablePrinter::Num(report.total_regret, 2),
               TablePrinter::Num(100.0 * report.RegretFractionOfBudget(), 1),
               TablePrinter::Int(static_cast<long long>(report.total_seeds)),
-              TablePrinter::Num(seconds, 2)});
+              TablePrinter::Num(r.seconds, 2)});
   }
   t.Print();
   std::printf(

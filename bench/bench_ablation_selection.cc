@@ -44,13 +44,12 @@ int main(int argc, char** argv) {
     TablePrinter t({"variant", "total regret", "% of budget", "seeds",
                     "time (s)"});
     for (const Variant& v : variants) {
-      TirmOptions options = config.MakeTirmOptions();
-      options.weight_by_ctp = v.weight_by_ctp;
-      options.exact_selection_fallback = v.fallback;
-      WallTimer timer;
-      Rng algo_rng(config.seed + 17);
-      TirmResult result = RunTirm(inst, options, algo_rng);
-      const double seconds = timer.Seconds();
+      AllocatorConfig algo_config = config.MakeAllocatorConfig("tirm");
+      algo_config.weight_by_ctp = v.weight_by_ctp;
+      algo_config.exact_selection_fallback = v.fallback;
+      AllocationResult result =
+          RunConfigured(algo_config, inst, config.seed + 17);
+      const double seconds = result.seconds;
       RegretReport report =
           EvaluateChecked(inst, result.allocation, config,
                           static_cast<std::uint64_t>(v.weight_by_ctp) * 2 +

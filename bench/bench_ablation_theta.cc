@@ -36,13 +36,12 @@ int main(int argc, char** argv) {
       {0.25, 1 << 19}, {0.1, 1 << 19},
   };
   for (const Setting& s : settings) {
-    TirmOptions options;
-    options.theta.epsilon = s.eps;
-    options.theta.theta_cap = s.cap;
-    WallTimer timer;
-    Rng algo_rng(config.seed + 17);
-    TirmResult result = RunTirm(inst, options, algo_rng);
-    const double seconds = timer.Seconds();
+    AllocatorConfig algo_config = config.MakeAllocatorConfig("tirm");
+    algo_config.eps = s.eps;
+    algo_config.theta_cap = s.cap;
+    AllocationResult result =
+        RunConfigured(algo_config, inst, config.seed + 17);
+    const double seconds = result.seconds;
     RegretReport report = EvaluateChecked(
         inst, result.allocation, config,
         static_cast<std::uint64_t>(s.eps * 100) + s.cap);

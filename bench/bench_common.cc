@@ -35,28 +35,21 @@ void BenchConfig::Print(const char* bench_name) const {
       static_cast<unsigned long long>(seed), threads);
 }
 
-AlgoRun RunAlgorithm(const std::string& name, const ProblemInstance& instance,
-                     const BenchConfig& config) {
-  AlgoRun run;
-  WallTimer timer;
-  if (name == "myopic") {
-    run.allocation = MyopicAllocate(instance);
-  } else if (name == "myopic+") {
-    run.allocation = MyopicPlusAllocate(instance);
-  } else if (name == "greedy-irie") {
-    IrieOracle oracle(&instance, {.alpha = config.irie_alpha});
-    GreedyAllocator greedy(&instance, &oracle);
-    run.allocation = greedy.Run().allocation;
-  } else if (name == "tirm") {
-    Rng rng(config.seed + 17);
-    TirmResult result = RunTirm(instance, config.MakeTirmOptions(), rng);
-    run.allocation = std::move(result.allocation);
-    run.rr_memory_bytes = result.rr_memory_bytes;
-  } else {
-    TIRM_CHECK(false) << "unknown algorithm " << name;
-  }
-  run.seconds = timer.Seconds();
-  return run;
+AllocationResult RunAlgorithm(const std::string& name,
+                              const ProblemInstance& instance,
+                              const BenchConfig& config) {
+  return RunConfigured(config.MakeAllocatorConfig(name), instance,
+                       config.seed + 17);
+}
+
+AllocationResult RunConfigured(const AllocatorConfig& config,
+                               const ProblemInstance& instance,
+                               std::uint64_t seed) {
+  Result<std::unique_ptr<Allocator>> allocator =
+      AllocatorRegistry::Global().Create(config);
+  TIRM_CHECK(allocator.ok()) << allocator.status().ToString();
+  Rng rng(seed);
+  return allocator.value()->Allocate(instance, rng);
 }
 
 RegretReport EvaluateChecked(const ProblemInstance& instance,

@@ -10,20 +10,22 @@
 //   TIRM_EPS          TIM/TIRM epsilon (paper: 0.1 quality / 0.2 scale)
 //   TIRM_THETA_CAP    per-ad RR-set cap (0 = uncapped)
 //   TIRM_SEED         master RNG seed
+//
+// Algorithms are dispatched exclusively through the AllocatorRegistry
+// (api/allocator_registry.h); benches never call per-algorithm entry
+// points directly.
 
 #ifndef TIRM_BENCH_BENCH_COMMON_H_
 #define TIRM_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
-#include <map>
 #include <string>
 
 #include "alloc/allocation.h"
-#include "alloc/greedy.h"
-#include "alloc/irie.h"
-#include "alloc/myopic.h"
+#include "alloc/allocator.h"
 #include "alloc/regret_evaluator.h"
-#include "alloc/tirm.h"
+#include "api/allocator_config.h"
+#include "api/allocator_registry.h"
 #include "common/flags.h"
 #include "common/memory_info.h"
 #include "common/rng.h"
@@ -49,29 +51,35 @@ struct BenchConfig {
   static BenchConfig FromFlags(const Flags& flags, double default_scale,
                                double default_eps = 0.25);
 
-  TirmOptions MakeTirmOptions() const {
-    TirmOptions o;
-    o.theta.epsilon = eps;
-    o.theta.theta_cap = theta_cap;
-    o.num_threads = threads;
-    return o;
+  /// Registry configuration carrying this bench's knobs; `name` fills
+  /// AllocatorConfig::allocator.
+  AllocatorConfig MakeAllocatorConfig(const std::string& name) const {
+    AllocatorConfig c;
+    c.allocator = name;
+    c.eps = eps;
+    c.theta_cap = theta_cap;
+    c.num_threads = threads;
+    c.irie_alpha = irie_alpha;
+    return c;
   }
 
   void Print(const char* bench_name) const;
 };
 
-/// Result of running one algorithm on one instance.
-struct AlgoRun {
-  Allocation allocation;
-  double seconds = 0.0;
-  std::size_t rr_memory_bytes = 0;  // TIRM only
-};
+/// Runs any registered allocator by name with this bench's shared config
+/// (aborts on unknown names — a bench must fail loudly).
+AllocationResult RunAlgorithm(const std::string& name,
+                              const ProblemInstance& instance,
+                              const BenchConfig& config);
 
-/// Runs one named algorithm ("myopic", "myopic+", "greedy-irie", "tirm").
-AlgoRun RunAlgorithm(const std::string& name, const ProblemInstance& instance,
-                     const BenchConfig& config);
+/// Runs a fully custom AllocatorConfig (ablation variants) with an
+/// explicit algorithm seed.
+AllocationResult RunConfigured(const AllocatorConfig& config,
+                               const ProblemInstance& instance,
+                               std::uint64_t seed);
 
-/// The four paper algorithms in presentation order.
+/// The four paper algorithms in presentation order ("greedy-mc" is bench
+/// -specific and only appears in ablations).
 extern const char* const kAllAlgorithms[4];
 
 /// Convenience: evaluates with MC and asserts validity (aborts on invalid —

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
         std::vector<std::string> row = {TablePrinter::Int(kappa)};
         double tirm_regret = 0.0;
         for (const char* algo : kAllAlgorithms) {
-          AlgoRun run = RunAlgorithm(algo, inst, config);
+          AllocationResult run = RunAlgorithm(algo, inst, config);
           RegretReport report =
               EvaluateChecked(inst, run.allocation, config, kappa);
           row.push_back(TablePrinter::Num(report.total_regret, 1));

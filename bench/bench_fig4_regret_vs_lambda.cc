@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
         ProblemInstance inst = built.MakeInstance(kappa, lambda);
         std::vector<std::string> row = {TablePrinter::Num(lambda, 1)};
         for (const char* algo : kAllAlgorithms) {
-          AlgoRun run = RunAlgorithm(algo, inst, config);
+          AllocationResult run = RunAlgorithm(algo, inst, config);
           RegretReport report = EvaluateChecked(
               inst, run.allocation, config,
               static_cast<std::uint64_t>(lambda * 10) + kappa * 100);

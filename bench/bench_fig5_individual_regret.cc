@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
     BuiltInstance built = BuildDataset(spec, rng);
     ProblemInstance inst = built.MakeInstance(/*kappa=*/5, /*lambda=*/0.0);
 
-    AlgoRun tirm_run = RunAlgorithm("tirm", inst, config);
-    AlgoRun irie_run = RunAlgorithm("greedy-irie", inst, config);
+    AllocationResult tirm_run = RunAlgorithm("tirm", inst, config);
+    AllocationResult irie_run = RunAlgorithm("greedy-irie", inst, config);
     RegretReport tirm_report =
         EvaluateChecked(inst, tirm_run.allocation, config, 1);
     RegretReport irie_report =

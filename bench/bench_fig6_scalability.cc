@@ -66,17 +66,15 @@ void RunThreadSweep(const BenchConfig& config,
               "equivalence) ---\n");
   TablePrinter cmp({"threads", "tirm (s)", "seeds", "est revenue"});
   for (const int threads : {1, thread_counts.back()}) {
-    BenchConfig cfg = config;
-    cfg.threads = threads;
-    Rng rng(cfg.seed + 17);
-    WallTimer timer;
-    const TirmResult result = RunTirm(inst, cfg.MakeTirmOptions(), rng);
-    double revenue = 0.0;
-    for (const double r : result.estimated_revenue) revenue += r;
-    cmp.AddRow({TablePrinter::Int(threads), TablePrinter::Num(timer.Seconds(), 2),
+    AllocatorConfig algo_config = config.MakeAllocatorConfig("tirm");
+    algo_config.num_threads = threads;
+    const AllocationResult result =
+        RunConfigured(algo_config, inst, config.seed + 17);
+    cmp.AddRow({TablePrinter::Int(threads),
+                TablePrinter::Num(result.seconds, 2),
                 TablePrinter::Int(
                     static_cast<long long>(result.allocation.TotalSeeds())),
-                TablePrinter::Num(revenue, 1)});
+                TablePrinter::Num(result.TotalEstimatedRevenue(), 1)});
   }
   cmp.Print();
 }
@@ -97,13 +95,13 @@ void RunSweep(const char* title, const DatasetSpec& spec,
       BuiltInstance built =
           BuildDataset(spec, build_rng, /*num_ads_override=*/h, fixed_budget);
       ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
-      AlgoRun tirm_run = RunAlgorithm("tirm", inst, config);
+      AllocationResult tirm_run = RunAlgorithm("tirm", inst, config);
       std::vector<std::string> row = {
           TablePrinter::Int(h), TablePrinter::Num(tirm_run.seconds, 2),
           TablePrinter::Int(
               static_cast<long long>(tirm_run.allocation.TotalSeeds()))};
       if (include_irie) {
-        AlgoRun irie_run = RunAlgorithm("greedy-irie", inst, config);
+        AllocationResult irie_run = RunAlgorithm("greedy-irie", inst, config);
         row.push_back(TablePrinter::Num(irie_run.seconds, 2));
         row.push_back(TablePrinter::Int(
             static_cast<long long>(irie_run.allocation.TotalSeeds())));
@@ -127,13 +125,13 @@ void RunSweep(const char* title, const DatasetSpec& spec,
       BuiltInstance built =
           BuildDataset(spec, build_rng, fixed_h, budget);
       ProblemInstance inst = built.MakeInstance(1, 0.0);
-      AlgoRun tirm_run = RunAlgorithm("tirm", inst, config);
+      AllocationResult tirm_run = RunAlgorithm("tirm", inst, config);
       std::vector<std::string> row = {
           TablePrinter::Num(budget, 0), TablePrinter::Num(tirm_run.seconds, 2),
           TablePrinter::Int(
               static_cast<long long>(tirm_run.allocation.TotalSeeds()))};
       if (include_irie) {
-        AlgoRun irie_run = RunAlgorithm("greedy-irie", inst, config);
+        AllocationResult irie_run = RunAlgorithm("greedy-irie", inst, config);
         row.push_back(TablePrinter::Num(irie_run.seconds, 2));
         row.push_back(TablePrinter::Int(
             static_cast<long long>(irie_run.allocation.TotalSeeds())));

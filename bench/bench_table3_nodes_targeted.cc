@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> row = {algo};
       for (int kappa = 1; kappa <= 5; ++kappa) {
         ProblemInstance inst = built.MakeInstance(kappa, /*lambda=*/0.0);
-        AlgoRun run = RunAlgorithm(algo, inst, config);
+        AllocationResult run = RunAlgorithm(algo, inst, config);
         Status valid = ValidateAllocation(inst, run.allocation);
         TIRM_CHECK(valid.ok()) << valid.ToString();
         row.push_back(TablePrinter::Int(static_cast<long long>(

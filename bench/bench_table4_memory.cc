@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
         BuildDataset(DblpLike(config.scale), rng, /*num_ads_override=*/h,
                      budget);
     ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
-    Rng algo_rng(config.seed + 99);
-    TirmResult result = RunTirm(inst, config.MakeTirmOptions(), algo_rng);
+    AllocationResult result = RunConfigured(
+        config.MakeAllocatorConfig("tirm"), inst, config.seed + 99);
     const std::size_t static_bytes =
         built.graph->MemoryBytes() + built.edge_probs->MemoryBytes() +
         built.ctps->MemoryBytes();

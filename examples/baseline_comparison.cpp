@@ -1,24 +1,19 @@
 // Baseline comparison: MYOPIC vs MYOPIC+ vs GREEDY-IRIE vs TIRM on a
 // Flixster-shaped topic-aware instance — a miniature of the paper's §6.1
-// quality experiments.
+// quality experiments, driven end to end by the AdAllocEngine facade:
+// one engine owns the instance and evaluator, and every algorithm runs
+// through the AllocatorRegistry by name.
 //
 //   ./baseline_comparison [--scale=0.01] [--kappa=1] [--lambda=0]
 //                         [--eval_sims=2000] [--seed=3]
 
 #include <cstdio>
-#include <map>
 #include <string>
 
-#include "alloc/allocation.h"
-#include "alloc/greedy.h"
-#include "alloc/irie.h"
-#include "alloc/myopic.h"
-#include "alloc/regret_evaluator.h"
-#include "alloc/tirm.h"
+#include "api/ad_alloc_engine.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
-#include "common/timer.h"
 #include "datasets/dataset.h"
 #include "graph/graph_stats.h"
 
@@ -29,71 +24,60 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  const double scale = flags.GetDouble("scale", 0.01);
-  const int kappa = static_cast<int>(flags.GetInt("kappa", 1));
-  const double lambda = flags.GetDouble("lambda", 0.0);
-  const std::size_t eval_sims =
-      static_cast<std::size_t>(flags.GetInt("eval_sims", 2000));
-  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 3));
+  Result<double> scale_flag = flags.GetDoubleStrict("scale", 0.01);
+  Result<EngineQuery> parsed_query = EngineQuery::FromFlags(flags);
+  Result<std::int64_t> eval_sims_flag = flags.GetIntStrict("eval_sims", 2000);
+  Result<std::int64_t> seed_flag = flags.GetIntStrict("seed", 3);
+  for (const Status& s :
+       {scale_flag.ok() ? Status::OK() : scale_flag.status(),
+        parsed_query.ok() ? Status::OK() : parsed_query.status(),
+        eval_sims_flag.ok() ? Status::OK() : eval_sims_flag.status(),
+        seed_flag.ok() ? Status::OK() : seed_flag.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  const double scale = *scale_flag;
+  const EngineQuery query = *parsed_query;
+  if (*eval_sims_flag < 1) {
+    std::fprintf(stderr, "--eval_sims must be >= 1, got %lld\n",
+                 static_cast<long long>(*eval_sims_flag));
+    return 1;
+  }
+  const auto eval_sims = static_cast<std::size_t>(*eval_sims_flag);
+  const auto seed = static_cast<std::uint64_t>(*seed_flag);
 
   Rng rng(seed);
-  BuiltInstance built = BuildDataset(FlixsterLike(scale), rng);
-  ProblemInstance inst = built.MakeInstance(kappa, lambda);
+  AdAllocEngine engine(BuildDataset(FlixsterLike(scale), rng),
+                       {.eval_sims = eval_sims, .seed = seed});
+  const BuiltInstance& built = engine.built();
   std::printf("dataset: %s  %s\nkappa=%d lambda=%.2f total budget=%.1f\n\n",
               built.name.c_str(),
-              FormatGraphStats(ComputeGraphStats(*built.graph)).c_str(), kappa,
-              lambda, inst.TotalBudget());
+              FormatGraphStats(ComputeGraphStats(*built.graph)).c_str(),
+              query.kappa, query.lambda,
+              engine.MakeInstance(query).TotalBudget());
 
-  struct Entry {
-    Allocation allocation;
-    double seconds = 0.0;
-  };
-  std::map<std::string, Entry> runs;
-
-  {
-    WallTimer t;
-    runs["1.myopic"].allocation = MyopicAllocate(inst);
-    runs["1.myopic"].seconds = t.Seconds();
-  }
-  {
-    WallTimer t;
-    runs["2.myopic+"].allocation = MyopicPlusAllocate(inst);
-    runs["2.myopic+"].seconds = t.Seconds();
-  }
-  {
-    WallTimer t;
-    IrieOracle oracle(&inst, {.alpha = 0.8});
-    GreedyAllocator greedy(&inst, &oracle);
-    runs["3.greedy-irie"].allocation = greedy.Run().allocation;
-    runs["3.greedy-irie"].seconds = t.Seconds();
-  }
-  {
-    WallTimer t;
-    TirmOptions options;
-    options.theta.epsilon = 0.25;
-    options.theta.theta_cap = 1 << 18;
-    Rng algo_rng(seed + 1);
-    runs["4.tirm"].allocation = RunTirm(inst, options, algo_rng).allocation;
-    runs["4.tirm"].seconds = t.Seconds();
-  }
-
-  RegretEvaluator evaluator(&inst, {.num_sims = eval_sims});
   TablePrinter t({"algorithm", "total regret", "regret/budget %", "revenue",
                   "seeds", "distinct users", "time (s)"});
-  for (auto& [name, entry] : runs) {
-    if (Status s = ValidateAllocation(inst, entry.allocation); !s.ok()) {
-      std::fprintf(stderr, "%s produced invalid allocation: %s\n", name.c_str(),
-                   s.ToString().c_str());
+  for (const char* name : {"myopic", "myopic+", "greedy-irie", "tirm"}) {
+    AllocatorConfig config;
+    config.allocator = name;
+    config.eps = 0.25;
+    config.theta_cap = 1 << 18;
+    Result<EngineRun> run = engine.Run(config, query);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   run.status().ToString().c_str());
       return 2;
     }
-    Rng eval_rng(seed + 100);
-    RegretReport r = evaluator.Evaluate(entry.allocation, eval_rng);
-    t.AddRow({name.substr(2), TablePrinter::Num(r.total_regret, 1),
+    const RegretReport& r = run->report;
+    t.AddRow({name, TablePrinter::Num(r.total_regret, 1),
               TablePrinter::Num(100.0 * r.RegretFractionOfBudget(), 1),
               TablePrinter::Num(r.total_revenue, 1),
               TablePrinter::Int(static_cast<long long>(r.total_seeds)),
               TablePrinter::Int(static_cast<long long>(r.distinct_targeted)),
-              TablePrinter::Num(entry.seconds, 2)});
+              TablePrinter::Num(run->result.seconds, 2)});
   }
   t.Print(stdout, /*with_csv=*/false);
   std::printf(

@@ -1,24 +1,24 @@
 // Campaign planner: the host's end-to-end workflow on a realistic
 // (Epinions-shaped) instance.
 //
-// Ten advertisers approach the host with budgets and CPEs; the host runs
-// TIRM to allocate seed users, then audits the plan with ground-truth
-// Monte-Carlo simulation: per-advertiser expected revenue vs budget, seeds
-// used, attention-bound compliance, runtime and memory.
+// Ten advertisers approach the host with budgets and CPEs; the host asks
+// the AdAllocEngine for a TIRM allocation, then audits the plan with the
+// engine's ground-truth Monte-Carlo evaluation: per-advertiser expected
+// revenue vs budget, seeds used, attention-bound compliance, runtime and
+// memory. `--allocator` swaps the strategy without touching the workflow.
 //
 //   ./campaign_planner [--scale=0.02] [--kappa=3] [--lambda=0.1]
 //                      [--eps=0.2] [--eval_sims=2000] [--seed=1]
+//                      [--allocator=tirm]
 
 #include <cstdio>
+#include <string>
 
-#include "alloc/allocation.h"
-#include "alloc/regret_evaluator.h"
-#include "alloc/tirm.h"
+#include "api/ad_alloc_engine.h"
 #include "common/flags.h"
 #include "common/memory_info.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
-#include "common/timer.h"
 #include "datasets/dataset.h"
 #include "graph/graph_stats.h"
 
@@ -29,45 +29,66 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  const double scale = flags.GetDouble("scale", 0.02);
-  const int kappa = static_cast<int>(flags.GetInt("kappa", 3));
-  const double lambda = flags.GetDouble("lambda", 0.1);
-  const double eps = flags.GetDouble("eps", 0.2);
-  const std::size_t eval_sims =
-      static_cast<std::size_t>(flags.GetInt("eval_sims", 2000));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  EngineQuery query_defaults;
+  query_defaults.kappa = 3;
+  query_defaults.lambda = 0.1;
+  Result<double> scale_flag = flags.GetDoubleStrict("scale", 0.02);
+  Result<EngineQuery> parsed_query =
+      EngineQuery::FromFlags(flags, query_defaults);
+  Result<std::int64_t> eval_sims_flag = flags.GetIntStrict("eval_sims", 2000);
+  Result<std::int64_t> seed_flag = flags.GetIntStrict("seed", 1);
+  for (const Status& s :
+       {scale_flag.ok() ? Status::OK() : scale_flag.status(),
+        parsed_query.ok() ? Status::OK() : parsed_query.status(),
+        eval_sims_flag.ok() ? Status::OK() : eval_sims_flag.status(),
+        seed_flag.ok() ? Status::OK() : seed_flag.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  const double scale = *scale_flag;
+  const EngineQuery query = *parsed_query;
+  if (*eval_sims_flag < 1) {
+    std::fprintf(stderr, "--eval_sims must be >= 1, got %lld\n",
+                 static_cast<long long>(*eval_sims_flag));
+    return 1;
+  }
+  const auto eval_sims = static_cast<std::size_t>(*eval_sims_flag);
+  const auto seed = static_cast<std::uint64_t>(*seed_flag);
 
   std::printf("== campaign planner ==\n");
   Rng rng(seed);
-  BuiltInstance built = BuildDataset(EpinionsLike(scale), rng);
-  std::printf("dataset: %s  %s\n", built.name.c_str(),
-              FormatGraphStats(ComputeGraphStats(*built.graph)).c_str());
+  AdAllocEngine engine(BuildDataset(EpinionsLike(scale), rng),
+                       {.eval_sims = eval_sims, .seed = seed});
+  std::printf("dataset: %s  %s\n", engine.built().name.c_str(),
+              FormatGraphStats(ComputeGraphStats(*engine.built().graph))
+                  .c_str());
 
-  ProblemInstance inst = built.MakeInstance(kappa, lambda);
-  if (Status s = inst.Validate(); !s.ok()) {
-    std::fprintf(stderr, "invalid instance: %s\n", s.ToString().c_str());
+  AllocatorConfig config_defaults;
+  config_defaults.eps = 0.2;
+  config_defaults.theta_cap = 1 << 19;
+  Result<AllocatorConfig> config =
+      AllocatorConfig::FromFlags(flags, config_defaults);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
     return 1;
   }
 
-  TirmOptions options;
-  options.theta.epsilon = eps;
-  options.theta.theta_cap = 1 << 19;
-  WallTimer timer;
-  Rng algo_rng(seed + 1);
-  TirmResult result = RunTirm(inst, options, algo_rng);
-  const double elapsed = timer.Seconds();
-
-  // Audit with ground-truth simulation.
-  RegretEvaluator evaluator(&inst, {.num_sims = eval_sims});
-  Rng eval_rng(seed + 2);
-  RegretReport report = evaluator.Evaluate(result.allocation, eval_rng);
+  Result<EngineRun> run = engine.Run(*config, query);
+  if (!run.ok()) {
+    std::fprintf(stderr, "engine run failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const AllocationResult& result = run->result;
+  const RegretReport& report = run->report;
 
   TablePrinter t({"ad", "budget", "revenue(MC)", "regret", "seeds", "theta",
                   "expansions"});
-  for (int i = 0; i < inst.num_ads(); ++i) {
-    const auto& ad = report.ads[static_cast<std::size_t>(i)];
-    const auto& st = result.ad_stats[static_cast<std::size_t>(i)];
+  for (std::size_t i = 0; i < report.ads.size(); ++i) {
+    const auto& ad = report.ads[i];
+    const auto& st = result.ad_stats[i];
     t.AddRow({"ad" + std::to_string(i), TablePrinter::Num(ad.budget, 1),
               TablePrinter::Num(ad.revenue, 1),
               TablePrinter::Num(ad.budget_regret, 2),
@@ -77,16 +98,15 @@ int main(int argc, char** argv) {
   }
   t.Print(stdout, /*with_csv=*/false);
 
-  Status valid = ValidateAllocation(inst, result.allocation);
   std::printf(
       "\ntotal regret: %.2f (%.1f%% of total budget %.1f)\n"
       "seeds used: %zu (%zu distinct users)\n"
-      "allocation valid: %s\n"
-      "TIRM time: %.2fs   RR memory: %s   process RSS: %s\n",
+      "allocation valid: yes (engine-checked)\n"
+      "%s time: %.2fs   RR memory: %s   process RSS: %s\n",
       report.total_regret, 100.0 * report.RegretFractionOfBudget(),
       report.total_budget, report.total_seeds, report.distinct_targeted,
-      valid.ok() ? "yes" : valid.ToString().c_str(), elapsed,
+      result.allocator.c_str(), result.seconds,
       HumanBytes(result.rr_memory_bytes).c_str(),
       HumanBytes(CurrentRssBytes()).c_str());
-  return valid.ok() ? 0 : 2;
+  return 0;
 }

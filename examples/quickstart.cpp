@@ -3,17 +3,17 @@
 // Builds the 6-node gadget with four ads {a,b,c,d}, evaluates the two
 // allocations discussed in §1 (myopic A vs virality-aware B) with exact
 // possible-world enumeration, then lets TIRM find its own allocation and
-// reports the regret of all three.
+// reports the regret of all three. Algorithms are constructed through the
+// AllocatorRegistry — the same path tirm_cli and the benches use.
 //
 //   ./quickstart
 
 #include <cstdio>
 #include <vector>
 
-#include "alloc/myopic.h"
+#include "alloc/allocator.h"
 #include "alloc/regret.h"
-#include "alloc/regret_evaluator.h"
-#include "alloc/tirm.h"
+#include "api/allocator_registry.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "datasets/dataset.h"
@@ -61,10 +61,14 @@ int main() {
   ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
 
   // Allocation A (§1): every user gets ad a, the top-CTP ad. This is what
-  // MYOPIC produces.
-  Allocation myopic = MyopicAllocate(inst);
+  // the registered "myopic" allocator produces.
+  Rng myopic_rng(2015);
+  AllocationResult myopic = AllocatorRegistry::Global()
+                                .Create("myopic")
+                                .value()
+                                ->Allocate(inst, myopic_rng);
   Report("Allocation A (myopic: maximize delta(u,i))", inst, built,
-         myopic.seeds);
+         myopic.allocation.seeds);
 
   // Allocation B (§1): leverage virality — a->{v1,v2}, b->{v3}, c->{v4,v5},
   // d->{v6}. (Node ids: v1..v6 = 0..5.)
@@ -72,12 +76,15 @@ int main() {
   Report("Allocation B (virality-aware)", inst, built, alloc_b);
 
   // TIRM finds its own allocation.
-  TirmOptions options;
-  options.theta.epsilon = 0.1;
-  options.theta.theta_min = 1 << 14;
-  options.theta.theta_cap = 1 << 17;
+  AllocatorConfig config;
+  config.eps = 0.1;
+  config.theta_min = 1 << 14;
+  config.theta_cap = 1 << 17;
   Rng rng(2015);
-  TirmResult result = RunTirm(inst, options, rng);
+  AllocationResult result = AllocatorRegistry::Global()
+                                .Create("tirm", config)
+                                .value()
+                                ->Allocate(inst, rng);
   Report("TIRM allocation", inst, built, result.allocation.seeds);
 
   std::printf(

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "alloc/regret_evaluator.h"
-#include "alloc/tirm.h"
+#include "api/allocator_registry.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
@@ -64,11 +64,14 @@ int main(int argc, char** argv) {
   std::printf(
       "ads 0 & 1 compete on topic A; ad 2 owns topic B. kappa = 1.\n\n");
 
-  TirmOptions options;
-  options.theta.epsilon = 0.25;
-  options.theta.theta_cap = 1 << 18;
+  AllocatorConfig config;
+  config.eps = 0.25;
+  config.theta_cap = 1 << 18;
   Rng algo_rng(seed + 3);
-  TirmResult result = RunTirm(inst, options, algo_rng);
+  AllocationResult result = AllocatorRegistry::Global()
+                                .Create("tirm", config)
+                                .value()
+                                ->Allocate(inst, algo_rng);
 
   RegretEvaluator evaluator(&inst, {.num_sims = eval_sims});
   Rng eval_rng(seed + 4);

@@ -1,0 +1,35 @@
+#include "alloc/allocator.h"
+
+#include "common/timer.h"
+
+namespace tirm {
+
+double AllocationResult::TotalEstimatedRevenue() const {
+  double total = 0.0;
+  for (const double r : estimated_revenue) total += r;
+  return total;
+}
+
+AllocationResult Allocator::Allocate(const ProblemInstance& instance,
+                                     Rng& rng) {
+  WallTimer timer;
+  AllocationResult result = AllocateImpl(instance, rng);
+  result.seconds = timer.Seconds();
+  result.allocator = std::string(name());
+
+  const auto num_ads = static_cast<std::size_t>(instance.num_ads());
+  TIRM_CHECK(result.allocation.seeds.size() == num_ads)
+      << "allocator \"" << name() << "\" returned "
+      << result.allocation.seeds.size() << " seed sets for " << num_ads
+      << " ads";
+  result.ad_stats.resize(num_ads);
+  for (std::size_t i = 0; i < num_ads; ++i) {
+    result.ad_stats[i].num_seeds = result.allocation.seeds[i].size();
+    if (i < result.estimated_revenue.size()) {
+      result.ad_stats[i].estimated_revenue = result.estimated_revenue[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace tirm

@@ -1,0 +1,91 @@
+// The unified allocation-algorithm interface.
+//
+// Every algorithm the paper evaluates head-to-head (§6: TIRM, GREEDY-MC,
+// GREEDY-IRIE, MYOPIC, MYOPIC+) is exposed behind one polymorphic
+// Allocator with one AllocationResult, so callers — benches, examples,
+// the AdAllocEngine facade, a future serving layer — can swap strategies
+// freely without knowing per-algorithm calling conventions. Concrete
+// allocators are constructed through the string-keyed AllocatorRegistry
+// (api/allocator_registry.h) from a typed AllocatorConfig
+// (api/allocator_config.h).
+//
+// Allocate() is a non-virtual template method: it times the run, stamps
+// the allocator name, and normalizes per-ad stats, so every implementation
+// reports uniform diagnostics for free.
+
+#ifndef TIRM_ALLOC_ALLOCATOR_H_
+#define TIRM_ALLOC_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "common/rng.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// Uniform per-ad diagnostics. Superset of the old TirmAdStats; sampling
+/// fields (theta, kpt, expansions) stay zero for sampling-free algorithms.
+struct AdAllocStats {
+  std::uint64_t theta = 0;         ///< final #RR sets for this ad (TIRM)
+  std::uint64_t final_s = 0;       ///< final seed-count estimate s_j (TIRM)
+  double kpt = 0.0;                ///< KPT* at the final s_j (TIRM)
+  std::size_t num_seeds = 0;       ///< |S_i|
+  double estimated_revenue = 0.0;  ///< internal Pi-hat_i at termination
+  std::size_t expansions = 0;      ///< theta-growth rounds (TIRM)
+};
+
+/// Result of one allocator run: the allocation plus uniform diagnostics.
+/// Supersedes the per-algorithm TirmResult / GreedyResult / bare
+/// Allocation return types.
+struct AllocationResult {
+  /// Registry key of the allocator that produced this result.
+  std::string allocator;
+  Allocation allocation;
+  /// Per-ad diagnostics, always sized num_ads().
+  std::vector<AdAllocStats> ad_stats;
+  /// Internal Pi-hat_i estimates (MC evaluation is the ground truth).
+  /// Empty for algorithms with no internal revenue model (MYOPIC).
+  std::vector<double> estimated_revenue;
+  /// Iterations / seeds committed by the greedy loop (0 if not iterative).
+  std::size_t iterations = 0;
+  /// Bytes held in RR-set collections at termination (Table 4; TIRM only).
+  std::size_t rr_memory_bytes = 0;
+  /// Total RR sets sampled across ads (TIRM only).
+  std::uint64_t total_rr_sets = 0;
+  /// Wall-clock time of the Allocate() call, stamped by the framework.
+  double seconds = 0.0;
+
+  /// Sum of the internal revenue estimates (0 if none were produced).
+  double TotalEstimatedRevenue() const;
+};
+
+/// Polymorphic allocation algorithm. Implementations are stateless between
+/// runs (options are baked in at construction) and deterministic given the
+/// seed of `rng`.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Registry key of this allocator ("tirm", "myopic", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Runs the algorithm on `instance`. Times the run, stamps `allocator`,
+  /// and fills ad_stats seed counts — implementations only produce the
+  /// allocation and whatever diagnostics they have.
+  AllocationResult Allocate(const ProblemInstance& instance, Rng& rng);
+
+ protected:
+  /// The algorithm itself. `allocator`/`seconds` are overwritten by
+  /// Allocate(); ad_stats may be left empty (normalized afterwards).
+  virtual AllocationResult AllocateImpl(const ProblemInstance& instance,
+                                        Rng& rng) = 0;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_ALLOC_ALLOCATOR_H_

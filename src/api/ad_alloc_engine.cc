@@ -1,0 +1,148 @@
+#include "api/ad_alloc_engine.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace tirm {
+namespace {
+
+// FNV-1a, then splitmix-style finalization: a stable, platform-independent
+// hash so query substreams are reproducible across runs and builds
+// (std::hash makes no such promise).
+std::uint64_t HashBytes(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t Finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t QuerySalt(const std::string& allocator, const EngineQuery& query,
+                        std::uint64_t stream) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = HashBytes(h, allocator.data(), allocator.size());
+  const double doubles[3] = {query.lambda, query.beta, query.budget_scale};
+  h = HashBytes(h, doubles, sizeof(doubles));
+  h = HashBytes(h, &query.kappa, sizeof(query.kappa));
+  h = HashBytes(h, &stream, sizeof(stream));
+  return Finalize(h);
+}
+
+}  // namespace
+
+Result<EngineQuery> EngineQuery::FromFlags(const Flags& flags) {
+  return FromFlags(flags, EngineQuery());
+}
+
+Result<EngineQuery> EngineQuery::FromFlags(const Flags& flags,
+                                           EngineQuery defaults) {
+  EngineQuery q = defaults;
+  Result<std::int64_t> kappa = flags.GetIntStrict("kappa", q.kappa);
+  if (!kappa.ok()) return kappa.status();
+  if (*kappa < 1 || *kappa > 0xFFFF) {  // range-check before narrowing
+    return Status::InvalidArgument("flag --kappa must be in [1, 65535], got " +
+                                   std::to_string(*kappa));
+  }
+  q.kappa = static_cast<int>(*kappa);
+  Result<double> lambda = flags.GetDoubleStrict("lambda", q.lambda);
+  if (!lambda.ok()) return lambda.status();
+  q.lambda = *lambda;
+  Result<double> beta = flags.GetDoubleStrict("beta", q.beta);
+  if (!beta.ok()) return beta.status();
+  q.beta = *beta;
+  Result<double> budget_scale =
+      flags.GetDoubleStrict("budget_scale", q.budget_scale);
+  if (!budget_scale.ok()) return budget_scale.status();
+  q.budget_scale = *budget_scale;
+  TIRM_RETURN_NOT_OK(AdAllocEngine::ValidateQuery(q));
+  return q;
+}
+
+Result<AdAllocEngine> AdAllocEngine::Create(BuiltInstance built,
+                                            EngineOptions options) {
+  {
+    const ProblemInstance probe = built.MakeInstance(/*kappa=*/1,
+                                                     /*lambda=*/0.0);
+    TIRM_RETURN_NOT_OK(probe.Validate());
+  }
+  return AdAllocEngine(std::move(built), options);
+}
+
+AdAllocEngine::AdAllocEngine(BuiltInstance built, EngineOptions options)
+    : built_(std::move(built)),
+      options_(options),
+      base_(built_.MakeInstance(/*kappa=*/1, /*lambda=*/0.0)) {
+  const Status valid = base_.Validate();
+  TIRM_CHECK(valid.ok()) << "AdAllocEngine: invalid instance: "
+                         << valid.ToString();
+}
+
+ProblemInstance AdAllocEngine::MakeInstance(const EngineQuery& query) const {
+  return base_.Derive(query.kappa, query.lambda, query.beta,
+                      query.budget_scale);
+}
+
+std::uint64_t AdAllocEngine::AlgoSeed(const std::string& allocator,
+                                      const EngineQuery& query) const {
+  return options_.seed ^ QuerySalt(allocator, query, /*stream=*/0x51);
+}
+
+std::uint64_t AdAllocEngine::EvalSeed(const EngineQuery& query) const {
+  // Deliberately independent of the allocator: evaluating every algorithm
+  // of a head-to-head comparison under the SAME Monte-Carlo possible-world
+  // draws makes regret/revenue rows a paired comparison (the paper's
+  // "neutral, fair, and accurate" §6 protocol), not a mix of evaluation
+  // noise. The 0x52 stream tag keeps it decorrelated from AlgoSeed.
+  return options_.seed ^ QuerySalt(/*allocator=*/"", query, /*stream=*/0x52);
+}
+
+Status AdAllocEngine::ValidateQuery(const EngineQuery& query) {
+  if (query.kappa < 1 || query.kappa > 0xFFFF) {
+    return Status::InvalidArgument("kappa must be in [1, 65535], got " +
+                                   std::to_string(query.kappa));
+  }
+  // Negated comparisons so NaN fails too.
+  if (!(query.lambda >= 0.0) || !(query.beta >= 0.0) ||
+      !(query.budget_scale >= 0.0) || !std::isfinite(query.lambda) ||
+      !std::isfinite(query.beta) || !std::isfinite(query.budget_scale)) {
+    return Status::InvalidArgument(
+        "lambda, beta, and budget_scale must be finite and non-negative");
+  }
+  return Status::OK();
+}
+
+Result<EngineRun> AdAllocEngine::Run(const AllocatorConfig& config,
+                                     const EngineQuery& query) {
+  TIRM_RETURN_NOT_OK(ValidateQuery(query));
+  Result<std::unique_ptr<Allocator>> allocator =
+      AllocatorRegistry::Global().Create(config);
+  if (!allocator.ok()) return allocator.status();
+
+  const ProblemInstance instance = MakeInstance(query);
+  Rng algo_rng(AlgoSeed(config.allocator, query));
+  EngineRun run;
+  run.result = allocator.value()->Allocate(instance, algo_rng);
+
+  const Status valid = ValidateAllocation(instance, run.result.allocation);
+  if (!valid.ok()) {
+    return Status::Internal("allocator \"" + config.allocator +
+                            "\" produced an invalid allocation: " +
+                            valid.ToString());
+  }
+  if (options_.evaluate) {
+    RegretEvaluator evaluator(&instance, {.num_sims = options_.eval_sims});
+    Rng eval_rng(EvalSeed(query));
+    run.report = evaluator.Evaluate(run.result.allocation, eval_rng);
+  }
+  return run;
+}
+
+}  // namespace tirm

@@ -1,0 +1,116 @@
+// AdAllocEngine — the one-stop facade over the unified allocator API.
+//
+// Owns a built problem instance (graph + probabilities + CTPs +
+// advertisers), a ground-truth RegretEvaluator, and a deterministic RNG
+// seed policy. One engine serves repeated queries — any registered
+// allocator by name, swept over lambda / kappa / beta / budget — against
+// the same shared graph without rebuilding anything: derived instances
+// share the materialized per-ad edge-probability cache (see
+// topic/mixed_prob_cache.h). This is the entry point a serving layer
+// fronts; tirm_cli is a thin shell around it.
+//
+//   AdAllocEngine engine(BuildFigure1Instance(), {.eval_sims = 2000});
+//   AllocatorConfig config;            // or AllocatorConfig::FromFlags(...)
+//   config.allocator = "tirm";
+//   auto run = engine.Run(config, {.kappa = 1, .lambda = 0.1});
+//   // run->result: the allocation + allocator diagnostics
+//   // run->report: MC-evaluated regret report
+
+#ifndef TIRM_API_AD_ALLOC_ENGINE_H_
+#define TIRM_API_AD_ALLOC_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "alloc/allocator.h"
+#include "alloc/regret_evaluator.h"
+#include "api/allocator_config.h"
+#include "api/allocator_registry.h"
+#include "datasets/dataset.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+/// Engine-wide knobs.
+struct EngineOptions {
+  /// Monte-Carlo simulations per ad for ground-truth evaluation
+  /// (paper: 10 000).
+  std::size_t eval_sims = 2000;
+  /// Master seed; every query derives its algorithm and evaluation streams
+  /// from it deterministically (same query twice -> same result).
+  std::uint64_t seed = 2015;
+  /// Skip the MC evaluation (report left empty) — for pure allocation
+  /// serving or when the caller evaluates separately.
+  bool evaluate = true;
+};
+
+/// One point of a parameter sweep (Problem 1 knobs).
+struct EngineQuery {
+  int kappa = 1;             ///< uniform attention bound
+  double lambda = 0.0;       ///< seed penalty
+  double beta = 0.0;         ///< budget boost, B' = (1+beta) B
+  double budget_scale = 1.0; ///< scales every declared budget
+
+  /// Parses --kappa/--lambda/--beta/--budget_scale strictly (malformed or
+  /// out-of-range values error; kappa is range-checked before narrowing),
+  /// on top of `defaults`. Shared by tirm_cli and the examples so the
+  /// validation rules cannot diverge.
+  static Result<EngineQuery> FromFlags(const Flags& flags);
+  static Result<EngineQuery> FromFlags(const Flags& flags,
+                                       EngineQuery defaults);
+};
+
+/// Outcome of one engine query.
+struct EngineRun {
+  AllocationResult result;  ///< allocation + allocator diagnostics
+  RegretReport report;      ///< MC ground truth (empty if !evaluate)
+};
+
+/// See file comment.
+class AdAllocEngine {
+ public:
+  /// Takes ownership of `built`. The base instance (kappa=1, lambda=0) is
+  /// the template every query derives from. Aborts (TIRM_CHECK) if the
+  /// instance is invalid — use Create() for untrusted inputs.
+  AdAllocEngine(BuiltInstance built, EngineOptions options);
+
+  /// Validating factory: returns InvalidArgument in-band (instead of
+  /// aborting) when `built` fails ProblemInstance::Validate — the right
+  /// entry point for a serving layer fed externally supplied instances.
+  static Result<AdAllocEngine> Create(BuiltInstance built,
+                                      EngineOptions options);
+
+  /// Runs the allocator named by `config.allocator` on the `query`-derived
+  /// instance and (unless disabled) evaluates it. Errors: unknown
+  /// allocator, invalid config, or an invalid produced allocation.
+  Result<EngineRun> Run(const AllocatorConfig& config,
+                        const EngineQuery& query = {});
+
+  /// Range/finiteness checks on a query. Run() performs this itself;
+  /// callers feeding untrusted input to MakeInstance must check first.
+  static Status ValidateQuery(const EngineQuery& query);
+
+  /// The `query`-derived instance view — shares the engine's materialized
+  /// probability cache. Valid while the engine lives. Precondition: the
+  /// query passes ValidateQuery (out-of-range kappa aborts via TIRM_CHECK).
+  ProblemInstance MakeInstance(const EngineQuery& query) const;
+
+  const BuiltInstance& built() const { return built_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Deterministic per-query substream seeds (exposed for tests). The
+  /// evaluation stream is allocator-independent so head-to-head rows are
+  /// paired comparisons under identical Monte-Carlo draws.
+  std::uint64_t AlgoSeed(const std::string& allocator,
+                         const EngineQuery& query) const;
+  std::uint64_t EvalSeed(const EngineQuery& query) const;
+
+ private:
+  BuiltInstance built_;
+  EngineOptions options_;
+  ProblemInstance base_;  ///< kappa=1, lambda=0 template; owns the cache
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_API_AD_ALLOC_ENGINE_H_

@@ -1,0 +1,73 @@
+#include "api/allocator_registry.h"
+
+namespace tirm {
+
+namespace internal {
+// Defined in builtin_allocators.cc. Referencing it from Global() forces the
+// linker to keep that translation unit when tirm_core is a static library,
+// so the built-in AllocatorRegistrar statics always run.
+void LinkBuiltinAllocators();
+}  // namespace internal
+
+AllocatorRegistry& AllocatorRegistry::Global() {
+  static AllocatorRegistry registry;
+  internal::LinkBuiltinAllocators();
+  return registry;
+}
+
+Status AllocatorRegistry::Register(const std::string& name, Factory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("allocator name must not be empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("allocator factory must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    return Status::InvalidArgument("allocator \"" + name +
+                                   "\" is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Allocator>> AllocatorRegistry::Create(
+    const std::string& name, const AllocatorConfig& config) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [key, unused] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += key;
+      }
+      return Status::NotFound("unknown allocator \"" + name +
+                              "\" (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(config);
+}
+
+bool AllocatorRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> AllocatorRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [key, unused] : factories_) names.push_back(key);
+  return names;  // std::map iterates sorted
+}
+
+AllocatorRegistrar::AllocatorRegistrar(const char* name,
+                                       AllocatorRegistry::Factory factory) {
+  const Status status =
+      AllocatorRegistry::Global().Register(name, std::move(factory));
+  TIRM_CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace tirm

@@ -1,0 +1,75 @@
+// String-keyed registry of allocator factories.
+//
+// Every allocation algorithm registers a factory under a stable name
+// ("tirm", "greedy-mc", "greedy-irie", "myopic", "myopic+"); callers
+// construct any of them from one AllocatorConfig:
+//
+//   auto allocator = AllocatorRegistry::Global().Create("tirm", config);
+//   AllocationResult r = allocator.value()->Allocate(instance, rng);
+//
+// The five built-ins self-register via AllocatorRegistrar statics in
+// api/builtin_allocators.cc; downstream code can register additional
+// strategies (e.g. the Tang & Yuan allocation heuristics) the same way
+// without touching this file.
+
+#ifndef TIRM_API_ALLOCATOR_REGISTRY_H_
+#define TIRM_API_ALLOCATOR_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "api/allocator_config.h"
+#include "common/status.h"
+
+namespace tirm {
+
+/// Global name -> factory map. Thread-safe.
+class AllocatorRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<Allocator>>(
+      const AllocatorConfig& config)>;
+
+  /// The process-wide registry (built-ins are always present).
+  static AllocatorRegistry& Global();
+
+  /// Registers `factory` under `name`; AlreadyExists-style error (as
+  /// InvalidArgument) on duplicates.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates the allocator registered under `name` with `config`.
+  /// NotFound (listing the registered names) for unknown names;
+  /// forwards factory errors (e.g. config validation).
+  Result<std::unique_ptr<Allocator>> Create(const std::string& name,
+                                            const AllocatorConfig& config = {}) const;
+
+  /// Convenience: Create(config.allocator, config).
+  Result<std::unique_ptr<Allocator>> Create(const AllocatorConfig& config) const {
+    return Create(config.allocator, config);
+  }
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  AllocatorRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers a factory at static-initialization time:
+///   static AllocatorRegistrar reg("tirm", [](const AllocatorConfig& c) {...});
+struct AllocatorRegistrar {
+  AllocatorRegistrar(const char* name, AllocatorRegistry::Factory factory);
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_API_ALLOCATOR_REGISTRY_H_

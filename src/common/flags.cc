@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
@@ -46,10 +48,16 @@ std::string Flags::EnvName(const std::string& key) {
   return env;
 }
 
+std::vector<std::string> Flags::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, unused] : values_) keys.push_back(key);
+  return keys;  // std::map iterates sorted
+}
+
 std::string Flags::GetString(const std::string& key,
                              const std::string& default_value) const {
-  if (auto v = Lookup(values_, key)) return *v;
-  if (const char* env = std::getenv(EnvName(key).c_str())) return env;
+  if (auto v = RawValue(key)) return *v;
   return default_value;
 }
 
@@ -74,6 +82,76 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
   std::string s = GetString(key, "");
   if (s.empty()) return default_value;
   return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+// Raw present-or-absent lookup for the strict getters: command line, then
+// environment. Unlike GetString with a "" default, this distinguishes
+// "unset" (nullopt) from "explicitly set to empty" (--eps=), which the
+// strict contract must reject rather than silently default.
+std::optional<std::string> Flags::RawValue(const std::string& key) const {
+  if (auto v = Lookup(values_, key)) return v;
+  if (const char* env = std::getenv(EnvName(key).c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+Result<double> Flags::ParseDouble(const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("expected a number, got an empty value");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(value.c_str(), &end);
+  // ERANGE covers both overflow and underflow-to-subnormal; only overflow
+  // is an error (1e-320 is a legitimate tiny-threshold value).
+  const bool overflow = errno == ERANGE && std::fabs(v) == HUGE_VAL;
+  if (end == value.c_str() || *end != '\0' || overflow) {
+    return Status::InvalidArgument("expected a number, got \"" + value + "\"");
+  }
+  return v;
+}
+
+Result<double> Flags::GetDoubleStrict(const std::string& key,
+                                      double default_value) const {
+  const std::optional<std::string> raw = RawValue(key);
+  if (!raw.has_value()) return default_value;
+  Result<double> parsed = ParseDouble(*raw);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("flag --" + key + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<std::int64_t> Flags::GetIntStrict(const std::string& key,
+                                         std::int64_t default_value) const {
+  const std::optional<std::string> raw = RawValue(key);
+  if (!raw.has_value()) return default_value;
+  const std::string& s = *raw;
+  if (s.empty()) {
+    return Status::InvalidArgument(
+        "flag --" + key + ": expected an integer, got an empty value");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("flag --" + key +
+                                   ": expected an integer, got \"" + s + "\"");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Result<bool> Flags::GetBoolStrict(const std::string& key,
+                                  bool default_value) const {
+  const std::optional<std::string> raw = RawValue(key);
+  if (!raw.has_value()) return default_value;
+  const std::string& s = *raw;
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return Status::InvalidArgument("flag --" + key +
+                                 ": expected a boolean, got \"" + s + "\"");
 }
 
 int Flags::GetThreads(int default_value) const {

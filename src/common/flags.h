@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -27,6 +29,11 @@ class Flags {
   /// True if the flag was given on the command line.
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
+  /// Keys given on the command line, sorted. Lets binaries with a closed
+  /// flag set reject typos (`--epsilon` for `--eps`) instead of silently
+  /// running with defaults.
+  std::vector<std::string> Keys() const;
+
   /// Lookup order: command line, then env var `TIRM_<KEY_UPPERCASED>`,
   /// then `default_value`.
   std::string GetString(const std::string& key,
@@ -34,6 +41,16 @@ class Flags {
   double GetDouble(const std::string& key, double default_value) const;
   std::int64_t GetInt(const std::string& key, std::int64_t default_value) const;
   bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Strict variants: same lookup order, but a value that is present and
+  /// malformed (`--threads=abc`, `--eps=0.1x`, trailing junk) is an
+  /// InvalidArgument error naming the flag, instead of silently falling
+  /// back to the default. AllocatorConfig::FromFlags parses through these.
+  Result<double> GetDoubleStrict(const std::string& key,
+                                 double default_value) const;
+  Result<std::int64_t> GetIntStrict(const std::string& key,
+                                    std::int64_t default_value) const;
+  Result<bool> GetBoolStrict(const std::string& key, bool default_value) const;
 
   /// Resolves the shared `--threads` flag (env `TIRM_THREADS`): values >= 1
   /// are clamped to kMaxSamplingThreads, 0 maps to the hardware
@@ -44,7 +61,17 @@ class Flags {
   /// Environment variable name used for `key` ("eval_sims" -> "TIRM_EVAL_SIMS").
   static std::string EnvName(const std::string& key);
 
+  /// Parses an entire string as a double; InvalidArgument on empty,
+  /// malformed, trailing-junk, or overflowing input. GetDoubleStrict and
+  /// comma-list flag parsers (tirm_cli --sweep_lambda) share this so the
+  /// strictness rules cannot diverge.
+  static Result<double> ParseDouble(const std::string& value);
+
  private:
+  /// Command line, then environment; nullopt when neither is set. Keeps
+  /// "unset" distinct from "set to empty" for the strict getters.
+  std::optional<std::string> RawValue(const std::string& key) const;
+
   std::map<std::string, std::string> values_;
 };
 

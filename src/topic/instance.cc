@@ -18,7 +18,7 @@ ProblemInstance::ProblemInstance(const Graph* graph,
   TIRM_CHECK(graph_ != nullptr);
   TIRM_CHECK(edge_probs_ != nullptr);
   TIRM_CHECK(ctps_ != nullptr);
-  mixed_cache_.resize(advertisers_.size());
+  mixed_cache_ = std::make_shared<MixedProbCache>(advertisers_.size());
 }
 
 ProblemInstance ProblemInstance::WithUniformAttention(
@@ -70,6 +70,19 @@ double ProblemInstance::TotalBudget() const {
   return total;
 }
 
+ProblemInstance ProblemInstance::Derive(int kappa, double lambda, double beta,
+                                        double budget_scale) const {
+  TIRM_CHECK(kappa >= 1 && kappa <= 0xFFFF);
+  TIRM_CHECK(budget_scale >= 0.0);
+  ProblemInstance derived = *this;  // shares mixed_cache_
+  derived.attention_bounds_.assign(graph_->num_nodes(),
+                                   static_cast<std::uint16_t>(kappa));
+  derived.lambda_ = lambda;
+  derived.beta_ = beta;
+  for (Advertiser& a : derived.advertisers_) a.budget *= budget_scale;
+  return derived;
+}
+
 const std::vector<float>& ProblemInstance::EdgeProbsForAd(AdId i) const {
   TIRM_CHECK(i >= 0 && i < num_ads());
   // Shared (topic-blind) probabilities: one materialized array for all ads.
@@ -77,20 +90,13 @@ const std::vector<float>& ProblemInstance::EdgeProbsForAd(AdId i) const {
       edge_probs_->mode() == EdgeProbabilities::Mode::kShared
           ? 0
           : static_cast<std::size_t>(i);
-  auto& entry = mixed_cache_[slot];
-  if (entry == nullptr) {
-    entry = std::make_unique<std::vector<float>>(
-        edge_probs_->MixForAd(advertiser(static_cast<AdId>(slot)).gamma));
-  }
-  return *entry;
+  return mixed_cache_->Get(slot, [this, slot] {
+    return edge_probs_->MixForAd(advertiser(static_cast<AdId>(slot)).gamma);
+  });
 }
 
 std::size_t ProblemInstance::CacheMemoryBytes() const {
-  std::size_t total = 0;
-  for (const auto& entry : mixed_cache_) {
-    if (entry != nullptr) total += entry->capacity() * sizeof(float);
-  }
-  return total;
+  return mixed_cache_->MemoryBytes();
 }
 
 }  // namespace tirm

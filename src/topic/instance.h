@@ -20,6 +20,7 @@
 #include "graph/graph.h"
 #include "topic/ctp_model.h"
 #include "topic/edge_probabilities.h"
+#include "topic/mixed_prob_cache.h"
 #include "topic/topic_distribution.h"
 
 namespace tirm {
@@ -45,6 +46,15 @@ class ProblemInstance {
       const Graph* graph, const EdgeProbabilities* edge_probs,
       const ClickProbabilities* ctps, std::vector<Advertiser> advertisers,
       int kappa, double lambda, double beta = 0.0);
+
+  /// Derived view for parameter sweeps: same graph, probabilities, CTPs,
+  /// and advertiser topic distributions, with new uniform attention bound
+  /// κ, penalty λ, boost β, and budgets scaled by `budget_scale`. Shares
+  /// the mixed-probability cache with the parent (sound because deriving
+  /// never changes the topic distributions the mix depends on), so sweeps
+  /// over one graph do not re-materialize per-ad probabilities.
+  ProblemInstance Derive(int kappa, double lambda, double beta = 0.0,
+                         double budget_scale = 1.0) const;
 
   /// Validates internal consistency (sizes, ranges).
   Status Validate() const;
@@ -82,7 +92,9 @@ class ProblemInstance {
 
   /// Ad-specific edge probabilities p^i_{u,v} (Eq. 1), materialized and
   /// cached on first use. In kShared probability mode all ads share one
-  /// array. Returns a reference valid for the life of the instance.
+  /// array. Returns a reference valid for the life of the instance (and of
+  /// every instance Derive()d from it). Thread-safe: concurrent first
+  /// touches of a cold ad fill the slot exactly once.
   const std::vector<float>& EdgeProbsForAd(AdId i) const;
 
   /// Bytes held by the per-ad probability cache.
@@ -97,9 +109,10 @@ class ProblemInstance {
   double lambda_;
   double beta_;
 
-  // Lazily filled per-ad mixed probabilities; index 0 doubles as the shared
-  // array in kShared mode.
-  mutable std::vector<std::unique_ptr<std::vector<float>>> mixed_cache_;
+  // Lazily filled per-ad mixed probabilities; slot 0 doubles as the shared
+  // array in kShared mode. Shared between Derive()d views; the cache itself
+  // is internally synchronized.
+  std::shared_ptr<MixedProbCache> mixed_cache_;
 };
 
 }  // namespace tirm

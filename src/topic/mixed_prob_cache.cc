@@ -1,0 +1,35 @@
+#include "topic/mixed_prob_cache.h"
+
+#include "common/check.h"
+
+namespace tirm {
+
+MixedProbCache::MixedProbCache(std::size_t num_slots) {
+  slots_.reserve(num_slots);
+  for (std::size_t i = 0; i < num_slots; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+const std::vector<float>& MixedProbCache::Get(
+    std::size_t slot, const std::function<std::vector<float>()>& fill) {
+  TIRM_CHECK(slot < slots_.size());
+  Slot& s = *slots_[slot];
+  std::call_once(s.once, [&s, &fill] {
+    s.probs = fill();
+    s.ready.store(true, std::memory_order_release);
+  });
+  return s.probs;
+}
+
+std::size_t MixedProbCache::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_) {
+    if (s->ready.load(std::memory_order_acquire)) {
+      total += s->probs.capacity() * sizeof(float);
+    }
+  }
+  return total;
+}
+
+}  // namespace tirm

@@ -1,0 +1,61 @@
+// Thread-safe lazy cache of per-ad mixed edge probabilities.
+//
+// ProblemInstance materializes each ad's Eq. 1 probabilities on first use.
+// The fill must be safe under concurrent first touch (ParallelRrBuilder
+// workers can hit a cold ad simultaneously), so each slot is guarded by a
+// std::once_flag: exactly one thread computes the mix, everyone else
+// blocks until it is visible. Slots never move after construction.
+//
+// The cache is shared (std::shared_ptr) between derived ProblemInstance
+// views — lambda/kappa/beta/budget sweeps over one graph reuse the same
+// materialized arrays instead of re-mixing per query (AdAllocEngine relies
+// on this). Sharing is sound because the mix depends only on the advertiser
+// topic distributions, which derived views never change.
+
+#ifndef TIRM_TOPIC_MIXED_PROB_CACHE_H_
+#define TIRM_TOPIC_MIXED_PROB_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tirm {
+
+/// Fixed-slot, fill-once, read-many cache. Noncopyable and nonmovable
+/// (std::once_flag pins the slots); share it via std::shared_ptr.
+class MixedProbCache {
+ public:
+  explicit MixedProbCache(std::size_t num_slots);
+
+  MixedProbCache(const MixedProbCache&) = delete;
+  MixedProbCache& operator=(const MixedProbCache&) = delete;
+
+  std::size_t num_slots() const { return slots_.size(); }
+
+  /// Returns slot `slot`, computing it with `fill` on first access. The
+  /// returned reference stays valid (and immutable) for the cache's
+  /// lifetime. Concurrent callers on a cold slot run `fill` exactly once.
+  const std::vector<float>& Get(
+      std::size_t slot, const std::function<std::vector<float>()>& fill);
+
+  /// Bytes held by filled slots. Safe to call concurrently with Get():
+  /// only slots whose fill has completed are counted.
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    std::vector<float> probs;
+    std::atomic<bool> ready{false};
+  };
+
+  // unique_ptr per slot: Slot is immovable, and vector must not relocate.
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_TOPIC_MIXED_PROB_CACHE_H_

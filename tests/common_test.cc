@@ -268,6 +268,96 @@ TEST(FlagsTest, EnvNameMapping) {
   EXPECT_EQ(Flags::EnvName("scale"), "TIRM_SCALE");
 }
 
+TEST(FlagsTest, StrictGettersAcceptWellFormedValues) {
+  const char* argv[] = {"prog", "--eps=0.25", "--threads=4", "--verbose=on"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)).ok());
+  Result<double> eps = flags.GetDoubleStrict("eps", 0.1);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_DOUBLE_EQ(*eps, 0.25);
+  Result<std::int64_t> threads = flags.GetIntStrict("threads", 1);
+  ASSERT_TRUE(threads.ok());
+  EXPECT_EQ(*threads, 4);
+  Result<bool> verbose = flags.GetBoolStrict("verbose", false);
+  ASSERT_TRUE(verbose.ok());
+  EXPECT_TRUE(*verbose);
+}
+
+TEST(FlagsTest, StrictGettersUseDefaultWhenAbsent) {
+  Flags flags;
+  Result<double> eps = flags.GetDoubleStrict("missing", 0.5);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_DOUBLE_EQ(*eps, 0.5);
+  Result<std::int64_t> n = flags.GetIntStrict("missing", 7);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 7);
+}
+
+TEST(FlagsTest, StrictGettersRejectMalformedValues) {
+  const char* argv[] = {"prog", "--threads=abc", "--eps=0.1x", "--flag=maybe"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)).ok());
+  // The lenient getters silently default (legacy behavior)...
+  EXPECT_EQ(flags.GetInt("threads", 3), 3);
+  // ...the strict ones name the offending flag.
+  Result<std::int64_t> threads = flags.GetIntStrict("threads", 3);
+  ASSERT_FALSE(threads.ok());
+  EXPECT_NE(threads.status().message().find("--threads"), std::string::npos);
+  EXPECT_FALSE(flags.GetDoubleStrict("eps", 0.1).ok());
+  EXPECT_FALSE(flags.GetBoolStrict("flag", false).ok());
+}
+
+TEST(FlagsTest, StrictGettersRejectTrailingJunk) {
+  const char* argv[] = {"prog", "--eps=1e-2junk", "--n=12cats"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)).ok());
+  EXPECT_FALSE(flags.GetDoubleStrict("eps", 0.1).ok());
+  EXPECT_FALSE(flags.GetIntStrict("n", 0).ok());
+}
+
+TEST(FlagsTest, StrictGettersRejectExplicitlyEmptyValues) {
+  // `--eps=` is present-but-empty: strict getters must error, not default.
+  const char* argv[] = {"prog", "--eps=", "--n=", "--b="};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)).ok());
+  EXPECT_FALSE(flags.GetDoubleStrict("eps", 0.1).ok());
+  EXPECT_FALSE(flags.GetIntStrict("n", 1).ok());
+  EXPECT_FALSE(flags.GetBoolStrict("b", false).ok());
+  // Same for an env var explicitly set to the empty string.
+  ::setenv("TIRM_STRICT_EMPTY_KNOB", "", 1);
+  EXPECT_FALSE(flags.GetIntStrict("strict_empty_knob", 1).ok());
+  ::unsetenv("TIRM_STRICT_EMPTY_KNOB");
+}
+
+TEST(FlagsTest, StrictGettersRejectOverflow) {
+  const char* argv[] = {"prog", "--n=99999999999999999999", "--x=1e99999"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)).ok());
+  // strtoll/strtod clamp with errno=ERANGE; strict getters must error
+  // instead of silently running with the clamped value.
+  EXPECT_FALSE(flags.GetIntStrict("n", 0).ok());
+  EXPECT_FALSE(flags.GetDoubleStrict("x", 0.0).ok());
+}
+
+TEST(FlagsTest, StrictDoubleAcceptsSubnormalUnderflow) {
+  // strtod also flags underflow with ERANGE; tiny thresholds like 1e-320
+  // are representable (subnormal) and must parse fine.
+  const char* argv[] = {"prog", "--min_drop=1e-320"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  Result<double> v = flags.GetDoubleStrict("min_drop", 0.0);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_GT(*v, 0.0);
+  EXPECT_LT(*v, 1e-300);
+}
+
+TEST(FlagsTest, StrictGettersRejectMalformedEnvValues) {
+  ::setenv("TIRM_STRICT_ENV_KNOB", "not-a-number", 1);
+  Flags flags;
+  EXPECT_FALSE(flags.GetIntStrict("strict_env_knob", 1).ok());
+  ::unsetenv("TIRM_STRICT_ENV_KNOB");
+}
+
 // ----------------------------------------------------------------- Tables
 
 TEST(TablePrinterTest, AlignedTextAndCsv) {

@@ -1,0 +1,115 @@
+// Regression tests for ProblemInstance's lazy mixed-probability cache.
+//
+// The pre-fix cache did an unsynchronized check-then-fill, racy when
+// ParallelRrBuilder workers first touched a cold ad concurrently. The
+// cache is now fill-once under std::once_flag; the hammer test below is
+// the ThreadSanitizer-visible regression (run the suite under
+// -fsanitize=thread to re-verify), and doubles as a consistency check
+// (every thread must observe the same materialized array).
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/dataset.h"
+#include "topic/instance.h"
+#include "topic/mixed_prob_cache.h"
+
+namespace tirm {
+namespace {
+
+BuiltInstance SmallTopicAwareInstance() {
+  Rng rng(7);
+  return BuildDataset(FlixsterLike(/*scale=*/0.003), rng);
+}
+
+TEST(InstanceCacheTest, ConcurrentColdFirstTouchIsRaceFree) {
+  const BuiltInstance built = SmallTopicAwareInstance();
+  const ProblemInstance inst = built.MakeInstance(1, 0.0);
+  const int num_ads = inst.num_ads();
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<const std::vector<float>*>> seen(
+      kThreads, std::vector<const std::vector<float>*>(
+                    static_cast<std::size_t>(num_ads)));
+  std::atomic<int> ready{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&inst, &seen, &ready, num_ads, t] {
+      // Barrier so every thread hits the cold slots together.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < num_ads; ++i) {
+        // Interleave orders across threads to collide on different slots.
+        const AdId ad = static_cast<AdId>((i + t) % num_ads);
+        seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(ad)] =
+            &inst.EdgeProbsForAd(ad);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Every thread must have observed the same fully materialized array.
+  for (int i = 0; i < num_ads; ++i) {
+    const std::vector<float>* first = seen[0][static_cast<std::size_t>(i)];
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->size(), inst.graph().num_edges());
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+                first)
+          << "thread " << t << " saw a different array for ad " << i;
+    }
+  }
+}
+
+TEST(MixedProbCacheTest, FillRunsExactlyOncePerSlot) {
+  MixedProbCache cache(3);
+  std::atomic<int> fills{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &fills] {
+      for (std::size_t slot = 0; slot < cache.num_slots(); ++slot) {
+        const std::vector<float>& v = cache.Get(slot, [&fills, slot] {
+          fills.fetch_add(1);
+          return std::vector<float>(16, static_cast<float>(slot));
+        });
+        EXPECT_EQ(v.size(), 16u);
+        EXPECT_FLOAT_EQ(v[0], static_cast<float>(slot));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(fills.load(), 3);
+  EXPECT_EQ(cache.MemoryBytes(), 3 * 16 * sizeof(float));
+}
+
+TEST(InstanceCacheTest, DeriveSharesCacheAndOverridesKnobs) {
+  const BuiltInstance built = SmallTopicAwareInstance();
+  const ProblemInstance base = built.MakeInstance(1, 0.0);
+  const std::vector<float>* materialized = &base.EdgeProbsForAd(0);
+
+  const ProblemInstance derived =
+      base.Derive(/*kappa=*/3, /*lambda=*/0.5, /*beta=*/0.25,
+                  /*budget_scale=*/0.5);
+  EXPECT_EQ(&derived.EdgeProbsForAd(0), materialized);
+  EXPECT_EQ(derived.AttentionBound(0), 3);
+  EXPECT_DOUBLE_EQ(derived.lambda(), 0.5);
+  EXPECT_DOUBLE_EQ(derived.beta(), 0.25);
+  EXPECT_DOUBLE_EQ(derived.advertiser(0).budget,
+                   0.5 * base.advertiser(0).budget);
+  // Effective budget folds in beta: B' = (1 + beta) * scaled budget.
+  EXPECT_DOUBLE_EQ(derived.EffectiveBudget(0),
+                   1.25 * 0.5 * base.advertiser(0).budget);
+  EXPECT_TRUE(derived.Validate().ok());
+  // The parent view is untouched.
+  EXPECT_EQ(base.AttentionBound(0), 1);
+  EXPECT_DOUBLE_EQ(base.lambda(), 0.0);
+}
+
+}  // namespace
+}  // namespace tirm
