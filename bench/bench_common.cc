@@ -52,6 +52,28 @@ AllocationResult RunConfigured(const AllocatorConfig& config,
   return allocator.value()->Allocate(instance, rng);
 }
 
+EngineRun RunOnEngine(AdAllocEngine& engine, const std::string& name,
+                      const EngineQuery& query, const BenchConfig& config) {
+  Result<EngineRun> run = engine.Run(config.MakeAllocatorConfig(name), query);
+  TIRM_CHECK(run.ok()) << run.status().ToString();
+  return run.MoveValue();
+}
+
+void PrintStoreStats(const AdAllocEngine& engine) {
+  const RrSampleStore* store = engine.sample_store();
+  if (store == nullptr) return;
+  const SampleCacheStats stats = store->LifetimeStats();
+  std::printf(
+      "store: %zu pooled ads, arena %s, sampled %llu sets, reused %llu, "
+      "top-ups %llu, kpt hits %llu/%llu\n",
+      store->NumEntries(), HumanBytes(stats.arena_bytes).c_str(),
+      static_cast<unsigned long long>(stats.sampled_sets),
+      static_cast<unsigned long long>(stats.reused_sets),
+      static_cast<unsigned long long>(stats.top_ups),
+      static_cast<unsigned long long>(stats.kpt_cache_hits),
+      static_cast<unsigned long long>(stats.kpt_estimations));
+}
+
 RegretReport EvaluateChecked(const ProblemInstance& instance,
                              const Allocation& allocation,
                              const BenchConfig& config, std::uint64_t salt) {

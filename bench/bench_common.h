@@ -24,6 +24,7 @@
 #include "alloc/allocation.h"
 #include "alloc/allocator.h"
 #include "alloc/regret_evaluator.h"
+#include "api/ad_alloc_engine.h"
 #include "api/allocator_config.h"
 #include "api/allocator_registry.h"
 #include "common/flags.h"
@@ -63,8 +64,29 @@ struct BenchConfig {
     return c;
   }
 
+  /// Engine options carrying this bench's evaluation knobs. Sweep benches
+  /// run through AdAllocEngine so every sweep point reuses the engine's
+  /// pooled RR samples (RrSampleStore) instead of resampling.
+  EngineOptions MakeEngineOptions(bool reuse_samples = true) const {
+    EngineOptions o;
+    o.eval_sims = eval_sims;
+    o.seed = seed;
+    o.reuse_samples = reuse_samples;
+    return o;
+  }
+
   void Print(const char* bench_name) const;
 };
+
+/// Runs allocator `name` on `engine` at `query` and returns the full
+/// EngineRun (allocation + MC report), aborting on error — a bench must
+/// fail loudly.
+EngineRun RunOnEngine(AdAllocEngine& engine, const std::string& name,
+                      const EngineQuery& query, const BenchConfig& config);
+
+/// One-line summary of an engine's pooled-sample store ("store: ...");
+/// prints nothing when the engine has no store yet.
+void PrintStoreStats(const AdAllocEngine& engine);
 
 /// Runs any registered allocator by name with this bench's shared config
 /// (aborts on unknown names — a bench must fail loudly).

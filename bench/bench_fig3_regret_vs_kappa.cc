@@ -6,6 +6,9 @@
 // baselines one to two orders of magnitude worse (they overshoot every
 // budget); TIRM's regret falls as kappa grows while the myopic baselines'
 // regret *rises* with kappa (more seeds -> more uncontrolled virality).
+//
+// Sweeps run through AdAllocEngine: every (kappa, lambda) point borrows
+// pooled RR samples from the engine's RrSampleStore instead of resampling.
 
 #include <cstdio>
 #include <vector>
@@ -30,7 +33,7 @@ int main(int argc, char** argv) {
     DatasetSpec spec =
         epinions ? EpinionsLike(config.scale) : FlixsterLike(config.scale);
     Rng rng(config.seed);
-    BuiltInstance built = BuildDataset(spec, rng);
+    AdAllocEngine engine(BuildDataset(spec, rng), config.MakeEngineOptions());
     for (const double lambda : lambdas) {
       std::printf("\n--- %s, lambda = %.1f (paper Fig. 3%c) ---\n",
                   spec.name.c_str(), lambda,
@@ -39,16 +42,15 @@ int main(int argc, char** argv) {
       TablePrinter t({"kappa", "myopic", "myopic+", "greedy-irie", "tirm",
                       "tirm % of budget"});
       for (const int kappa : kappas) {
-        ProblemInstance inst = built.MakeInstance(kappa, lambda);
         std::vector<std::string> row = {TablePrinter::Int(kappa)};
         double tirm_regret = 0.0;
         for (const char* algo : kAllAlgorithms) {
-          AllocationResult run = RunAlgorithm(algo, inst, config);
-          RegretReport report =
-              EvaluateChecked(inst, run.allocation, config, kappa);
-          row.push_back(TablePrinter::Num(report.total_regret, 1));
+          EngineRun run = RunOnEngine(engine, algo,
+                                      {.kappa = kappa, .lambda = lambda},
+                                      config);
+          row.push_back(TablePrinter::Num(run.report.total_regret, 1));
           if (std::string(algo) == "tirm") {
-            tirm_regret = report.RegretFractionOfBudget();
+            tirm_regret = run.report.RegretFractionOfBudget();
           }
         }
         row.push_back(TablePrinter::Num(100.0 * tirm_regret, 1));
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
       }
       t.Print();
     }
+    PrintStoreStats(engine);
   }
   std::printf(
       "\nPaper reference points (scale 1.0): FLIXSTER lambda=0 kappa=1 -> "

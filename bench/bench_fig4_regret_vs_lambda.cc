@@ -5,11 +5,18 @@
 // algorithm; the algorithm ordering (TIRM < GREEDY-IRIE << MYOPIC(+)) is
 // unchanged, and TIRM stays competitive even at lambda = 1, showing the
 // lambda-assumption of Theorem 2 is conservative.
+//
+// Sweeps run through AdAllocEngine, so every (lambda, kappa) point borrows
+// pooled RR samples from the engine's RrSampleStore instead of resampling
+// — the per-dataset store line below the tables shows the reuse. A final
+// section times a tirm lambda-sweep with reuse on vs off (the
+// resample-per-point baseline) and reports the speedup.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/timer.h"
 
 int main(int argc, char** argv) {
   using namespace tirm;
@@ -29,7 +36,7 @@ int main(int argc, char** argv) {
     DatasetSpec spec =
         epinions ? EpinionsLike(config.scale) : FlixsterLike(config.scale);
     Rng rng(config.seed);
-    BuiltInstance built = BuildDataset(spec, rng);
+    AdAllocEngine engine(BuildDataset(spec, rng), config.MakeEngineOptions());
     for (const int kappa : kappas) {
       std::printf("\n--- %s, kappa = %d (paper Fig. 4%c) ---\n",
                   spec.name.c_str(), kappa,
@@ -37,19 +44,57 @@ int main(int argc, char** argv) {
                            : (kappa == 1 ? 'a' : 'b'));
       TablePrinter t({"lambda", "myopic", "myopic+", "greedy-irie", "tirm"});
       for (const double lambda : lambdas) {
-        ProblemInstance inst = built.MakeInstance(kappa, lambda);
         std::vector<std::string> row = {TablePrinter::Num(lambda, 1)};
         for (const char* algo : kAllAlgorithms) {
-          AllocationResult run = RunAlgorithm(algo, inst, config);
-          RegretReport report = EvaluateChecked(
-              inst, run.allocation, config,
-              static_cast<std::uint64_t>(lambda * 10) + kappa * 100);
-          row.push_back(TablePrinter::Num(report.total_regret, 1));
+          EngineRun run = RunOnEngine(engine, algo,
+                                      {.kappa = kappa, .lambda = lambda},
+                                      config);
+          row.push_back(TablePrinter::Num(run.report.total_regret, 1));
         }
         t.AddRow(row);
       }
       t.Print();
     }
+    PrintStoreStats(engine);
+  }
+
+  // ---- Sample-reuse speedup: tirm lambda-sweep, pooled vs resampled.
+  {
+    const std::vector<double> sweep = {0.0, 0.1, 0.25, 0.5, 1.0};
+    std::printf(
+        "\n--- sample reuse: tirm lambda-sweep (%zu points, flixster-like) "
+        "---\n",
+        sweep.size());
+    TablePrinter t({"mode", "seconds", "sampled sets", "reused sets",
+                    "arena bytes"});
+    double fresh_seconds = 0.0;
+    double pooled_seconds = 0.0;
+    for (const bool reuse : {false, true}) {
+      Rng rng(config.seed);
+      AdAllocEngine engine(BuildDataset(FlixsterLike(config.scale), rng),
+                           config.MakeEngineOptions(reuse));
+      std::uint64_t sampled = 0;
+      std::uint64_t reused = 0;
+      std::size_t arena = 0;
+      WallTimer timer;
+      for (const double lambda : sweep) {
+        EngineRun run = RunOnEngine(engine, "tirm", {.lambda = lambda},
+                                    config);
+        sampled += run.result.cache.sampled_sets;
+        reused += run.result.cache.reused_sets;
+        arena = run.result.cache.arena_bytes;
+      }
+      const double seconds = timer.Seconds();
+      (reuse ? pooled_seconds : fresh_seconds) = seconds;
+      t.AddRow({reuse ? "pooled store" : "resample per point",
+                TablePrinter::Num(seconds, 2),
+                TablePrinter::Int(static_cast<long long>(sampled)),
+                TablePrinter::Int(static_cast<long long>(reused)),
+                HumanBytes(arena)});
+    }
+    t.Print();
+    std::printf("speedup: %.2fx (identical allocations either way)\n",
+                fresh_seconds / pooled_seconds);
   }
   return 0;
 }

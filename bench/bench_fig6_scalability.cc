@@ -114,27 +114,37 @@ void RunSweep(const char* title, const DatasetSpec& spec,
     t.Print();
   }
 
-  // ---- (b/d): vary budget at fixed h.
+  // ---- (b/d): vary budget at fixed h. One dataset, budgets scaled per
+  // query through AdAllocEngine — every budget point reuses the engine's
+  // pooled RR samples (a budget change never invalidates a pool; only θ
+  // growth tops it up).
   {
     std::printf("\n--- %s: runtime vs per-ad budget (h = %d) ---\n", title,
                 fixed_h);
-    TablePrinter t({"budget", "tirm (s)", "tirm seeds", "irie (s)",
-                    "irie seeds"});
+    TablePrinter t({"budget", "tirm (s)", "tirm seeds", "tirm sampled",
+                    "tirm reused", "irie (s)", "irie seeds"});
+    Rng build_rng = rng.Fork(7777);
+    const double base_budget = budget_values.front();
+    AdAllocEngine engine(
+        BuildDataset(spec, build_rng, fixed_h, base_budget),
+        config.MakeEngineOptions());
     for (const double budget : budget_values) {
-      Rng build_rng = rng.Fork(static_cast<std::uint64_t>(budget) + 7777);
-      BuiltInstance built =
-          BuildDataset(spec, build_rng, fixed_h, budget);
-      ProblemInstance inst = built.MakeInstance(1, 0.0);
-      AllocationResult tirm_run = RunAlgorithm("tirm", inst, config);
+      const EngineQuery query{.budget_scale = budget / base_budget};
+      EngineRun tirm_run = RunOnEngine(engine, "tirm", query, config);
       std::vector<std::string> row = {
-          TablePrinter::Num(budget, 0), TablePrinter::Num(tirm_run.seconds, 2),
+          TablePrinter::Num(budget, 0),
+          TablePrinter::Num(tirm_run.result.seconds, 2),
+          TablePrinter::Int(static_cast<long long>(
+              tirm_run.result.allocation.TotalSeeds())),
           TablePrinter::Int(
-              static_cast<long long>(tirm_run.allocation.TotalSeeds()))};
+              static_cast<long long>(tirm_run.result.cache.sampled_sets)),
+          TablePrinter::Int(
+              static_cast<long long>(tirm_run.result.cache.reused_sets))};
       if (include_irie) {
-        AllocationResult irie_run = RunAlgorithm("greedy-irie", inst, config);
-        row.push_back(TablePrinter::Num(irie_run.seconds, 2));
+        EngineRun irie_run = RunOnEngine(engine, "greedy-irie", query, config);
+        row.push_back(TablePrinter::Num(irie_run.result.seconds, 2));
         row.push_back(TablePrinter::Int(
-            static_cast<long long>(irie_run.allocation.TotalSeeds())));
+            static_cast<long long>(irie_run.result.allocation.TotalSeeds())));
       } else {
         row.push_back("(excluded)");
         row.push_back("-");
@@ -142,6 +152,7 @@ void RunSweep(const char* title, const DatasetSpec& spec,
       t.AddRow(row);
     }
     t.Print();
+    PrintStoreStats(engine);
   }
 }
 

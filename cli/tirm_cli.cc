@@ -9,7 +9,8 @@
 //
 // Flags: --dataset={fig1,flixster,epinions,dblp,livejournal} --scale=
 //        --kappa= --lambda= --beta= --budget_scale= --eval_sims= --seed=
-//        --sweep_lambda=a,b,c  plus every AllocatorConfig flag
+//        --sweep_lambda=a,b,c --reuse_samples={true,false} plus every
+//        AllocatorConfig flag
 //        (--eps, --theta_cap, --threads, --irie_alpha, --mc_sims, ...).
 // All knobs also read TIRM_* environment variables. Malformed numeric
 // values are rejected with an error (strict parsing), not defaulted.
@@ -74,7 +75,7 @@ bool IsKnownFlag(const std::string& key) {
   static const std::set<std::string> kKnown = {
       // CLI
       "list", "allocator", "dataset", "scale", "seed", "eval_sims",
-      "sweep_lambda",
+      "sweep_lambda", "reuse_samples",
       // EngineQuery
       "kappa", "lambda", "beta", "budget_scale",
       // AllocatorConfig
@@ -122,6 +123,11 @@ int main(int argc, char** argv) {
   if (*eval_sims < 1) {
     return Fail(Status::InvalidArgument("eval_sims must be >= 1"));
   }
+  // Pooled RR-sample reuse across sweep points / allocators (default on;
+  // --reuse_samples=false resamples per run — identical results, slower
+  // sweeps).
+  Result<bool> reuse_samples = flags.GetBoolStrict("reuse_samples", true);
+  if (!reuse_samples.ok()) return Fail(reuse_samples.status());
 
   Result<EngineQuery> parsed_query = EngineQuery::FromFlags(flags);
   if (!parsed_query.ok()) return Fail(parsed_query.status());
@@ -181,7 +187,8 @@ int main(int argc, char** argv) {
 
   AdAllocEngine engine(
       built.MoveValue(),
-      {.eval_sims = static_cast<std::size_t>(*eval_sims), .seed = seed});
+      {.eval_sims = static_cast<std::size_t>(*eval_sims), .seed = seed,
+       .reuse_samples = *reuse_samples});
   std::printf(
       "dataset: %s  %s\nkappa=%d beta=%.2f budget_scale=%.2f "
       "eval_sims=%lld seed=%llu\n\n",
@@ -212,5 +219,15 @@ int main(int argc, char** argv) {
     }
   }
   t.Print();
+  if (const RrSampleStore* store = engine.sample_store(); store != nullptr) {
+    const SampleCacheStats stats = store->LifetimeStats();
+    std::printf(
+        "\nsample store: %zu pooled ads, sampled %llu sets, reused %llu, "
+        "arena %zu bytes (--reuse_samples=false to resample per run)\n",
+        store->NumEntries(),
+        static_cast<unsigned long long>(stats.sampled_sets),
+        static_cast<unsigned long long>(stats.reused_sets),
+        stats.arena_bytes);
+  }
   return 0;
 }

@@ -24,6 +24,7 @@
 
 #include "alloc/allocation.h"
 #include "common/rng.h"
+#include "rrset/sample_store.h"
 #include "topic/instance.h"
 
 namespace tirm {
@@ -53,10 +54,14 @@ struct AllocationResult {
   std::vector<double> estimated_revenue;
   /// Iterations / seeds committed by the greedy loop (0 if not iterative).
   std::size_t iterations = 0;
-  /// Bytes held in RR-set collections at termination (Table 4; TIRM only).
+  /// Bytes backing the RR samples at termination: pooled arena (distinct
+  /// pools counted once) + per-run coverage views (Table 4; TIRM only).
   std::size_t rr_memory_bytes = 0;
-  /// Total RR sets sampled across ads (TIRM only).
+  /// Total RR sets consumed across ads (TIRM only).
   std::uint64_t total_rr_sets = 0;
+  /// Sample-reuse diagnostics (RrSampleStore pool hits vs fresh sampling,
+  /// exact arena bytes; all-zero for sampling-free algorithms).
+  SampleCacheStats cache;
   /// Wall-clock time of the Allocate() call, stamped by the framework.
   double seconds = 0.0;
 

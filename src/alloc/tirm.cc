@@ -4,18 +4,20 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "rrset/kpt_estimator.h"
-#include "rrset/parallel_rr_builder.h"
 #include "rrset/rr_collection.h"
-#include "rrset/rr_sampler.h"
+#include "rrset/sample_store.h"
 #include "rrset/weighted_rr_collection.h"
 
 namespace tirm {
 namespace {
 
-// Coverage bookkeeping behind TIRM's greedy loop. Two implementations:
+// Coverage bookkeeping behind TIRM's greedy loop: mutable views over the
+// ad's pooled RR sets (rrset/sample_store.h). Two implementations:
 //  * RemovalBackend — the paper's Algorithm 2 semantics (covered RR sets
 //    are removed; seeds treated as deterministically active);
 //  * WeightedBackend — the CTP-aware extension (sets carry survival
@@ -23,7 +25,8 @@ namespace {
 class CoverageBackend {
  public:
   virtual ~CoverageBackend() = default;
-  virtual void AddSet(std::span<const NodeId> nodes) = 0;
+  /// Exposes pooled sets [NumSets(), count) to this run's view.
+  virtual void AttachUpTo(std::uint32_t count) = 0;
   virtual std::size_t NumSets() const = 0;
   /// Current marginal-coverage mass of `v` (sets for removal mode,
   /// survival mass for weighted mode).
@@ -32,22 +35,23 @@ class CoverageBackend {
   virtual NodeId BestNode(const std::function<bool(NodeId)>& eligible) = 0;
   /// Commits `v` (δ = accept_prob); returns its coverage mass before.
   virtual double Commit(NodeId v, double accept_prob) = 0;
-  /// Attribution of freshly added sets (ids >= first_set) to seed `v`.
+  /// Attribution of freshly attached sets (ids >= first_set) to seed `v`.
   virtual double CommitOnRange(NodeId v, double accept_prob,
                                std::uint32_t first_set) = 0;
-  /// Covered mass across all sets (for the OPT_s lower bound).
+  /// Covered mass across attached sets (for the OPT_s lower bound).
   virtual double CoveredMass() const = 0;
-  /// Called after a batch of AddSet calls.
-  virtual void OnSetsAdded() = 0;
+  /// Bytes of this run's mutable view (the shared pool is accounted
+  /// separately, once per distinct pool).
   virtual std::size_t MemoryBytes() const = 0;
 };
 
 class RemovalBackend : public CoverageBackend {
  public:
-  explicit RemovalBackend(NodeId num_nodes) : collection_(num_nodes) {}
+  explicit RemovalBackend(const RrSetPool* pool) : collection_(pool) {}
 
-  void AddSet(std::span<const NodeId> nodes) override {
-    collection_.AddSet(nodes);
+  void AttachUpTo(std::uint32_t count) override {
+    collection_.AttachUpTo(count);
+    if (heap_ != nullptr) heap_->Rebuild();
   }
   std::size_t NumSets() const override { return collection_.NumSets(); }
   double CoverageOf(NodeId v) const override {
@@ -71,9 +75,6 @@ class RemovalBackend : public CoverageBackend {
   double CoveredMass() const override {
     return static_cast<double>(collection_.NumCovered());
   }
-  void OnSetsAdded() override {
-    if (heap_ != nullptr) heap_->Rebuild();
-  }
   std::size_t MemoryBytes() const override { return collection_.MemoryBytes(); }
 
  private:
@@ -83,17 +84,25 @@ class RemovalBackend : public CoverageBackend {
 
 class WeightedBackend : public CoverageBackend {
  public:
-  explicit WeightedBackend(NodeId num_nodes) : collection_(num_nodes) {}
+  explicit WeightedBackend(const RrSetPool* pool) : collection_(pool) {}
 
-  void AddSet(std::span<const NodeId> nodes) override {
-    collection_.AddSet(nodes);
+  void AttachUpTo(std::uint32_t count) override {
+    collection_.AttachUpTo(count);
+    if (heap_ != nullptr) heap_->Rebuild();
   }
   std::size_t NumSets() const override { return collection_.NumSets(); }
   double CoverageOf(NodeId v) const override {
     return collection_.CoverageOf(v);
   }
   NodeId BestNode(const std::function<bool(NodeId)>& eligible) override {
-    return collection_.ArgMaxCoverage(eligible);
+    // CELF-style lazy heap (weighted coverages only decrease between
+    // attach batches) — replaces the per-seed linear scan.
+    if (heap_ == nullptr) {
+      heap_ = std::make_unique<WeightedCoverageHeap>(&collection_);
+    }
+    const NodeId best = heap_->PopBest(eligible);
+    if (best != kInvalidNode) heap_->Push(best, collection_.CoverageOf(best));
+    return best;
   }
   double Commit(NodeId v, double accept_prob) override {
     return collection_.CommitSeed(v, accept_prob);
@@ -103,58 +112,21 @@ class WeightedBackend : public CoverageBackend {
     return collection_.CommitSeedOnRange(v, accept_prob, first_set);
   }
   double CoveredMass() const override { return collection_.CoveredMass(); }
-  void OnSetsAdded() override {}
   std::size_t MemoryBytes() const override { return collection_.MemoryBytes(); }
 
  private:
   WeightedRrCollection collection_;
+  std::unique_ptr<WeightedCoverageHeap> heap_;
 };
 
-// Per-ad mutable state of the TIRM main loop.
+// Per-ad mutable state of the TIRM main loop. Samples live in the store's
+// per-ad pool (`entry`); this struct only owns the run-local view.
 struct AdState {
-  AdState(const Graph& graph, std::span<const float> probs, NodeId num_nodes,
-          bool weighted, int num_threads) {
-    if (weighted) {
-      backend = std::make_unique<WeightedBackend>(num_nodes);
-    } else {
-      backend = std::make_unique<RemovalBackend>(num_nodes);
-    }
-    if (num_threads != 1) {
-      builder = std::make_unique<ParallelRrBuilder>(
-          graph, probs, ParallelRrBuilder::Options{.num_threads = num_threads});
-    } else {
-      sampler = std::make_unique<RrSampler>(graph, probs);
-    }
-  }
-
-  // Samples `count` sets into the backend: fanned out via the builder when
-  // parallel sampling is enabled, else the seed's exact serial stream.
-  // Parallel batches are drawn in bounded chunks so peak memory stays
-  // O(chunk), not O(theta), even with the theta cap raised.
-  void SampleSets(std::uint64_t count, Rng& rng, std::vector<NodeId>& scratch) {
-    if (builder != nullptr) {
-      constexpr std::uint64_t kChunk = 1 << 16;
-      for (std::uint64_t done = 0; done < count;) {
-        const std::uint64_t take = std::min(kChunk, count - done);
-        builder->SampleSetsInto(
-            take, rng,
-            [this](std::span<const NodeId> set) { backend->AddSet(set); });
-        done += take;
-      }
-      return;
-    }
-    for (std::uint64_t t = 0; t < count; ++t) {
-      sampler->SampleInto(rng, scratch);
-      backend->AddSet(scratch);
-    }
-  }
-
-  std::unique_ptr<RrSampler> sampler;          // non-null iff threads == 1
-  std::unique_ptr<ParallelRrBuilder> builder;  // non-null iff threads != 1
+  RrSampleStore::AdPool* entry = nullptr;  // pooled samples (store-owned)
+  const KptEstimator* kpt = nullptr;       // cached widths (store-owned)
   std::unique_ptr<CoverageBackend> backend;
-  std::unique_ptr<KptEstimator> kpt;
 
-  std::uint64_t theta = 0;   // sets sampled so far
+  std::uint64_t theta = 0;   // sets attached so far
   std::uint64_t s = 1;       // current seed-count estimate s_j
   double kpt_value = 1.0;    // KPT*(s)
   std::size_t expansions = 0;
@@ -181,33 +153,61 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
   const int h = instance.num_ads();
   const double dn = static_cast<double>(n);
 
+  TirmResult result;
+
+  // ------------------------------------------------------------ sample store
+  // All sampling goes through an RrSampleStore. A shared store (engine
+  // sweeps, head-to-head runs) serves warm pools; otherwise a private store
+  // with the same chunked sampling discipline makes this run bit-identical
+  // to a store-backed one at the same seed and thread count.
+  RrSampleStore* store = options.sample_store;
+  std::optional<RrSampleStore> local_store;
+  if (store == nullptr) {
+    std::uint64_t store_seed = options.sample_store_seed;
+    if (store_seed == 0) store_seed = rng.Fork(0x5707).NextUInt64();
+    local_store.emplace(
+        &graph, RrSampleStore::Options{.seed = store_seed,
+                                       .num_threads = options.num_threads});
+    store = &*local_store;
+  } else {
+    TIRM_CHECK(store->graph() == &graph)
+        << "shared RrSampleStore serves a different graph";
+    result.cache.shared_store = true;
+  }
+
   std::vector<std::uint16_t> assigned(n, 0);
 
   // ------------------------------------------------ initialization (line 1-3)
   std::vector<std::unique_ptr<AdState>> ads;
   ads.reserve(static_cast<std::size_t>(h));
-  std::vector<NodeId> scratch;
   for (AdId j = 0; j < h; ++j) {
-    auto st = std::make_unique<AdState>(graph, instance.EdgeProbsForAd(j), n,
-                                        options.ctp_aware_coverage,
-                                        options.num_threads);
+    auto st = std::make_unique<AdState>();
+    st->entry = store->Acquire(store->SignatureForAd(instance, j),
+                               instance.EdgeProbsForAd(j));
     st->in_seed_set.assign(n, 0);
-    Rng kpt_rng = rng.Fork(0x1000 + static_cast<std::uint64_t>(j));
+
+    bool kpt_hit = false;
     const KptEstimator::Options kpt_options{
         .ell = options.theta.ell, .max_samples = options.kpt_max_samples};
-    st->kpt = st->builder != nullptr
-                  ? std::make_unique<KptEstimator>(st->builder.get(),
-                                                   graph.num_edges(),
-                                                   kpt_options)
-                  : std::make_unique<KptEstimator>(st->sampler.get(),
-                                                   graph.num_edges(),
-                                                   kpt_options);
-    st->kpt_value = st->kpt->Estimate(st->s, kpt_rng);
+    st->kpt = &store->EnsureKpt(st->entry, kpt_options, st->s, &kpt_hit);
+    ++result.cache.kpt_estimations;
+    if (kpt_hit) ++result.cache.kpt_cache_hits;
+    st->kpt_value = st->kpt->ReEstimate(st->s);
+
     const double opt_lb = std::max(st->kpt_value, static_cast<double>(st->s));
     st->theta = ComputeTheta(n, st->s, opt_lb, options.theta);
-    Rng sample_rng = rng.Fork(0x2000 + static_cast<std::uint64_t>(j));
-    st->SampleSets(st->theta, sample_rng, scratch);
-    st->backend->OnSetsAdded();
+    const RrSampleStore::EnsureResult ensured =
+        store->EnsureSets(st->entry, st->theta);
+    result.cache.sampled_sets += ensured.sampled;
+    result.cache.reused_sets += ensured.reused;
+    if (ensured.sampled > 0) ++result.cache.top_ups;
+
+    if (options.ctp_aware_coverage) {
+      st->backend = std::make_unique<WeightedBackend>(&st->entry->sets());
+    } else {
+      st->backend = std::make_unique<RemovalBackend>(&st->entry->sets());
+    }
+    st->backend->AttachUpTo(static_cast<std::uint32_t>(st->theta));
     ads.push_back(std::move(st));
   }
 
@@ -263,11 +263,14 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
       st.cand_cov = best == kInvalidNode ? 0.0 : st.backend->CoverageOf(best);
     }
     if (options.exact_selection_fallback && st.cand_node != kInvalidNode) {
-      const double drop = RegretDrop(
-          instance, j, st.revenue, marginal_of(j, st.cand_node, st.cand_cov));
-      if (drop <= options.min_drop) {
-        // Top candidate overshoots: scan for the largest positive drop
-        // (Algorithm 1 semantics). Rare — only near budget saturation.
+      const double top_marginal = marginal_of(j, st.cand_node, st.cand_cov);
+      const double drop = RegretDrop(instance, j, st.revenue, top_marginal);
+      if (drop <= options.min_drop ||
+          top_marginal > BudgetRegret(instance, j, st.revenue)) {
+        // Top candidate fails to decrease regret, or overshoots the
+        // remaining budget gap (a smaller node may then drop regret much
+        // further): scan for the largest positive drop (Algorithm 1
+        // semantics). Rare — only near budget saturation.
         NodeId best = kInvalidNode;
         double best_cov = 0.0;
         double best_drop = options.min_drop;
@@ -289,7 +292,6 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     st.cand_valid = true;
   };
 
-  TirmResult result;
   result.ad_stats.resize(static_cast<std::size_t>(h));
 
   // ------------------------------------------------------- main loop (line 4)
@@ -358,14 +360,18 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
           std::max(ComputeTheta(n, st.s, opt_lb, options.theta), st.theta);
       if (new_theta > st.theta) {
         ++st.expansions;
-        const std::uint32_t first_new =
-            static_cast<std::uint32_t>(st.backend->NumSets());
-        Rng sample_rng =
-            rng.Fork(0x3000 + static_cast<std::uint64_t>(best_ad) * 0x100 +
-                     st.expansions);
-        st.SampleSets(new_theta - st.theta, sample_rng, scratch);
+        const auto first_new = static_cast<std::uint32_t>(st.theta);
+        // θ growth is a store top-up, not a resample: warm pools serve it
+        // from already-sampled chunks.
+        const RrSampleStore::EnsureResult ensured =
+            store->EnsureSets(st.entry, new_theta, /*already_attached=*/
+                              st.theta);
+        result.cache.sampled_sets += ensured.sampled;
+        result.cache.reused_sets += ensured.reused;
+        if (ensured.sampled > 0) ++result.cache.top_ups;
         const std::uint64_t old_theta = st.theta;
         st.theta = new_theta;
+        st.backend->AttachUpTo(static_cast<std::uint32_t>(new_theta));
 
         // Algorithm 4 (UpdateEstimates): attribute the new sets to the
         // existing seeds in selection order, keeping coverages marginal,
@@ -382,7 +388,6 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
                      (st.seed_coverage[q] / static_cast<double>(st.theta));
         }
         st.revenue = revenue;
-        st.backend->OnSetsAdded();
         TIRM_LOG_DEBUG("tirm ad %d: s=%llu theta %llu -> %llu (expansion %zu)",
                        static_cast<int>(best_ad),
                        static_cast<unsigned long long>(st.s),
@@ -396,6 +401,7 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
   // ------------------------------------------------------------- results
   result.allocation = Allocation::Empty(h);
   result.estimated_revenue.resize(static_cast<std::size_t>(h));
+  std::unordered_set<const RrSampleStore::AdPool*> distinct_pools;
   for (AdId j = 0; j < h; ++j) {
     const auto idx = static_cast<std::size_t>(j);
     AdState& st = *ads[idx];
@@ -408,9 +414,13 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     stats.num_seeds = st.seeds.size();
     stats.estimated_revenue = st.revenue;
     stats.expansions = st.expansions;
-    result.rr_memory_bytes += st.backend->MemoryBytes();
+    result.cache.view_bytes += st.backend->MemoryBytes();
+    if (distinct_pools.insert(st.entry).second) {
+      result.cache.arena_bytes += st.entry->sets().MemoryBytes();
+    }
     result.total_rr_sets += st.theta;
   }
+  result.rr_memory_bytes = result.cache.arena_bytes + result.cache.view_bytes;
   return result;
 }
 

@@ -33,6 +33,7 @@
 #include "alloc/allocation.h"
 #include "alloc/regret.h"
 #include "common/rng.h"
+#include "rrset/sample_store.h"
 #include "rrset/theta.h"
 #include "topic/instance.h"
 
@@ -55,10 +56,13 @@ struct TirmResult {
   /// Internal Π̂_i estimates (MC evaluation is the ground truth).
   std::vector<double> estimated_revenue;
   std::size_t iterations = 0;
-  /// Bytes held in RR-set collections at termination (Table 4).
+  /// Bytes backing the RR samples at termination: pooled arena (each
+  /// distinct pool counted once) + per-run coverage views (Table 4).
   std::size_t rr_memory_bytes = 0;
-  /// Total RR sets sampled across ads.
+  /// Total RR sets consumed across ads (Σ θ_j).
   std::uint64_t total_rr_sets = 0;
+  /// Sample-reuse diagnostics (pool hits, fresh sampling, arena bytes).
+  SampleCacheStats cache;
 };
 
 /// TIRM configuration.
@@ -80,13 +84,27 @@ struct TirmOptions {
   /// raw coverage (linear scan; small instances only).
   bool weight_by_ctp = false;
   /// When the argmax-coverage candidate of Algorithm 3 would *increase*
-  /// regret (its marginal overshoots the remaining budget gap), fall back
-  /// to a linear scan for the node with the largest positive regret drop —
-  /// this matches Algorithm 1's argmax over all (user, ad) pairs. Without
-  /// the fallback an ad whose top node overshoots stalls permanently (the
-  /// "dense network" extreme of §4.1). Default on; disable for the
-  /// strictly-literal Algorithm 3 (ablation).
+  /// regret, or its marginal overshoots the remaining budget gap (so a
+  /// smaller node can drop regret further), fall back to a linear scan for
+  /// the node with the largest positive regret drop — this matches
+  /// Algorithm 1's argmax over all (user, ad) pairs. Without the fallback
+  /// an ad whose top node overshoots either stalls permanently or commits
+  /// a near-2·B seed for a microscopic drop (the "dense network" extreme
+  /// of §4.1). Default on; disable for the strictly-literal Algorithm 3
+  /// (ablation).
   bool exact_selection_fallback = true;
+  /// Shared RR-sample store (not owned; may be null). When set, the run
+  /// borrows pooled per-ad samples from it — θ growth becomes store top-up
+  /// instead of resampling, and pools persist for later runs/sweep points.
+  /// When null, the run creates a private store with identical sampling
+  /// discipline, so pooled and fresh runs are bit-identical at a fixed
+  /// store seed (and thread count). The store's graph must be the
+  /// instance's graph.
+  RrSampleStore* sample_store = nullptr;
+  /// Seed of the private store when `sample_store` is null (a shared
+  /// store keeps its own seed). 0 = derive deterministically from the
+  /// run's rng.
+  std::uint64_t sample_store_seed = 0;
   /// Extension beyond the paper: CTP-aware survival-weighted coverage
   /// (see rrset/weighted_rr_collection.h). Algorithm 2's covered-set
   /// removal assumes committed seeds are active w.p. 1; with low CTPs this

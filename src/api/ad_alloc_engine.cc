@@ -4,36 +4,23 @@
 #include <string>
 #include <utility>
 
+#include "common/hashing.h"
+#include "common/threading.h"
+
 namespace tirm {
 namespace {
 
-// FNV-1a, then splitmix-style finalization: a stable, platform-independent
-// hash so query substreams are reproducible across runs and builds
-// (std::hash makes no such promise).
-std::uint64_t HashBytes(std::uint64_t h, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= bytes[i];
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
-std::uint64_t Finalize(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
+// Stable query-substream salt (common/hashing.h: reproducible across runs
+// and builds, unlike std::hash).
 std::uint64_t QuerySalt(const std::string& allocator, const EngineQuery& query,
                         std::uint64_t stream) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
+  std::uint64_t h = kFnvOffsetBasis;
   h = HashBytes(h, allocator.data(), allocator.size());
   const double doubles[3] = {query.lambda, query.beta, query.budget_scale};
   h = HashBytes(h, doubles, sizeof(doubles));
   h = HashBytes(h, &query.kappa, sizeof(query.kappa));
   h = HashBytes(h, &stream, sizeof(stream));
-  return Finalize(h);
+  return FinalizeHash(h);
 }
 
 }  // namespace
@@ -95,6 +82,13 @@ std::uint64_t AdAllocEngine::AlgoSeed(const std::string& allocator,
   return options_.seed ^ QuerySalt(allocator, query, /*stream=*/0x51);
 }
 
+std::uint64_t AdAllocEngine::StoreSeed() const {
+  // Query-independent (pools are shared across sweep points) and distinct
+  // from the algo/eval streams. Never 0 — 0 is the "derive from run rng"
+  // sentinel in TirmOptions.
+  return FinalizeHash(options_.seed ^ 0x5707A11EULL) | 1ULL;
+}
+
 std::uint64_t AdAllocEngine::EvalSeed(const EngineQuery& query) const {
   // Deliberately independent of the allocator: evaluating every algorithm
   // of a head-to-head comparison under the SAME Monte-Carlo possible-world
@@ -122,8 +116,30 @@ Status AdAllocEngine::ValidateQuery(const EngineQuery& query) {
 Result<EngineRun> AdAllocEngine::Run(const AllocatorConfig& config,
                                      const EngineQuery& query) {
   TIRM_RETURN_NOT_OK(ValidateQuery(query));
+  AllocatorConfig run_config = config;
+  // Sample reuse: hand sampling allocators the engine's store (created on
+  // first use) so sweep points share warm pools. With reuse off, the same
+  // seed flows into per-run private stores — results are identical either
+  // way, only the sampling bill differs.
+  run_config.sample_store_seed = StoreSeed();
+  if (options_.reuse_samples) {
+    // One store per resolved worker count: pools are deterministic per
+    // fixed thread count, so sharing them across counts would break the
+    // reuse-on/off bit-identical contract.
+    const int threads = ResolveThreadCount(run_config.num_threads);
+    std::unique_ptr<RrSampleStore>& store = stores_[threads];
+    if (store == nullptr) {
+      store = std::make_unique<RrSampleStore>(
+          &base_.graph(),
+          RrSampleStore::Options{.seed = StoreSeed(), .num_threads = threads});
+    }
+    run_config.sample_store = store.get();
+    last_store_ = store.get();
+  } else {
+    run_config.sample_store = nullptr;
+  }
   Result<std::unique_ptr<Allocator>> allocator =
-      AllocatorRegistry::Global().Create(config);
+      AllocatorRegistry::Global().Create(run_config);
   if (!allocator.ok()) return allocator.status();
 
   const ProblemInstance instance = MakeInstance(query);

@@ -22,11 +22,15 @@
 #include <cstdint>
 #include <optional>
 
+#include <map>
+#include <memory>
+
 #include "alloc/allocator.h"
 #include "alloc/regret_evaluator.h"
 #include "api/allocator_config.h"
 #include "api/allocator_registry.h"
 #include "datasets/dataset.h"
+#include "rrset/sample_store.h"
 #include "topic/instance.h"
 
 namespace tirm {
@@ -42,6 +46,12 @@ struct EngineOptions {
   /// Skip the MC evaluation (report left empty) — for pure allocation
   /// serving or when the caller evaluates separately.
   bool evaluate = true;
+  /// Reuse pooled RR samples across queries: the engine owns an
+  /// RrSampleStore and every sampling allocator run borrows warm per-ad
+  /// pools from it, so a λ/κ/β/budget sweep samples each ad's sets at most
+  /// once per max-θ. Disabling it resamples per query through a private
+  /// store with the same seed — bit-identical results, sweep-slower.
+  bool reuse_samples = true;
 };
 
 /// One point of a parameter sweep (Problem 1 knobs).
@@ -105,10 +115,27 @@ class AdAllocEngine {
                          const EngineQuery& query) const;
   std::uint64_t EvalSeed(const EngineQuery& query) const;
 
+  /// Sampling seed of the engine's store (and of the private per-run
+  /// stores when reuse is disabled): a pure function of options().seed, so
+  /// reuse on/off cannot change results.
+  std::uint64_t StoreSeed() const;
+
+  /// The engine-owned sample store most recently used by Run (null until
+  /// the first run with reuse enabled). Pool/arena counters for
+  /// dashboards come from here.
+  const RrSampleStore* sample_store() const { return last_store_; }
+
  private:
   BuiltInstance built_;
   EngineOptions options_;
   ProblemInstance base_;  ///< kappa=1, lambda=0 template; owns the cache
+  /// One store per *resolved* sampling worker count, created lazily: pool
+  /// contents are deterministic per fixed thread count, so runs with
+  /// different --threads must not share pools or the reuse-on/off
+  /// bit-identical contract would break. In practice an engine serves one
+  /// thread count and this holds a single store.
+  std::map<int, std::unique_ptr<RrSampleStore>> stores_;
+  const RrSampleStore* last_store_ = nullptr;
 };
 
 }  // namespace tirm

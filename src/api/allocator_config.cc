@@ -167,6 +167,8 @@ TirmOptions AllocatorConfig::MakeTirmOptions() const {
   o.weight_by_ctp = weight_by_ctp;
   o.exact_selection_fallback = exact_selection_fallback;
   o.ctp_aware_coverage = ctp_aware_coverage;
+  o.sample_store = sample_store;
+  o.sample_store_seed = sample_store_seed;
   return o;
 }
 

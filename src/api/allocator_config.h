@@ -23,6 +23,8 @@
 
 namespace tirm {
 
+class RrSampleStore;  // rrset/sample_store.h
+
 /// Configuration shared by all allocators; see file comment.
 struct AllocatorConfig {
   /// Registry key to run (`--allocator`): "tirm", "greedy-mc",
@@ -52,6 +54,17 @@ struct AllocatorConfig {
 
   // -- GREEDY-MC knobs.
   std::size_t mc_sims = 500;        ///< MC simulations per marginal query
+
+  // -- Sample reuse (wired programmatically by AdAllocEngine / benches,
+  //    not parsed from flags).
+  /// Shared RR-sample store the run borrows pooled samples from (not
+  /// owned; may be null — the allocator then samples into a private store
+  /// with the same discipline).
+  RrSampleStore* sample_store = nullptr;
+  /// Private-store seed when `sample_store` is null (0 = derive from the
+  /// run rng). Setting it to the shared store's seed makes store-disabled
+  /// runs bit-identical to store-enabled ones.
+  std::uint64_t sample_store_seed = 0;
 
   /// Parses every field from `flags` (`--allocator=tirm --eps=0.1
   /// --theta_cap=...`), on top of `defaults` (callers pre-seed their

@@ -34,6 +34,7 @@ class TirmAllocator : public Allocator {
     result.iterations = tirm.iterations;
     result.rr_memory_bytes = tirm.rr_memory_bytes;
     result.total_rr_sets = tirm.total_rr_sets;
+    result.cache = tirm.cache;
     result.ad_stats.reserve(tirm.ad_stats.size());
     for (const TirmAdStats& s : tirm.ad_stats) {
       AdAllocStats stats;

@@ -1,0 +1,46 @@
+// Stable, platform-independent hashing for seed/substream derivation.
+//
+// FNV-1a over raw bytes with a splitmix64-style finalizer. Both the query
+// substream salts of AdAllocEngine and the per-pool sampling seeds of
+// RrSampleStore derive from these exact functions — they live here so the
+// two can never drift apart (pooled-vs-fresh determinism depends on it).
+// std::hash is unsuitable: it makes no cross-run or cross-platform
+// stability promise.
+
+#ifndef TIRM_COMMON_HASHING_H_
+#define TIRM_COMMON_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tirm {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+
+/// FNV-1a accumulation of `size` raw bytes into `h`.
+inline std::uint64_t HashBytes(std::uint64_t h, const void* data,
+                               std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// splitmix64-style avalanche finalizer.
+inline std::uint64_t FinalizeHash(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a salt into a base value (seed derivation for substreams).
+inline std::uint64_t MixHash(std::uint64_t base, std::uint64_t salt) {
+  return FinalizeHash(base ^
+                      (salt * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL));
+}
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_HASHING_H_

@@ -4,23 +4,35 @@
 
 namespace tirm {
 
-RrCollection::RrCollection(NodeId num_nodes) {
-  set_offsets_.push_back(0);
+RrCollection::RrCollection(NodeId num_nodes)
+    : owned_(std::make_unique<RrSetPool>(num_nodes)), pool_(owned_.get()) {
   coverage_.assign(num_nodes, 0);
-  index_.resize(num_nodes);
+}
+
+RrCollection::RrCollection(const RrSetPool* pool) : pool_(pool) {
+  TIRM_CHECK(pool_ != nullptr);
+  coverage_.assign(pool_->num_nodes(), 0);
 }
 
 std::uint32_t RrCollection::AddSet(std::span<const NodeId> nodes) {
-  const std::uint32_t id = static_cast<std::uint32_t>(NumSets());
-  for (const NodeId v : nodes) {
-    TIRM_DCHECK(v < coverage_.size());
-    set_nodes_.push_back(v);
-    ++coverage_[v];
-    index_[v].push_back(id);
-  }
-  set_offsets_.push_back(set_nodes_.size());
-  covered_.push_back(0);
+  TIRM_CHECK(owned_ != nullptr) << "AddSet requires an owning collection; "
+                                   "borrowed pools grow via the store";
+  const std::uint32_t id = owned_->AddSet(nodes);
+  AttachUpTo(id + 1);
   return id;
+}
+
+void RrCollection::AttachUpTo(std::uint32_t count) {
+  TIRM_CHECK_LE(count, pool_->NumSets());
+  TIRM_CHECK_GE(count, attached_);
+  for (std::uint32_t id = attached_; id < count; ++id) {
+    for (const NodeId v : pool_->SetMembers(id)) {
+      TIRM_DCHECK(v < coverage_.size());
+      ++coverage_[v];
+    }
+  }
+  covered_.resize(count, 0);
+  attached_ = count;
 }
 
 std::uint32_t RrCollection::CommitSeed(NodeId v) {
@@ -31,12 +43,13 @@ std::uint32_t RrCollection::CommitSeedOnRange(NodeId v,
                                               std::uint32_t first_set) {
   TIRM_CHECK_LT(v, coverage_.size());
   std::uint32_t newly_covered = 0;
-  for (const std::uint32_t id : index_[v]) {
+  for (const std::uint32_t id : pool_->Postings(v)) {
+    if (id >= attached_) break;  // postings ascend; rest not attached yet
     if (id < first_set || covered_[id]) continue;
     covered_[id] = 1;
     ++newly_covered;
     ++num_covered_;
-    for (const NodeId member : SetMembers(id)) {
+    for (const NodeId member : pool_->SetMembers(id)) {
       TIRM_DCHECK(coverage_[member] > 0);
       --coverage_[member];
     }
@@ -45,14 +58,9 @@ std::uint32_t RrCollection::CommitSeedOnRange(NodeId v,
 }
 
 std::size_t RrCollection::MemoryBytes() const {
-  std::size_t bytes = set_offsets_.capacity() * sizeof(std::size_t) +
-                      set_nodes_.capacity() * sizeof(NodeId) +
-                      covered_.capacity() +
-                      coverage_.capacity() * sizeof(std::uint32_t) +
-                      index_.capacity() * sizeof(std::vector<std::uint32_t>);
-  for (const auto& postings : index_) {
-    bytes += postings.capacity() * sizeof(std::uint32_t);
-  }
+  std::size_t bytes = covered_.capacity() +
+                      coverage_.capacity() * sizeof(std::uint32_t);
+  if (owned_ != nullptr) bytes += owned_->MemoryBytes();
   return bytes;
 }
 

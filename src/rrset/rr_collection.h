@@ -1,71 +1,91 @@
-// Storage and marginal-coverage maintenance for collections of RR sets.
+// Coverage views over pooled RR sets.
 //
 // The greedy Max-Cover step of TIM / TIRM repeatedly needs
 //   argmax_v |{R in collection : v in R, R not yet covered}|
 // and, after committing a seed v, must mark every set containing v as
-// covered (decrementing the counts of all other members). RrCollection
-// keeps sets flattened (offset + node arrays), an inverted index
-// node -> set ids, and live coverage counts, so both operations are linear
-// in the touched sets.
+// covered (decrementing the counts of all other members).
 //
-// For TIRM's iterative sampling (Algorithm 2 lines 14-18), sets can be
-// appended in batches; AttributeNewSetsTo() lets existing seeds absorb the
-// newly added sets in selection order (UpdateEstimates, Algorithm 4).
+// RrCollection is the *mutable* half of that split: per-node marginal
+// coverage counts and per-set covered flags. The *immutable* half — the
+// flattened set arena and the node -> set-ids inverted index — lives in an
+// RrSetPool (rrset/sample_store.h) that the view only borrows, so any
+// number of greedy runs, allocators, and sweep points share one physical
+// copy of the samples. A view exposes a prefix of its pool: AttachUpTo()
+// advances the watermark as TIRM's θ grows (Algorithm 2 lines 14-18), and
+// CommitSeedOnRange() lets existing seeds absorb freshly attached sets in
+// selection order (UpdateEstimates, Algorithm 4).
+//
+// For standalone use (tests, plain TIM) the owning constructor creates a
+// private pool, and AddSet() appends + attaches in one step — the
+// pre-split API.
 
 #ifndef TIRM_RRSET_RR_COLLECTION_H_
 #define TIRM_RRSET_RR_COLLECTION_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
+#include "rrset/sample_store.h"
 
 namespace tirm {
 
-/// Flattened collection of RR sets with coverage bookkeeping.
+/// Mutable coverage view over a (borrowed or private) RrSetPool.
 class RrCollection {
  public:
+  /// Owning mode: creates a private pool; populate via AddSet().
   explicit RrCollection(NodeId num_nodes);
 
-  /// Appends one set; returns its id.
+  /// View mode: borrows `pool` (not owned; must outlive the view). Starts
+  /// with zero attached sets — call AttachUpTo() to expose a pool prefix.
+  explicit RrCollection(const RrSetPool* pool);
+
+  /// Appends one set to the private pool and attaches it; returns its id.
+  /// Owning mode only.
   std::uint32_t AddSet(std::span<const NodeId> nodes);
 
-  /// Number of sets ever added (covered ones included).
-  std::size_t NumSets() const { return set_offsets_.size() - 1; }
+  /// Exposes pool sets [NumSets(), count) to this view, adding their
+  /// members' coverage. `count` must not exceed pool()->NumSets() and
+  /// never shrinks the view.
+  void AttachUpTo(std::uint32_t count);
 
-  /// Number of nodes this collection indexes.
+  /// Number of sets attached to this view (covered ones included).
+  std::size_t NumSets() const { return attached_; }
+
+  /// Number of nodes this view indexes.
   NodeId num_nodes() const { return static_cast<NodeId>(coverage_.size()); }
 
-  /// Number of sets currently covered by committed seeds.
+  /// Number of attached sets currently covered by committed seeds.
   std::size_t NumCovered() const { return num_covered_; }
 
-  /// Current (marginal) coverage of `v`: #uncovered sets containing v.
+  /// Current (marginal) coverage of `v`: #uncovered attached sets
+  /// containing v.
   std::uint32_t CoverageOf(NodeId v) const {
     TIRM_DCHECK(v < coverage_.size());
     return coverage_[v];
   }
 
-  /// Marks every uncovered set containing `v` as covered; returns how many
-  /// sets were newly covered (v's marginal coverage before the call).
+  /// Marks every uncovered attached set containing `v` as covered; returns
+  /// how many sets were newly covered (v's marginal coverage before).
   std::uint32_t CommitSeed(NodeId v);
 
-  /// Marks sets with id >= `first_set` containing `v` as covered, returning
-  /// the count — used by UpdateEstimates to attribute freshly sampled sets
-  /// to already-committed seeds in their original selection order.
+  /// Marks attached sets with id >= `first_set` containing `v` as covered,
+  /// returning the count — used by UpdateEstimates to attribute freshly
+  /// attached sets to already-committed seeds in selection order.
   std::uint32_t CommitSeedOnRange(NodeId v, std::uint32_t first_set);
 
-  /// Members of set `id` (valid whether covered or not).
+  /// Members of attached set `id` (borrowed from the pool).
   std::span<const NodeId> SetMembers(std::uint32_t id) const {
-    TIRM_DCHECK(id < NumSets());
-    return {set_nodes_.data() + set_offsets_[id],
-            set_offsets_[id + 1] - set_offsets_[id]};
+    TIRM_DCHECK(id < attached_);
+    return pool_->SetMembers(id);
   }
 
   bool IsCovered(std::uint32_t id) const {
-    TIRM_DCHECK(id < NumSets());
+    TIRM_DCHECK(id < attached_);
     return covered_[id];
   }
 
@@ -86,21 +106,25 @@ class RrCollection {
     return best;
   }
 
-  /// Approximate heap footprint in bytes (set storage + inverted index +
-  /// bookkeeping) — reported by the Table 4 memory experiment.
+  /// Bytes held by this view's bookkeeping (coverage counts + covered
+  /// flags), plus the private pool in owning mode. A borrowed pool is
+  /// shared — account for it once via pool()->MemoryBytes().
   std::size_t MemoryBytes() const;
 
+  /// The pool this view reads (private one in owning mode).
+  const RrSetPool* pool() const { return pool_; }
+
  private:
+  std::unique_ptr<RrSetPool> owned_;  // null in view mode
+  const RrSetPool* pool_;
+  std::uint32_t attached_ = 0;
   std::size_t num_covered_ = 0;
-  std::vector<std::size_t> set_offsets_;  // size #sets+1
-  std::vector<NodeId> set_nodes_;         // flattened members
-  std::vector<std::uint8_t> covered_;     // per set
+  std::vector<std::uint8_t> covered_;     // per attached set
   std::vector<std::uint32_t> coverage_;   // per node, marginal
-  std::vector<std::vector<std::uint32_t>> index_;  // node -> set ids
 };
 
 /// Lazy max-heap over node coverages (CELF-style). Valid while coverage
-/// values only decrease; call Rebuild() after a batch of sets is added.
+/// values only decrease; call Rebuild() after an AttachUpTo/AddSet batch.
 class CoverageHeap {
  public:
   explicit CoverageHeap(const RrCollection* collection)
@@ -108,7 +132,7 @@ class CoverageHeap {
     Rebuild();
   }
 
-  /// Re-inserts every node with positive coverage (after AddSet batches).
+  /// Re-inserts every node with positive coverage (after attach batches).
   void Rebuild();
 
   /// Pops the node with maximum *current* coverage among eligible ones;

@@ -1,0 +1,185 @@
+#include "rrset/sample_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hashing.h"
+#include "rrset/parallel_rr_builder.h"
+#include "topic/edge_probabilities.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+// ------------------------------------------------------------------ RrSetPool
+
+RrSetPool::RrSetPool(NodeId num_nodes) : num_nodes_(num_nodes) {
+  set_offsets_.push_back(0);
+  index_.resize(num_nodes);
+}
+
+std::uint32_t RrSetPool::AddSet(std::span<const NodeId> nodes) {
+  const auto id = static_cast<std::uint32_t>(NumSets());
+  for (const NodeId v : nodes) {
+    TIRM_DCHECK(v < num_nodes_);
+    set_nodes_.push_back(v);
+    index_[v].push_back(id);
+  }
+  set_offsets_.push_back(set_nodes_.size());
+  return id;
+}
+
+std::size_t RrSetPool::MemoryBytes() const {
+  std::size_t bytes = set_offsets_.capacity() * sizeof(std::size_t) +
+                      set_nodes_.capacity() * sizeof(NodeId) +
+                      index_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const auto& postings : index_) {
+    bytes += postings.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+// -------------------------------------------------------------- RrSampleStore
+
+RrSampleStore::AdPool::AdPool(NodeId num_nodes, std::uint64_t base_seed)
+    : pool_(num_nodes), base_seed_(base_seed) {}
+
+RrSampleStore::AdPool::~AdPool() = default;
+
+RrSampleStore::RrSampleStore(const Graph* graph, Options options)
+    : graph_(graph), options_(options) {
+  TIRM_CHECK(graph_ != nullptr);
+  TIRM_CHECK_GE(options_.chunk_sets, 1u);
+}
+
+RrSampleStore::~RrSampleStore() = default;
+
+std::uint64_t RrSampleStore::SignatureForAd(const ProblemInstance& instance,
+                                            AdId ad) const {
+  std::uint64_t h = kFnvOffsetBasis;
+  if (instance.edge_probs().mode() == EdgeProbabilities::Mode::kShared) {
+    // Topic-blind probabilities: every ad samples from the same per-edge
+    // array.
+    h ^= 0x51A7EDULL;
+  } else {
+    const std::span<const double> mass = instance.advertiser(ad).gamma.mass();
+    h = HashBytes(h, mass.data(), mass.size() * sizeof(double));
+    const auto topics = static_cast<std::uint64_t>(mass.size());
+    h = HashBytes(h, &topics, sizeof(topics));
+  }
+  if (!options_.share_across_ads) {
+    // Keep per-ad sample independence (the paper's per-ad R_j): salt with
+    // the ad id so identically-distributed ads draw decorrelated pools.
+    const auto id = static_cast<std::uint64_t>(ad);
+    h = HashBytes(h, &id, sizeof(id));
+  }
+  return FinalizeHash(h);
+}
+
+RrSampleStore::AdPool* RrSampleStore::Acquire(
+    std::uint64_t signature, std::span<const float> edge_probs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    auto entry = std::unique_ptr<AdPool>(
+        new AdPool(graph_->num_nodes(), MixHash(options_.seed, signature)));
+    entry->edge_probs_ = edge_probs;
+    entry->builder_ = std::make_unique<ParallelRrBuilder>(
+        *graph_, edge_probs,
+        ParallelRrBuilder::Options{.num_threads = options_.num_threads});
+    it = entries_.emplace(signature, std::move(entry)).first;
+  } else {
+    // A warm acquire must describe the same probabilities the pool was
+    // sampled from — a mismatch means the signature scheme and the
+    // caller's probabilities disagree. Under share_across_ads, distinct
+    // ads with equal mixtures may hand in equal-content arrays at
+    // different addresses, so only the size is checked there.
+    TIRM_DCHECK(it->second->edge_probs_.size() == edge_probs.size());
+    TIRM_DCHECK(options_.share_across_ads ||
+                it->second->edge_probs_.data() == edge_probs.data());
+  }
+  return it->second.get();
+}
+
+RrSampleStore::EnsureResult RrSampleStore::EnsureSets(
+    AdPool* entry, std::uint64_t min_sets, std::uint64_t already_attached) {
+  TIRM_CHECK(entry != nullptr);
+  std::lock_guard<std::mutex> lock(entry->mutex_);
+  EnsureResult result;
+  result.had_before = entry->pool_.NumSets();
+  const std::uint64_t served = std::min(min_sets, result.had_before);
+  result.reused = served > already_attached ? served - already_attached : 0;
+  reused_sets_.fetch_add(result.reused, std::memory_order_relaxed);
+  if (min_sets <= result.had_before) return result;
+
+  const std::uint64_t chunk = options_.chunk_sets;
+  const std::uint64_t target_chunks = (min_sets + chunk - 1) / chunk;
+  for (std::uint64_t c = entry->chunks_sampled_; c < target_chunks; ++c) {
+    // One independent substream per chunk index: the pool prefix is a pure
+    // function of (seed, signature, chunk_sets, thread count), never of how
+    // θ growth was split across EnsureSets calls.
+    Rng master(MixHash(entry->base_seed_, 0x2000 + c));
+    entry->builder_->SampleSetsInto(
+        chunk, master,
+        [entry](std::span<const NodeId> set) { entry->pool_.AddSet(set); });
+  }
+  entry->chunks_sampled_ = target_chunks;
+  result.sampled = entry->pool_.NumSets() - result.had_before;
+  sampled_sets_.fetch_add(result.sampled, std::memory_order_relaxed);
+  top_ups_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+const KptEstimator& RrSampleStore::EnsureKpt(
+    AdPool* entry, const KptEstimator::Options& options, std::uint64_t s,
+    bool* cache_hit) {
+  TIRM_CHECK(entry != nullptr);
+  std::lock_guard<std::mutex> lock(entry->mutex_);
+  kpt_estimations_.fetch_add(1, std::memory_order_relaxed);
+  for (const AdPool::KptSlot& slot : entry->kpt_slots_) {
+    if (slot.s == s && slot.options.ell == options.ell &&
+        slot.options.max_samples == options.max_samples) {
+      kpt_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *slot.estimator;
+    }
+  }
+  // Miss: append a new estimator (never replace — references handed out
+  // earlier must stay valid for the entry's lifetime).
+  AdPool::KptSlot slot;
+  slot.options = options;
+  slot.s = s;
+  slot.estimator = std::make_unique<KptEstimator>(entry->builder_.get(),
+                                                  graph_->num_edges(), options);
+  Rng kpt_rng(MixHash(entry->base_seed_, 0x1000));
+  slot.estimator->Estimate(s, kpt_rng);
+  entry->kpt_slots_.push_back(std::move(slot));
+  if (cache_hit != nullptr) *cache_hit = false;
+  return *entry->kpt_slots_.back().estimator;
+}
+
+std::size_t RrSampleStore::NumEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t RrSampleStore::TotalArenaBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [signature, entry] : entries_) {
+    bytes += entry->pool_.MemoryBytes();
+  }
+  return bytes;
+}
+
+SampleCacheStats RrSampleStore::LifetimeStats() const {
+  SampleCacheStats stats;
+  stats.reused_sets = reused_sets_.load(std::memory_order_relaxed);
+  stats.sampled_sets = sampled_sets_.load(std::memory_order_relaxed);
+  stats.top_ups = top_ups_.load(std::memory_order_relaxed);
+  stats.kpt_cache_hits = kpt_cache_hits_.load(std::memory_order_relaxed);
+  stats.kpt_estimations = kpt_estimations_.load(std::memory_order_relaxed);
+  stats.arena_bytes = TotalArenaBytes();
+  return stats;
+}
+
+}  // namespace tirm

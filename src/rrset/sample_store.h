@@ -1,0 +1,240 @@
+// RrSampleStore — pooled, reusable RR-set samples decoupled from allocation.
+//
+// The dominant cost of TIM/TIRM is RR-set sampling (§5), yet the samples
+// for ad i depend only on the graph and the ad's Eq. 1 edge probabilities
+// (i.e. its topic mixture γ_i) — not on λ, κ, β, or budgets. The store
+// exploits that: it owns one immutable, append-only pool of RR sets per
+// *ad signature* (hash of γ_i, or a single shared pool in topic-blind
+// kShared probability mode), and every consumer — a TIRM run, a sweep
+// point, a second allocator in a head-to-head — borrows read-only spans
+// from the same physical copy instead of resampling.
+//
+// Determinism. Each pooled ad samples from its own seed (derived from the
+// store seed and the ad signature) in fixed-size chunks, where chunk c has
+// its own RNG substream. Growing a pool to θ in one EnsureSets call or in
+// several therefore yields bit-identical pools (top-up granularity is the
+// chunk), and a run served from a warm pool is bit-identical to a run that
+// sampled the pool fresh. As with ParallelRrBuilder, pool contents are
+// deterministic for a fixed worker-thread count.
+//
+// Thread safety. Entry creation and top-up are internally synchronized
+// (store mutex for the key map, one mutex per entry for sampling), so
+// concurrent EnsureSets/EnsureKpt calls — same ad or different ads — are
+// safe. Reading a pool prefix returned by a completed EnsureSets call from
+// the same thread, or from a thread synchronized with it, is safe; do not
+// read a pool *while* another thread may be topping up the same entry
+// (std::vector growth relocates the arena).
+//
+// Memory accounting is byte-accurate from container capacities (arena +
+// inverted index + bookkeeping), not process RSS — this is what the
+// Table 4 experiment reports.
+
+#ifndef TIRM_RRSET_SAMPLE_STORE_H_
+#define TIRM_RRSET_SAMPLE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "rrset/kpt_estimator.h"
+
+namespace tirm {
+
+class ParallelRrBuilder;  // rrset/parallel_rr_builder.h
+class ProblemInstance;    // topic/instance.h
+
+/// Append-only flattened storage of RR sets plus the node -> set-id
+/// inverted index. Sets already appended are immutable; coverage views
+/// (RrCollection / WeightedRrCollection) borrow member spans and postings
+/// from here instead of copying nodes.
+class RrSetPool {
+ public:
+  explicit RrSetPool(NodeId num_nodes);
+
+  /// Appends one set; returns its id (ids are dense, in append order).
+  std::uint32_t AddSet(std::span<const NodeId> nodes);
+
+  std::size_t NumSets() const { return set_offsets_.size() - 1; }
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Members of set `id`. Valid until the next AddSet (the arena may grow).
+  std::span<const NodeId> SetMembers(std::uint32_t id) const {
+    TIRM_DCHECK(id < NumSets());
+    return {set_nodes_.data() + set_offsets_[id],
+            set_offsets_[id + 1] - set_offsets_[id]};
+  }
+
+  /// Ids of the sets containing `v`, ascending.
+  std::span<const std::uint32_t> Postings(NodeId v) const {
+    TIRM_DCHECK(v < num_nodes_);
+    return index_[v];
+  }
+
+  /// Exact bytes held (arena + inverted index + bookkeeping), from
+  /// container capacities.
+  std::size_t MemoryBytes() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::size_t> set_offsets_;  // size #sets+1
+  std::vector<NodeId> set_nodes_;         // flattened members (the arena)
+  std::vector<std::vector<std::uint32_t>> index_;  // node -> set ids
+};
+
+/// Sample-reuse diagnostics of one allocator run (surfaced through
+/// AllocationResult) or of a whole store lifetime.
+struct SampleCacheStats {
+  /// Sets this run consumed that were already pooled (no sampling paid).
+  std::uint64_t reused_sets = 0;
+  /// Sets sampled fresh (includes chunk-rounding overshoot, which stays
+  /// pooled for later consumers).
+  std::uint64_t sampled_sets = 0;
+  /// EnsureSets calls that actually grew a pool.
+  std::uint64_t top_ups = 0;
+  /// KPT estimations served from cached width samples / total requested.
+  std::uint64_t kpt_cache_hits = 0;
+  std::uint64_t kpt_estimations = 0;
+  /// Exact pooled bytes backing this run's ads (each pool counted once).
+  std::size_t arena_bytes = 0;
+  /// Per-run coverage-view bookkeeping bytes (not shared).
+  std::size_t view_bytes = 0;
+  /// True when the run borrowed an engine-owned (cross-run) store.
+  bool shared_store = false;
+};
+
+/// See file comment.
+class RrSampleStore {
+ public:
+  struct Options {
+    /// Sampling seed. Pool contents are a pure function of
+    /// (seed, signature, chunk_sets, worker thread count).
+    std::uint64_t seed = 0x5EEDD00DULL;
+    /// Worker threads for top-up sampling (ParallelRrBuilder semantics:
+    /// 0 = hardware concurrency; deterministic per fixed count).
+    int num_threads = 1;
+    /// Top-up granularity: pools grow in whole chunks so the sampled
+    /// prefix never depends on how θ growth was split across calls.
+    std::uint64_t chunk_sets = 4096;
+    /// When true, ads with identical topic mixtures (or any ads in
+    /// topic-blind kShared probability mode) share one physical pool —
+    /// maximal dedupe, but competing ads then see *correlated* sample
+    /// noise. Default false: each ad keeps a statistically independent
+    /// pool (the paper's per-ad R_j), and sharing happens across runs,
+    /// sweep points, and allocators instead.
+    bool share_across_ads = false;
+  };
+
+  /// One pooled ad: sets + sampling state + cached KPT widths. Opaque
+  /// except for read access to the pool.
+  class AdPool {
+   public:
+    const RrSetPool& sets() const { return pool_; }
+    ~AdPool();
+
+   private:
+    friend class RrSampleStore;
+    AdPool(NodeId num_nodes, std::uint64_t base_seed);
+
+    RrSetPool pool_;
+    std::uint64_t base_seed_;
+    std::span<const float> edge_probs_;
+    std::unique_ptr<ParallelRrBuilder> builder_;
+    std::uint64_t chunks_sampled_ = 0;
+
+    // One estimator per requested (options, s) — appended, never replaced,
+    // so references handed out by EnsureKpt stay valid for the entry's
+    // lifetime even when later calls use different options.
+    struct KptSlot {
+      KptEstimator::Options options;
+      std::uint64_t s = 0;
+      std::unique_ptr<KptEstimator> estimator;
+    };
+    std::vector<KptSlot> kpt_slots_;
+
+    std::mutex mutex_;
+  };
+
+  /// Outcome of one EnsureSets call.
+  struct EnsureResult {
+    std::uint64_t had_before = 0;  ///< pool size when the call started
+    std::uint64_t sampled = 0;     ///< sets sampled by this call
+    /// Pooled sets newly served to the caller without sampling:
+    /// min(min_sets, had_before) minus the caller's prior watermark.
+    std::uint64_t reused = 0;
+  };
+
+  /// The store serves exactly one graph; `graph` must outlive it.
+  RrSampleStore(const Graph* graph, Options options);
+  ~RrSampleStore();
+
+  RrSampleStore(const RrSampleStore&) = delete;
+  RrSampleStore& operator=(const RrSampleStore&) = delete;
+
+  /// Pool key for ad `ad` of `instance`: a stable hash of the ad's topic
+  /// distribution (one shared key for every ad in topic-blind kShared
+  /// probability mode), salted with the ad id unless
+  /// options().share_across_ads. Stable across queries derived from one
+  /// BuiltInstance, so sweep points and head-to-head allocator runs hit
+  /// the same pools.
+  std::uint64_t SignatureForAd(const ProblemInstance& instance,
+                               AdId ad) const;
+
+  /// Returns the entry for `signature`, creating it on first use.
+  /// `edge_probs` is the ad's Eq. 1 probability array; it must stay alive
+  /// while the store can still top this entry up (instances sharing a
+  /// materialized probability cache guarantee that). Thread-safe.
+  AdPool* Acquire(std::uint64_t signature, std::span<const float> edge_probs);
+
+  /// Grows `entry`'s pool to at least `min_sets` sets (rounded up to whole
+  /// chunks; no-op when already large enough). `already_attached` is the
+  /// caller's current watermark into this pool (0 for a fresh consumer) —
+  /// only sets beyond it count toward the reuse statistics, so a run's
+  /// incremental θ growth is not double-counted. Thread-safe; concurrent
+  /// calls for one entry serialize and the pool content is independent of
+  /// how the growth was split across calls.
+  EnsureResult EnsureSets(AdPool* entry, std::uint64_t min_sets,
+                          std::uint64_t already_attached = 0);
+
+  /// KPT estimation over `entry`'s sampling streams, cached: the geometric
+  /// width sampling runs once per (options, s) and later calls reuse the
+  /// cached widths (ReEstimate on the returned estimator answers any other
+  /// s without sampling). Thread-safe. `cache_hit` (optional) reports
+  /// whether sampling was skipped.
+  const KptEstimator& EnsureKpt(AdPool* entry,
+                                const KptEstimator::Options& options,
+                                std::uint64_t s, bool* cache_hit = nullptr);
+
+  const Graph* graph() const { return graph_; }
+  const Options& options() const { return options_; }
+
+  std::size_t NumEntries() const;
+  /// Exact bytes across every pooled entry.
+  std::size_t TotalArenaBytes() const;
+  /// Store-lifetime counters (reused/sampled/top-ups/KPT hits).
+  SampleCacheStats LifetimeStats() const;
+
+ private:
+  const Graph* graph_;
+  Options options_;
+
+  mutable std::mutex mutex_;  // guards entries_
+  std::unordered_map<std::uint64_t, std::unique_ptr<AdPool>> entries_;
+
+  std::atomic<std::uint64_t> reused_sets_{0};
+  std::atomic<std::uint64_t> sampled_sets_{0};
+  std::atomic<std::uint64_t> top_ups_{0};
+  std::atomic<std::uint64_t> kpt_cache_hits_{0};
+  std::atomic<std::uint64_t> kpt_estimations_{0};
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_RRSET_SAMPLE_STORE_H_

@@ -6,6 +6,7 @@
 #include "rrset/kpt_estimator.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
+#include "rrset/sample_store.h"
 
 namespace tirm {
 
@@ -28,13 +29,18 @@ TimResult RunTim(const Graph& graph, std::span<const float> edge_probs,
   result.theta =
       ComputeTheta(graph.num_nodes(), k, opt_lb, options.theta);
 
-  // Phase 2: sample θ RR sets and greedily Max k-Cover them.
-  RrCollection collection(graph.num_nodes());
+  // Phase 2: sample θ RR sets into an immutable pool, then greedily Max
+  // k-Cover them through a coverage view (the sampling/selection split of
+  // rrset/sample_store.h — the pool could equally come from a shared
+  // RrSampleStore).
+  RrSetPool pool(graph.num_nodes());
   std::vector<NodeId> scratch;
   for (std::uint64_t i = 0; i < result.theta; ++i) {
     sampler.SampleInto(rng, scratch);
-    collection.AddSet(scratch);
+    pool.AddSet(scratch);
   }
+  RrCollection collection(&pool);
+  collection.AttachUpTo(static_cast<std::uint32_t>(pool.NumSets()));
 
   CoverageHeap heap(&collection);
   std::uint64_t covered = 0;

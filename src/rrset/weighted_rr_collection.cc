@@ -2,23 +2,36 @@
 
 namespace tirm {
 
-WeightedRrCollection::WeightedRrCollection(NodeId num_nodes) {
-  set_offsets_.push_back(0);
+WeightedRrCollection::WeightedRrCollection(NodeId num_nodes)
+    : owned_(std::make_unique<RrSetPool>(num_nodes)), pool_(owned_.get()) {
   coverage_.assign(num_nodes, 0.0);
-  index_.resize(num_nodes);
+}
+
+WeightedRrCollection::WeightedRrCollection(const RrSetPool* pool)
+    : pool_(pool) {
+  TIRM_CHECK(pool_ != nullptr);
+  coverage_.assign(pool_->num_nodes(), 0.0);
 }
 
 std::uint32_t WeightedRrCollection::AddSet(std::span<const NodeId> nodes) {
-  const std::uint32_t id = static_cast<std::uint32_t>(NumSets());
-  for (const NodeId v : nodes) {
-    TIRM_DCHECK(v < coverage_.size());
-    set_nodes_.push_back(v);
-    coverage_[v] += 1.0;
-    index_[v].push_back(id);
-  }
-  set_offsets_.push_back(set_nodes_.size());
-  survival_.push_back(1.0f);
+  TIRM_CHECK(owned_ != nullptr) << "AddSet requires an owning collection; "
+                                   "borrowed pools grow via the store";
+  const std::uint32_t id = owned_->AddSet(nodes);
+  AttachUpTo(id + 1);
   return id;
+}
+
+void WeightedRrCollection::AttachUpTo(std::uint32_t count) {
+  TIRM_CHECK_LE(count, pool_->NumSets());
+  TIRM_CHECK_GE(count, attached_);
+  for (std::uint32_t id = attached_; id < count; ++id) {
+    for (const NodeId v : pool_->SetMembers(id)) {
+      TIRM_DCHECK(v < coverage_.size());
+      coverage_[v] += 1.0;
+    }
+  }
+  survival_.resize(count, 1.0f);
+  attached_ = count;
 }
 
 double WeightedRrCollection::CommitSeed(NodeId v, double accept_prob) {
@@ -30,7 +43,8 @@ double WeightedRrCollection::CommitSeedOnRange(NodeId v, double accept_prob,
   TIRM_CHECK_LT(v, coverage_.size());
   TIRM_CHECK(accept_prob >= 0.0 && accept_prob <= 1.0);
   double covered_before = 0.0;
-  for (const std::uint32_t id : index_[v]) {
+  for (const std::uint32_t id : pool_->Postings(v)) {
+    if (id >= attached_) break;  // postings ascend; rest not attached yet
     if (id < first_set) continue;
     const double s_old = survival_[id];
     if (s_old <= 0.0f) continue;
@@ -40,25 +54,32 @@ double WeightedRrCollection::CommitSeedOnRange(NodeId v, double accept_prob,
     if (delta <= 0.0) continue;
     survival_[id] = static_cast<float>(s_new);
     covered_mass_ += delta;
-    const std::size_t begin = set_offsets_[id];
-    const std::size_t end = set_offsets_[id + 1];
-    for (std::size_t j = begin; j < end; ++j) {
-      coverage_[set_nodes_[j]] -= delta;
+    for (const NodeId member : pool_->SetMembers(id)) {
+      coverage_[member] -= delta;
     }
   }
   return covered_before;
 }
 
 std::size_t WeightedRrCollection::MemoryBytes() const {
-  std::size_t bytes = set_offsets_.capacity() * sizeof(std::size_t) +
-                      set_nodes_.capacity() * sizeof(NodeId) +
-                      survival_.capacity() * sizeof(float) +
-                      coverage_.capacity() * sizeof(double) +
-                      index_.capacity() * sizeof(std::vector<std::uint32_t>);
-  for (const auto& postings : index_) {
-    bytes += postings.capacity() * sizeof(std::uint32_t);
-  }
+  std::size_t bytes = survival_.capacity() * sizeof(float) +
+                      coverage_.capacity() * sizeof(double);
+  if (owned_ != nullptr) bytes += owned_->MemoryBytes();
   return bytes;
+}
+
+void WeightedCoverageHeap::Rebuild() {
+  heap_.clear();
+  for (NodeId v = 0; v < collection_->num_nodes(); ++v) {
+    const double cov = collection_->CoverageOf(v);
+    if (cov > kZero) heap_.push_back({cov, v});
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
+void WeightedCoverageHeap::Push(NodeId node, double coverage) {
+  heap_.push_back({coverage, node});
+  std::push_heap(heap_.begin(), heap_.end());
 }
 
 }  // namespace tirm

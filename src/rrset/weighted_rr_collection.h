@@ -16,39 +16,57 @@
 // *true* TIC-CTP marginal of u:
 //     Π_i(S ∪ {u}) − Π_i(S) = cpe·δ(u)·n·E[1{u ∈ R}·survival(R)].
 // Committing with δ = 1 reproduces the paper's removal semantics exactly.
+//
+// Like RrCollection, this is a mutable coverage *view*: the flattened sets
+// and inverted index are borrowed from an RrSetPool (rrset/sample_store.h)
+// — shared with every other consumer of the same samples — while survival
+// weights and weighted coverages are per-view state. The owning
+// constructor keeps the standalone AddSet API for tests.
 
 #ifndef TIRM_RRSET_WEIGHTED_RR_COLLECTION_H_
 #define TIRM_RRSET_WEIGHTED_RR_COLLECTION_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
+#include "rrset/sample_store.h"
 
 namespace tirm {
 
-/// Flattened RR-set collection with per-set survival weights.
+/// Survival-weighted coverage view over a (borrowed or private) RrSetPool.
 class WeightedRrCollection {
  public:
+  /// Owning mode: creates a private pool; populate via AddSet().
   explicit WeightedRrCollection(NodeId num_nodes);
 
-  /// Appends one set with survival 1; returns its id.
+  /// View mode: borrows `pool` (not owned; must outlive the view).
+  explicit WeightedRrCollection(const RrSetPool* pool);
+
+  /// Appends one set (survival 1) to the private pool and attaches it;
+  /// returns its id. Owning mode only.
   std::uint32_t AddSet(std::span<const NodeId> nodes);
 
-  std::size_t NumSets() const { return set_offsets_.size() - 1; }
+  /// Exposes pool sets [NumSets(), count) with survival 1.
+  void AttachUpTo(std::uint32_t count);
+
+  std::size_t NumSets() const { return attached_; }
   NodeId num_nodes() const { return static_cast<NodeId>(coverage_.size()); }
 
-  /// Weighted (marginal) coverage of `v`: Σ survival over sets containing v.
+  /// Weighted (marginal) coverage of `v`: Σ survival over attached sets
+  /// containing v.
   double CoverageOf(NodeId v) const {
     TIRM_DCHECK(v < coverage_.size());
     return coverage_[v];
   }
 
-  /// Survival weight of set `id`.
+  /// Survival weight of attached set `id`.
   double Survival(std::uint32_t id) const {
-    TIRM_DCHECK(id < NumSets());
+    TIRM_DCHECK(id < attached_);
     return survival_[id];
   }
 
@@ -58,17 +76,18 @@ class WeightedRrCollection {
   double CommitSeed(NodeId v, double accept_prob);
 
   /// Same, restricted to sets with id >= `first_set` (UpdateEstimates for
-  /// freshly sampled sets; attribution in original selection order).
+  /// freshly attached sets; attribution in original selection order).
   double CommitSeedOnRange(NodeId v, double accept_prob,
                            std::uint32_t first_set);
 
-  /// Σ (1 − survival) over all sets — the δ-discounted covered mass; n times
-  /// its mean estimates σ_i(S) (a valid, conservative OPT_s lower bound).
+  /// Σ (1 − survival) over attached sets — the δ-discounted covered mass;
+  /// n times its mean estimates σ_i(S) (a valid, conservative OPT_s lower
+  /// bound).
   double CoveredMass() const { return covered_mass_; }
 
-  /// Node with maximum weighted coverage among eligible ones (linear scan;
-  /// weighted mode is used on quality-scale instances only). kInvalidNode
-  /// if every eligible coverage is ~0.
+  /// Node with maximum weighted coverage among eligible ones (linear scan
+  /// reference; the TIRM hot path uses WeightedCoverageHeap below).
+  /// kInvalidNode if every eligible coverage is ~0.
   template <typename Eligible>
   NodeId ArgMaxCoverage(Eligible eligible) const {
     NodeId best = kInvalidNode;
@@ -82,16 +101,78 @@ class WeightedRrCollection {
     return best;
   }
 
-  /// Approximate heap footprint in bytes.
+  /// Bytes held by this view's bookkeeping (plus the private pool in
+  /// owning mode; a borrowed pool is accounted via pool()->MemoryBytes()).
   std::size_t MemoryBytes() const;
 
+  const RrSetPool* pool() const { return pool_; }
+
  private:
+  std::unique_ptr<RrSetPool> owned_;  // null in view mode
+  const RrSetPool* pool_;
+  std::uint32_t attached_ = 0;
   double covered_mass_ = 0.0;
-  std::vector<std::size_t> set_offsets_;
-  std::vector<NodeId> set_nodes_;
-  std::vector<float> survival_;    // per set
+  std::vector<float> survival_;    // per attached set
   std::vector<double> coverage_;   // per node
-  std::vector<std::vector<std::uint32_t>> index_;
+};
+
+/// CELF-style lazy max-heap over weighted coverages, mirroring
+/// CoverageHeap: valid while coverages only decrease (commits discount,
+/// never raise); call Rebuild() after an AttachUpTo/AddSet batch. Replaces
+/// the per-seed linear scan the weighted TIRM path used to pay.
+class WeightedCoverageHeap {
+ public:
+  explicit WeightedCoverageHeap(const WeightedRrCollection* collection)
+      : collection_(collection) {
+    Rebuild();
+  }
+
+  /// Re-inserts every node with coverage above the zero threshold.
+  void Rebuild();
+
+  /// Pops the node with maximum *current* weighted coverage among eligible
+  /// ones; stale entries are lazily refreshed (the stored value must match
+  /// the live one bit-for-bit to be trusted — any drift re-queues).
+  /// Ties break toward the smaller node id, matching ArgMaxCoverage's
+  /// first-maximum semantics. Returns kInvalidNode when no eligible node
+  /// with positive coverage remains; ineligible nodes are dropped
+  /// permanently (attention bounds only tighten).
+  template <typename Eligible>
+  NodeId PopBest(Eligible eligible) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+      const double current = collection_->CoverageOf(top.node);
+      if (current <= kZero) continue;
+      if (current != top.coverage) {
+        Push(top.node, current);  // stale: refresh and retry
+        continue;
+      }
+      if (!eligible(top.node)) continue;  // permanently ineligible
+      return top.node;
+    }
+    return kInvalidNode;
+  }
+
+  /// Re-inserts a node (e.g. after PopBest when the caller did not commit).
+  void Push(NodeId node, double coverage);
+
+ private:
+  // Matches ArgMaxCoverage's "> 1e-12" positivity threshold.
+  static constexpr double kZero = 1e-12;
+
+  struct Entry {
+    double coverage;
+    NodeId node;
+    bool operator<(const Entry& o) const {
+      if (coverage != o.coverage) return coverage < o.coverage;
+      return node > o.node;  // smaller node id wins exact ties
+    }
+  };
+
+  const WeightedRrCollection* collection_;
+  std::vector<Entry> heap_;
 };
 
 }  // namespace tirm
