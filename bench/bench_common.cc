@@ -7,7 +7,8 @@ const char* const kAllAlgorithms[4] = {"myopic", "myopic+", "greedy-irie",
                                        "tirm"};
 
 BenchConfig BenchConfig::FromFlags(const Flags& flags, double default_scale,
-                                   double default_eps) {
+                                   double default_eps,
+                                   const char* default_json_out) {
   BenchConfig c;
   c.scale = flags.GetDouble("scale", default_scale);
   c.eval_sims =
@@ -18,7 +19,30 @@ BenchConfig BenchConfig::FromFlags(const Flags& flags, double default_scale,
   c.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2015));
   c.irie_alpha = flags.GetDouble("irie_alpha", 0.8);
   c.threads = flags.GetThreads(1);
+  c.json_out = flags.GetString("json_out", default_json_out);
   return c;
+}
+
+JsonReport::JsonReport(const char* bench_name, const BenchConfig& config)
+    : path_(config.json_out), root_(JsonValue::Object()) {
+  root_.Set("bench", JsonValue::String(bench_name));
+  JsonValue cfg = JsonValue::Object();
+  cfg.Set("scale", JsonValue::Number(config.scale));
+  cfg.Set("eval_sims",
+          JsonValue::Number(static_cast<double>(config.eval_sims)));
+  cfg.Set("eps", JsonValue::Number(config.eps));
+  cfg.Set("theta_cap",
+          JsonValue::Number(static_cast<double>(config.theta_cap)));
+  cfg.Set("seed", JsonValue::Number(static_cast<double>(config.seed)));
+  cfg.Set("threads", JsonValue::Number(config.threads));
+  root_.Set("config", std::move(cfg));
+}
+
+void JsonReport::Write() const {
+  if (path_.empty()) return;
+  const Status written = WriteJsonFile(path_, root_);
+  TIRM_CHECK(written.ok()) << written.ToString();
+  std::printf("\nwrote %s\n", path_.c_str());
 }
 
 void BenchConfig::Print(const char* bench_name) const {

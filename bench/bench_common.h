@@ -28,6 +28,7 @@
 #include "api/allocator_config.h"
 #include "api/allocator_registry.h"
 #include "common/flags.h"
+#include "common/json.h"
 #include "common/memory_info.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
@@ -48,9 +49,14 @@ struct BenchConfig {
   std::uint64_t seed = 2015;
   double irie_alpha = 0.8;
   int threads = 1;  ///< RR-sampling worker threads (--threads, 0 = hardware)
+  /// Machine-readable report path (--json_out; empty = don't write). The
+  /// perf-trajectory benches default to BENCH_<figure>.json so runs are
+  /// comparable across PRs without extra flags.
+  std::string json_out;
 
   static BenchConfig FromFlags(const Flags& flags, double default_scale,
-                               double default_eps = 0.25);
+                               double default_eps = 0.25,
+                               const char* default_json_out = "");
 
   /// Registry configuration carrying this bench's knobs; `name` fills
   /// AllocatorConfig::allocator.
@@ -109,6 +115,28 @@ extern const char* const kAllAlgorithms[4];
 RegretReport EvaluateChecked(const ProblemInstance& instance,
                              const Allocation& allocation,
                              const BenchConfig& config, std::uint64_t salt);
+
+/// Machine-readable run report. The root object is pre-stamped with the
+/// bench name and the shared config ("bench", "config": {scale, eval_sims,
+/// eps, theta_cap, seed, threads}); benches attach their own sections
+/// (workload params, wall times, cache stats) and call Write() at the end
+/// — a no-op when --json_out is empty, a loud failure on IO errors.
+class JsonReport {
+ public:
+  JsonReport(const char* bench_name, const BenchConfig& config);
+
+  JsonValue& root() { return root_; }
+  /// Shorthand: root().Set(key, value).
+  void Set(const char* key, JsonValue value) {
+    root_.Set(key, std::move(value));
+  }
+
+  void Write() const;
+
+ private:
+  std::string path_;
+  JsonValue root_;
+};
 
 }  // namespace bench
 }  // namespace tirm

@@ -26,8 +26,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.008);
+  BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.008,
+                                              /*default_eps=*/0.25,
+                                              /*default_json_out=*/
+                                              "BENCH_fig4.json");
   config.Print("bench_fig4_regret_vs_lambda: Fig. 4 total regret vs lambda");
+  JsonReport report("bench_fig4_regret_vs_lambda", config);
+  JsonValue panels = JsonValue::Array();
+  WallTimer bench_timer;
 
   const std::vector<double> lambdas = {0.0, 0.1, 0.5, 1.0};
   const std::vector<int> kappas = {1, 5};
@@ -42,21 +48,36 @@ int main(int argc, char** argv) {
                   spec.name.c_str(), kappa,
                   epinions ? (kappa == 1 ? 'c' : 'd')
                            : (kappa == 1 ? 'a' : 'b'));
+      JsonValue panel = JsonValue::Object();
+      panel.Set("dataset", JsonValue::String(spec.name));
+      panel.Set("kappa", JsonValue::Number(kappa));
+      JsonValue rows = JsonValue::Array();
       TablePrinter t({"lambda", "myopic", "myopic+", "greedy-irie", "tirm"});
       for (const double lambda : lambdas) {
         std::vector<std::string> row = {TablePrinter::Num(lambda, 1)};
+        JsonValue json_row = JsonValue::Object();
+        json_row.Set("lambda", JsonValue::Number(lambda));
         for (const char* algo : kAllAlgorithms) {
           EngineRun run = RunOnEngine(engine, algo,
                                       {.kappa = kappa, .lambda = lambda},
                                       config);
           row.push_back(TablePrinter::Num(run.report.total_regret, 1));
+          JsonValue cell = JsonValue::Object();
+          cell.Set("total_regret",
+                   JsonValue::Number(run.report.total_regret));
+          cell.Set("seconds", JsonValue::Number(run.result.seconds));
+          json_row.Set(algo, std::move(cell));
         }
         t.AddRow(row);
+        rows.Append(std::move(json_row));
       }
       t.Print();
+      panel.Set("rows", std::move(rows));
+      panels.Append(std::move(panel));
     }
     PrintStoreStats(engine);
   }
+  report.Set("panels", std::move(panels));
 
   // ---- Sample-reuse speedup: tirm lambda-sweep, pooled vs resampled.
   {
@@ -69,6 +90,9 @@ int main(int argc, char** argv) {
                     "arena bytes"});
     double fresh_seconds = 0.0;
     double pooled_seconds = 0.0;
+    std::uint64_t pooled_sampled = 0;
+    std::uint64_t pooled_reused = 0;
+    std::size_t pooled_arena = 0;
     for (const bool reuse : {false, true}) {
       Rng rng(config.seed);
       AdAllocEngine engine(BuildDataset(FlixsterLike(config.scale), rng),
@@ -86,6 +110,11 @@ int main(int argc, char** argv) {
       }
       const double seconds = timer.Seconds();
       (reuse ? pooled_seconds : fresh_seconds) = seconds;
+      if (reuse) {
+        pooled_sampled = sampled;
+        pooled_reused = reused;
+        pooled_arena = arena;
+      }
       t.AddRow({reuse ? "pooled store" : "resample per point",
                 TablePrinter::Num(seconds, 2),
                 TablePrinter::Int(static_cast<long long>(sampled)),
@@ -95,6 +124,21 @@ int main(int argc, char** argv) {
     t.Print();
     std::printf("speedup: %.2fx (identical allocations either way)\n",
                 fresh_seconds / pooled_seconds);
+    JsonValue reuse = JsonValue::Object();
+    reuse.Set("sweep_points",
+              JsonValue::Number(static_cast<double>(sweep.size())));
+    reuse.Set("fresh_seconds", JsonValue::Number(fresh_seconds));
+    reuse.Set("pooled_seconds", JsonValue::Number(pooled_seconds));
+    reuse.Set("speedup", JsonValue::Number(fresh_seconds / pooled_seconds));
+    reuse.Set("pooled_sampled_sets",
+              JsonValue::Number(static_cast<double>(pooled_sampled)));
+    reuse.Set("pooled_reused_sets",
+              JsonValue::Number(static_cast<double>(pooled_reused)));
+    reuse.Set("pooled_arena_bytes",
+              JsonValue::Number(static_cast<double>(pooled_arena)));
+    report.Set("reuse", std::move(reuse));
   }
+  report.Set("wall_seconds", JsonValue::Number(bench_timer.Seconds()));
+  report.Write();
   return 0;
 }

@@ -32,7 +32,7 @@ using namespace tirm::bench;
 // thread count to confirm the allocations remain statistically equivalent
 // (same #seeds ballpark and revenue within Monte-Carlo noise).
 void RunThreadSweep(const BenchConfig& config,
-                    const std::vector<int>& thread_counts) {
+                    const std::vector<int>& thread_counts, JsonValue* out) {
   Rng build_rng(config.seed + 101);
   const BuiltInstance built = BuildDataset(DblpLike(config.scale), build_rng,
                                            /*num_ads_override=*/1,
@@ -44,23 +44,32 @@ void RunThreadSweep(const BenchConfig& config,
               "dblp-like) ---\n",
               static_cast<unsigned long long>(batch));
   TablePrinter t({"threads", "seconds", "sets/s", "speedup", "avg |R|"});
+  JsonValue rows = JsonValue::Array();
   double base_seconds = 0.0;
   for (const int threads : thread_counts) {
     ParallelRrBuilder builder(*built.graph, inst.EdgeProbsForAd(0),
                               {.num_threads = threads});
     Rng rng(config.seed + 202);  // same master stream per row
     WallTimer timer;
-    const ParallelRrBuilder::Batch out = builder.SampleBatch(batch, rng);
+    const ParallelRrBuilder::Batch sets = builder.SampleBatch(batch, rng);
     const double seconds = timer.Seconds();
     if (threads == thread_counts.front()) base_seconds = seconds;
-    const double avg_size =
-        static_cast<double>(out.nodes.size()) / static_cast<double>(out.size());
+    const double avg_size = static_cast<double>(sets.nodes.size()) /
+                            static_cast<double>(sets.size());
     t.AddRow({TablePrinter::Int(threads), TablePrinter::Num(seconds, 3),
               TablePrinter::Num(static_cast<double>(batch) / seconds, 0),
               TablePrinter::Num(base_seconds / seconds, 2),
               TablePrinter::Num(avg_size, 1)});
+    JsonValue row = JsonValue::Object();
+    row.Set("threads", JsonValue::Number(threads));
+    row.Set("seconds", JsonValue::Number(seconds));
+    row.Set("sets_per_second",
+            JsonValue::Number(static_cast<double>(batch) / seconds));
+    row.Set("speedup", JsonValue::Number(base_seconds / seconds));
+    rows.Append(std::move(row));
   }
   t.Print();
+  out->Set("thread_sweep", std::move(rows));
 
   std::printf("\n--- TIRM serial vs parallel sampling (statistical "
               "equivalence) ---\n");
@@ -82,14 +91,19 @@ void RunThreadSweep(const BenchConfig& config,
 void RunSweep(const char* title, const DatasetSpec& spec,
               const std::vector<int>& h_values,
               const std::vector<double>& budget_values, double fixed_budget,
-              int fixed_h, bool include_irie, const BenchConfig& config) {
+              int fixed_h, bool include_irie, const BenchConfig& config,
+              JsonValue* out) {
   Rng rng(config.seed);
+  JsonValue panel = JsonValue::Object();
+  panel.Set("dataset", JsonValue::String(spec.name));
+  panel.Set("title", JsonValue::String(title));
 
   // ---- (a/c): vary h at fixed budget.
   {
     std::printf("\n--- %s: runtime vs #advertisers (budget %.0f) ---\n", title,
                 fixed_budget);
     TablePrinter t({"h", "tirm (s)", "tirm seeds", "irie (s)", "irie seeds"});
+    JsonValue rows = JsonValue::Array();
     for (const int h : h_values) {
       Rng build_rng = rng.Fork(static_cast<std::uint64_t>(h));
       BuiltInstance built =
@@ -100,18 +114,30 @@ void RunSweep(const char* title, const DatasetSpec& spec,
           TablePrinter::Int(h), TablePrinter::Num(tirm_run.seconds, 2),
           TablePrinter::Int(
               static_cast<long long>(tirm_run.allocation.TotalSeeds()))};
+      JsonValue json_row = JsonValue::Object();
+      json_row.Set("h", JsonValue::Number(h));
+      json_row.Set("tirm_seconds", JsonValue::Number(tirm_run.seconds));
+      json_row.Set("tirm_seeds",
+                   JsonValue::Number(static_cast<double>(
+                       tirm_run.allocation.TotalSeeds())));
       if (include_irie) {
         AllocationResult irie_run = RunAlgorithm("greedy-irie", inst, config);
         row.push_back(TablePrinter::Num(irie_run.seconds, 2));
         row.push_back(TablePrinter::Int(
             static_cast<long long>(irie_run.allocation.TotalSeeds())));
+        json_row.Set("irie_seconds", JsonValue::Number(irie_run.seconds));
+        json_row.Set("irie_seeds",
+                     JsonValue::Number(static_cast<double>(
+                         irie_run.allocation.TotalSeeds())));
       } else {
         row.push_back("(excluded)");
         row.push_back("-");
       }
       t.AddRow(row);
+      rows.Append(std::move(json_row));
     }
     t.Print();
+    panel.Set("h_sweep", std::move(rows));
   }
 
   // ---- (b/d): vary budget at fixed h. One dataset, budgets scaled per
@@ -123,6 +149,7 @@ void RunSweep(const char* title, const DatasetSpec& spec,
                 fixed_h);
     TablePrinter t({"budget", "tirm (s)", "tirm seeds", "tirm sampled",
                     "tirm reused", "irie (s)", "irie seeds"});
+    JsonValue rows = JsonValue::Array();
     Rng build_rng = rng.Fork(7777);
     const double base_budget = budget_values.front();
     AdAllocEngine engine(
@@ -140,20 +167,34 @@ void RunSweep(const char* title, const DatasetSpec& spec,
               static_cast<long long>(tirm_run.result.cache.sampled_sets)),
           TablePrinter::Int(
               static_cast<long long>(tirm_run.result.cache.reused_sets))};
+      JsonValue json_row = JsonValue::Object();
+      json_row.Set("budget", JsonValue::Number(budget));
+      json_row.Set("tirm_seconds", JsonValue::Number(tirm_run.result.seconds));
+      json_row.Set("sampled_sets",
+                   JsonValue::Number(static_cast<double>(
+                       tirm_run.result.cache.sampled_sets)));
+      json_row.Set("reused_sets",
+                   JsonValue::Number(static_cast<double>(
+                       tirm_run.result.cache.reused_sets)));
       if (include_irie) {
         EngineRun irie_run = RunOnEngine(engine, "greedy-irie", query, config);
         row.push_back(TablePrinter::Num(irie_run.result.seconds, 2));
         row.push_back(TablePrinter::Int(
             static_cast<long long>(irie_run.result.allocation.TotalSeeds())));
+        json_row.Set("irie_seconds",
+                     JsonValue::Number(irie_run.result.seconds));
       } else {
         row.push_back("(excluded)");
         row.push_back("-");
       }
       t.AddRow(row);
+      rows.Append(std::move(json_row));
     }
     t.Print();
     PrintStoreStats(engine);
+    panel.Set("budget_sweep", std::move(rows));
   }
+  out->Append(std::move(panel));
 }
 
 }  // namespace
@@ -166,8 +207,13 @@ int main(int argc, char** argv) {
   }
   // Scalability benches use the paper's eps = 0.2.
   BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.02,
-                                              /*default_eps=*/0.2);
+                                              /*default_eps=*/0.2,
+                                              /*default_json_out=*/
+                                              "BENCH_fig6.json");
   config.Print("bench_fig6_scalability: Fig. 6 running time (DBLP / LJ shaped)");
+  JsonReport report("bench_fig6_scalability", config);
+  JsonValue panels = JsonValue::Array();
+  WallTimer bench_timer;
 
   // Thread-count sweep of the parallel RR-set engine (beyond the paper,
   // which is single-threaded). Override the sweep via --threads to add a
@@ -178,7 +224,7 @@ int main(int argc, char** argv) {
                    thread_counts.end()) {
     thread_counts.push_back(t);
   }
-  RunThreadSweep(config, thread_counts);
+  RunThreadSweep(config, thread_counts, &report.root());
 
   // DBLP (paper: budgets 5K at 317K nodes; h sweep 1..20; budget sweep to
   // 30K). Scaled: budgets scale with the graph.
@@ -188,7 +234,7 @@ int main(int argc, char** argv) {
            /*budget_values=*/
            {dblp_budget * 0.4, dblp_budget, dblp_budget * 2, dblp_budget * 4},
            /*fixed_budget=*/dblp_budget, /*fixed_h=*/5,
-           /*include_irie=*/true, config);
+           /*include_irie=*/true, config, &panels);
 
   // LIVEJOURNAL (paper: budgets 80K at 4.8M nodes; TIRM only).
   const double lj_scale = config.scale / 10.0;
@@ -198,11 +244,14 @@ int main(int argc, char** argv) {
            /*budget_values=*/
            {lj_budget * 0.5, lj_budget, lj_budget * 2, lj_budget * 3},
            /*fixed_budget=*/lj_budget, /*fixed_h=*/5,
-           /*include_irie=*/false, config);
+           /*include_irie=*/false, config, &panels);
 
   std::printf(
       "\nPaper reference (scale 1.0, 2.4GHz Xeon): DBLP h=1 both ~60s, h=15 "
       "TIRM 6x faster than\nGREEDY-IRIE; LJ h=1 TIRM 16 min vs IRIE 6 h; LJ "
       "h=20 TIRM ~5 h, 4649 seeds.\n");
+  report.Set("panels", std::move(panels));
+  report.Set("wall_seconds", JsonValue::Number(bench_timer.Seconds()));
+  report.Write();
   return 0;
 }

@@ -47,20 +47,6 @@ std::vector<std::string> SplitCommaList(const std::string& s) {
   return parts;
 }
 
-Result<BuiltInstance> BuildNamedDataset(const std::string& name, double scale,
-                                        Rng& rng) {
-  if (name == "fig1") return BuildFigure1Instance();
-  if (name == "flixster") return BuildDataset(FlixsterLike(scale), rng);
-  if (name == "epinions") return BuildDataset(EpinionsLike(scale), rng);
-  if (name == "dblp") return BuildDataset(DblpLike(scale), rng);
-  if (name == "livejournal") {
-    return BuildDataset(LiveJournalLike(scale), rng);
-  }
-  return Status::InvalidArgument(
-      "unknown --dataset \"" + name +
-      "\" (known: fig1, flixster, epinions, dblp, livejournal)");
-}
-
 int Fail(const Status& status) {
   std::fprintf(stderr, "tirm_cli: %s\n", status.ToString().c_str());
   return 1;

@@ -1,0 +1,388 @@
+// tirm_server — the newline-delimited-JSON serving front-end over
+// AllocationService (see src/serve/protocol.h for the line format).
+//
+//   # one request per stdin line, one response per stdout line
+//   echo '{"id":"q1","allocator":"tirm","query":{"lambda":0.5}}' |
+//     tirm_server --dataset=flixster --scale=0.01 --workers=4
+//
+//   # optional TCP listener (same line protocol per connection)
+//   tirm_server --dataset=fig1 --port=7077
+//
+// Flags: --dataset={fig1,flixster,epinions,dblp,livejournal} --scale=
+//        --workers= (0 = hardware) --queue_capacity= --port= (0 = stdin)
+//        --seed= --eval_sims= --evaluate= --reuse_samples= --timeout_ms=
+//        plus every AllocatorConfig flag and every EngineQuery flag — those
+//        set the *defaults* a request starts from; request fields override
+//        them per query. All knobs also read TIRM_* environment variables.
+//
+// Responses appear in request order (per stream); diagnostics go to
+// stderr, stdout carries protocol lines only. Malformed lines and unknown
+// allocators are answered with in-band {"ok":false,...} responses — the
+// server never dies on bad input. Exit: 0 at EOF (stdin mode), 1 on
+// startup errors.
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/threading.h"
+#include "datasets/dataset.h"
+#include "serve/allocation_service.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace tirm;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "tirm_server: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool IsKnownFlag(const std::string& key) {
+  // Server-specific knobs; the AllocatorConfig / EngineQuery default flags
+  // come from the protocol's own key sets so the three lists (CLI flags,
+  // request "config", request "query") cannot drift apart.
+  static const std::set<std::string> kServer = {
+      "dataset", "scale",    "workers",       "queue_capacity",
+      "port",    "seed",     "eval_sims",     "evaluate",
+      "allocator", "reuse_samples", "timeout_ms"};
+  return kServer.count(key) > 0 ||
+         serve::RequestConfigKeys().count(key) > 0 ||
+         serve::RequestQueryKeys().count(key) > 0;
+}
+
+/// Serves one NDJSON stream: reads request lines from `in`, emits response
+/// lines through `write_line`. Responses keep request order: real requests
+/// ride futures, unparseable lines become immediately ready error
+/// responses, and the drain loop only ever prints the front of the deque.
+class StreamSession {
+ public:
+  StreamSession(serve::AllocationService* service,
+                const serve::AllocationRequest& defaults)
+      : service_(service), defaults_(defaults) {}
+
+  /// Feeds one input line; may emit ready responses.
+  template <typename WriteLine>
+  void HandleLine(const std::string& line, const WriteLine& write_line) {
+    if (line.empty()) return;
+    Result<serve::AllocationRequest> request =
+        serve::ParseRequest(line, defaults_);
+    if (!request.ok()) {
+      // Keep the error correlatable when the line was JSON with an id.
+      pending_.emplace_back(serve::FormatErrorResponse(
+          serve::RecoverRequestId(line), request.status()));
+    } else {
+      Result<std::future<serve::AllocationResponse>> submitted =
+          service_->SubmitWait(*request);
+      if (!submitted.ok()) {
+        pending_.emplace_back(
+            serve::FormatErrorResponse(request->id, submitted.status()));
+      } else {
+        pending_.emplace_back(submitted.MoveValue());
+      }
+    }
+    Drain(write_line, /*block=*/false);
+  }
+
+  /// Writes whatever responses are ready without blocking (called while
+  /// the input side is idle, so a waiting client is never starved).
+  template <typename WriteLine>
+  void DrainReady(const WriteLine& write_line) {
+    Drain(write_line, /*block=*/false);
+  }
+
+  /// Blocks until every pending response has been written.
+  template <typename WriteLine>
+  void Finish(const WriteLine& write_line) {
+    Drain(write_line, /*block=*/true);
+  }
+
+ private:
+  using Pending =
+      std::variant<std::string, std::future<serve::AllocationResponse>>;
+
+  template <typename WriteLine>
+  void Drain(const WriteLine& write_line, bool block) {
+    while (!pending_.empty()) {
+      Pending& front = pending_.front();
+      if (auto* ready = std::get_if<std::string>(&front)) {
+        write_line(*ready);
+      } else {
+        auto& future =
+            std::get<std::future<serve::AllocationResponse>>(front);
+        if (!block && future.wait_for(std::chrono::seconds(0)) !=
+                          std::future_status::ready) {
+          return;  // keep order: don't skip past an in-flight request
+        }
+        write_line(serve::FormatResponse(future.get()));
+      }
+      pending_.pop_front();
+    }
+  }
+
+  serve::AllocationService* service_;
+  serve::AllocationRequest defaults_;
+  std::deque<Pending> pending_;
+};
+
+/// Serves the line protocol on a readable fd: polls for input with a
+/// short timeout and, while the client is quiet, flushes responses the
+/// moment their futures resolve — an interactive client sees its answer
+/// without having to send another line or close the stream, and a
+/// pipelining client still gets batched throughput.
+template <typename WriteLine>
+void ServeFd(int fd, serve::AllocationService* service,
+             const serve::AllocationRequest& defaults,
+             const WriteLine& write_line, const bool& write_failed) {
+  StreamSession session(service, defaults);
+  std::string buffer;
+  char chunk[4096];
+  while (!write_failed) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int ready = poll(&p, 1, /*timeout_ms=*/20);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // e.g. SIGTSTP/SIGCONT: not EOF
+      break;
+    }
+    if (ready == 0) {  // input idle: deliver whatever finished serving
+      session.DrainReady(write_line);
+      continue;
+    }
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF or error
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      session.HandleLine(line, write_line);
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  if (!buffer.empty() && !write_failed) {
+    session.HandleLine(buffer, write_line);  // unterminated final line
+  }
+  session.Finish(write_line);
+}
+
+void ServeStdin(serve::AllocationService* service,
+                const serve::AllocationRequest& defaults) {
+  const bool write_failed = false;
+  const auto write_line = [](const std::string& response) {
+    std::fwrite(response.data(), 1, response.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+  ServeFd(/*fd=*/0, service, defaults, write_line, write_failed);
+}
+
+// ---- Optional TCP listener (POSIX): one thread per connection, the same
+// line protocol per stream. Concurrency across connections comes from the
+// shared service's worker pool.
+
+void ServeConnection(int fd, serve::AllocationService* service,
+                     const serve::AllocationRequest& defaults) {
+  bool write_failed = false;
+  const auto write_line = [fd, &write_failed](const std::string& response) {
+    if (write_failed) return;
+    std::string out = response;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = send(fd, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+      if (n <= 0) {
+        write_failed = true;  // client went away; drop the rest
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+  ServeFd(fd, service, defaults, write_line, write_failed);
+  close(fd);
+}
+
+int ServeTcp(int port, serve::AllocationService* service,
+             const serve::AllocationRequest& defaults) {
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Fail(Status::IOError("socket() failed"));
+  const int one = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(listener);
+    return Fail(Status::IOError("cannot bind port " + std::to_string(port)));
+  }
+  if (listen(listener, 64) != 0) {
+    close(listener);
+    return Fail(Status::IOError("listen() failed"));
+  }
+  std::fprintf(stderr, "tirm_server: listening on port %d\n", port);
+  // Detached connection threads: a joinable thread per closed connection
+  // would leak its stack until some future join. The counter lets the
+  // accept loop wait for live connections before the service (which the
+  // threads point into) is destroyed.
+  auto active_connections = std::make_shared<std::atomic<int>>(0);
+  while (true) {
+    const int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Transient fd exhaustion: shed load instead of shutting down.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      std::fprintf(stderr, "tirm_server: accept failed: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    active_connections->fetch_add(1);
+    std::thread([fd, service, defaults, active_connections] {
+      ServeConnection(fd, service, defaults);
+      active_connections->fetch_sub(1);
+    }).detach();
+  }
+  close(listener);
+  while (active_connections->load() > 0) {  // no use-after-free of service
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  for (const std::string& key : flags.Keys()) {
+    if (!IsKnownFlag(key)) {
+      return Fail(Status::InvalidArgument(
+          "unknown flag --" + key + " (see the header of cli/tirm_server.cc)"));
+    }
+  }
+
+  // Request defaults: the server's AllocatorConfig/EngineQuery flags are
+  // the baseline every request starts from.
+  serve::AllocationRequest defaults;
+  {
+    Result<AllocatorConfig> config = AllocatorConfig::FromFlags(flags);
+    if (!config.ok()) return Fail(config.status());
+    defaults.config = *config;
+    Result<EngineQuery> query = EngineQuery::FromFlags(flags);
+    if (!query.ok()) return Fail(query.status());
+    defaults.query = *query;
+    Result<double> timeout = flags.GetDoubleStrict("timeout_ms", 0.0);
+    if (!timeout.ok()) return Fail(timeout.status());
+    if (!(*timeout >= 0.0) || !std::isfinite(*timeout)) {
+      return Fail(Status::InvalidArgument(
+          "--timeout_ms must be finite and non-negative"));
+    }
+    defaults.timeout_ms = *timeout;
+  }
+
+  const std::string dataset = flags.GetString("dataset", "fig1");
+  Result<double> scale = flags.GetDoubleStrict("scale", 0.01);
+  if (!scale.ok()) return Fail(scale.status());
+  if (!(*scale > 0.0) || !std::isfinite(*scale)) {
+    return Fail(Status::InvalidArgument("--scale must be positive and finite"));
+  }
+  Result<std::int64_t> seed = flags.GetIntStrict("seed", 2015);
+  if (!seed.ok()) return Fail(seed.status());
+  Result<std::int64_t> eval_sims = flags.GetIntStrict("eval_sims", 2000);
+  if (!eval_sims.ok()) return Fail(eval_sims.status());
+  if (*eval_sims < 1) {
+    return Fail(Status::InvalidArgument("--eval_sims must be >= 1"));
+  }
+  Result<bool> evaluate = flags.GetBoolStrict("evaluate", true);
+  if (!evaluate.ok()) return Fail(evaluate.status());
+  Result<bool> reuse_samples = flags.GetBoolStrict("reuse_samples", true);
+  if (!reuse_samples.ok()) return Fail(reuse_samples.status());
+  Result<std::int64_t> workers = flags.GetIntStrict("workers", 0);
+  if (!workers.ok()) return Fail(workers.status());
+  if (*workers < 0 || *workers > kMaxSamplingThreads) {
+    return Fail(Status::InvalidArgument("--workers must be in [0, 256]"));
+  }
+  Result<std::int64_t> capacity = flags.GetIntStrict("queue_capacity", 256);
+  if (!capacity.ok()) return Fail(capacity.status());
+  if (*capacity < 1) {
+    return Fail(Status::InvalidArgument("--queue_capacity must be >= 1"));
+  }
+  Result<std::int64_t> port = flags.GetIntStrict("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (*port < 0 || *port > 0xFFFF) {
+    return Fail(Status::InvalidArgument("--port must be in [0, 65535]"));
+  }
+
+  // A name typo must fail before N worker engines try to build the
+  // dataset — and without paying for a throwaway build.
+  if (!IsKnownDataset(dataset)) {
+    Rng probe_rng(0);
+    return Fail(BuildNamedDataset(dataset, *scale, probe_rng).status());
+  }
+
+  serve::AllocationService::Options options;
+  options.num_workers = static_cast<int>(*workers);
+  options.queue_capacity = static_cast<std::size_t>(*capacity);
+  options.engine.eval_sims = static_cast<std::size_t>(*eval_sims);
+  options.engine.seed = static_cast<std::uint64_t>(*seed);
+  options.engine.evaluate = *evaluate;
+  options.engine.reuse_samples = *reuse_samples;
+
+  const std::uint64_t build_seed = static_cast<std::uint64_t>(*seed);
+  const double build_scale = *scale;
+  serve::AllocationService service(
+      [dataset, build_scale, build_seed] {
+        // Deterministic per call: the per-worker engines must be identical
+        // (this is the service's response-purity contract).
+        Rng build_rng(build_seed);
+        return BuildNamedDataset(dataset, build_scale, build_rng).MoveValue();
+      },
+      options);
+
+  std::fprintf(stderr,
+               "tirm_server: dataset=%s scale=%g workers=%d queue=%zu "
+               "eval=%s reuse_samples=%s\n",
+               dataset.c_str(), build_scale, service.num_workers(),
+               options.queue_capacity, *evaluate ? "on" : "off",
+               *reuse_samples ? "on" : "off");
+
+  if (*port > 0) return ServeTcp(static_cast<int>(*port), &service, defaults);
+  ServeStdin(&service, defaults);
+
+  const serve::MetricsSnapshot m = service.Metrics();
+  std::fprintf(stderr,
+               "tirm_server: served_ok=%llu failed=%llu expired=%llu "
+               "rejected=%llu | queue p50/p95/p99 %.2f/%.2f/%.2f ms | "
+               "serve p50/p95/p99 %.2f/%.2f/%.2f ms\n",
+               static_cast<unsigned long long>(m.served_ok),
+               static_cast<unsigned long long>(m.failed),
+               static_cast<unsigned long long>(m.expired),
+               static_cast<unsigned long long>(m.rejected),
+               m.queue_p50 * 1e3, m.queue_p95 * 1e3, m.queue_p99 * 1e3,
+               m.serve_p50 * 1e3, m.serve_p95 * 1e3, m.serve_p99 * 1e3);
+  return 0;
+}

@@ -98,6 +98,11 @@ std::uint64_t AdAllocEngine::EvalSeed(const EngineQuery& query) const {
   return options_.seed ^ QuerySalt(/*allocator=*/"", query, /*stream=*/0x52);
 }
 
+const RrSampleStore* AdAllocEngine::sample_store() const {
+  std::lock_guard<std::mutex> lock(*store_mutex_);
+  return last_store_;
+}
+
 Status AdAllocEngine::ValidateQuery(const EngineQuery& query) {
   if (query.kappa < 1 || query.kappa > 0xFFFF) {
     return Status::InvalidArgument("kappa must be in [1, 65535], got " +
@@ -125,8 +130,11 @@ Result<EngineRun> AdAllocEngine::Run(const AllocatorConfig& config,
   if (options_.reuse_samples) {
     // One store per resolved worker count: pools are deterministic per
     // fixed thread count, so sharing them across counts would break the
-    // reuse-on/off bit-identical contract.
+    // reuse-on/off bit-identical contract. The map mutation is guarded —
+    // Run() may be called concurrently (see the header contract) and
+    // sample_store() polls from other threads.
     const int threads = ResolveThreadCount(run_config.num_threads);
+    std::lock_guard<std::mutex> lock(*store_mutex_);
     std::unique_ptr<RrSampleStore>& store = stores_[threads];
     if (store == nullptr) {
       store = std::make_unique<RrSampleStore>(

@@ -7,7 +7,24 @@
 // the same shared graph without rebuilding anything: derived instances
 // share the materialized per-ad edge-probability cache (see
 // topic/mixed_prob_cache.h). This is the entry point a serving layer
-// fronts; tirm_cli is a thin shell around it.
+// fronts; tirm_cli is a thin shell around it and serve/allocation_service.h
+// is the concurrent front.
+//
+// Thread safety. Engine-internal state is synchronized: concurrent Run()
+// calls never race on the engine itself (the lazily created store map and
+// the last-used-store pointer are mutex-guarded), and sample_store() /
+// Metrics-style readers may poll from any thread. What is NOT safe is two
+// concurrent *sampling* runs (tirm / greedy-mc with reuse enabled) on ONE
+// engine: they borrow the same pooled RrSampleStore, and while the store
+// serializes pool growth internally, a reader of a pool must not overlap a
+// top-up of that pool (arena relocation — see rrset/sample_store.h).
+// Concurrent Run() on one engine is therefore safe when (a) the allocators
+// are sampling-free (myopic/myopic+/greedy-irie), or (b) reuse_samples is
+// false (each run samples a private store), or (c) callers serialize
+// sampling runs externally. For full concurrency WITH warm-pool reuse,
+// give each thread its own engine built from the same instance and options
+// — identical engines answer identically (the seed policy is pure), which
+// is exactly what AllocationService does with its per-worker engines.
 //
 //   AdAllocEngine engine(BuildFigure1Instance(), {.eval_sims = 2000});
 //   AllocatorConfig config;            // or AllocatorConfig::FromFlags(...)
@@ -24,6 +41,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "alloc/allocator.h"
 #include "alloc/regret_evaluator.h"
@@ -122,13 +140,22 @@ class AdAllocEngine {
 
   /// The engine-owned sample store most recently used by Run (null until
   /// the first run with reuse enabled). Pool/arena counters for
-  /// dashboards come from here.
-  const RrSampleStore* sample_store() const { return last_store_; }
+  /// dashboards come from here. Safe to call from any thread (the store's
+  /// own counters are atomic/mutex-guarded); the returned pointer stays
+  /// valid for the engine's lifetime.
+  const RrSampleStore* sample_store() const;
 
  private:
   BuiltInstance built_;
   EngineOptions options_;
   ProblemInstance base_;  ///< kappa=1, lambda=0 template; owns the cache
+  /// Guards stores_ and last_store_ — Run() may be called concurrently
+  /// (see the thread-safety contract in the file comment) and metrics
+  /// readers poll sample_store() from other threads. Heap-held so the
+  /// engine stays movable (Create() returns Result<AdAllocEngine>); moving
+  /// an engine while another thread runs on it is of course not allowed.
+  std::unique_ptr<std::mutex> store_mutex_ =
+      std::make_unique<std::mutex>();
   /// One store per *resolved* sampling worker count, created lazily: pool
   /// contents are deterministic per fixed thread count, so runs with
   /// different --threads must not share pools or the reuse-on/off

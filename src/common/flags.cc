@@ -40,6 +40,15 @@ Status Flags::Parse(int argc, char** argv) {
   return Status::OK();
 }
 
+Flags Flags::FromPairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    bool use_env) {
+  Flags flags;
+  flags.use_env_ = use_env;
+  for (const auto& [key, value] : pairs) flags.values_[key] = value;
+  return flags;
+}
+
 std::string Flags::EnvName(const std::string& key) {
   std::string env = "TIRM_";
   for (char c : key) {
@@ -90,8 +99,10 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
 // strict contract must reject rather than silently default.
 std::optional<std::string> Flags::RawValue(const std::string& key) const {
   if (auto v = Lookup(values_, key)) return v;
-  if (const char* env = std::getenv(EnvName(key).c_str())) {
-    return std::string(env);
+  if (use_env_) {
+    if (const char* env = std::getenv(EnvName(key).c_str())) {
+      return std::string(env);
+    }
   }
   return std::nullopt;
 }

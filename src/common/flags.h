@@ -11,6 +11,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -25,6 +26,15 @@ class Flags {
   /// Parses argv; returns InvalidArgument on malformed arguments
   /// (anything not of the form `--key[=value]`).
   Status Parse(int argc, char** argv);
+
+  /// Programmatic construction for non-argv front-ends (the serving
+  /// protocol codec): each pair becomes a command-line-level value. With
+  /// `use_env` false the TIRM_* environment fallback is disabled, making
+  /// every getter a pure function of `pairs` — a served request must not
+  /// read the server's environment.
+  static Flags FromPairs(
+      const std::vector<std::pair<std::string, std::string>>& pairs,
+      bool use_env = false);
 
   /// True if the flag was given on the command line.
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
@@ -73,6 +83,7 @@ class Flags {
   std::optional<std::string> RawValue(const std::string& key) const;
 
   std::map<std::string, std::string> values_;
+  bool use_env_ = true;
 };
 
 }  // namespace tirm

@@ -1,0 +1,70 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tirm {
+
+int LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN
+  const double octaves = std::log2(seconds / kMinSeconds);
+  const int index = 1 + static_cast<int>(octaves * kSubBuckets);
+  return std::min(index, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketMidpoint(int index) {
+  if (index == 0) return kMinSeconds / 2.0;
+  // Bucket i >= 1 covers [min * 2^((i-1)/sub), min * 2^(i/sub)); return the
+  // geometric midpoint.
+  const double lo =
+      kMinSeconds * std::exp2(static_cast<double>(index - 1) / kSubBuckets);
+  return lo * std::exp2(0.5 / kSubBuckets);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // negatives and NaN clamp to 0
+  buckets_[static_cast<std::size_t>(BucketIndex(seconds))]++;
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank over the bucket cumulative counts.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= rank && seen > 0) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace tirm

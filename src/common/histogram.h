@@ -1,0 +1,61 @@
+// Fixed-memory log-bucketed latency histogram for service-level quantiles.
+//
+// Buckets are geometric — kSubBuckets per octave over [kMinSeconds,
+// kMinSeconds * 2^kOctaves) — so a quantile estimate carries a bounded
+// *relative* error (~ 2^(1/kSubBuckets), < 4.5%) across nine decades of
+// latency with a few hundred counters, no samples retained. Exact count,
+// sum, min, and max are tracked alongside, so mean and the extremes are
+// precise. Not thread-safe: ServiceMetrics (serve/service_metrics.h)
+// guards it with a mutex — recording is once per request, far off any hot
+// path.
+
+#ifndef TIRM_COMMON_HISTOGRAM_H_
+#define TIRM_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace tirm {
+
+/// See file comment.
+class LatencyHistogram {
+ public:
+  /// Resolution floor: everything below 1 microsecond lands in bucket 0.
+  static constexpr double kMinSeconds = 1e-6;
+  /// Doublings covered: 1 us * 2^36 ~ 19 hours, enough for any latency.
+  static constexpr int kOctaves = 36;
+  /// Buckets per octave; relative quantile error ~ 2^(1/16) - 1 ~ 4.4%.
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets + 1;
+
+  /// Records one observation (seconds; negatives clamp to 0).
+  void Record(double seconds);
+
+  /// Merges another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Quantile estimate for q in [0, 1] (0 when empty): the geometric
+  /// midpoint of the bucket holding the rank, clamped to [min, max].
+  double Quantile(double q) const;
+
+ private:
+  static int BucketIndex(double seconds);
+  static double BucketMidpoint(int index);
+
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_HISTOGRAM_H_

@@ -1,0 +1,622 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tirm {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, r.ptr);
+}
+
+// ---- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::Comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows "key":
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  TIRM_DCHECK(!needs_comma_.empty() && !after_key_);
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  TIRM_DCHECK(!needs_comma_.empty() && !after_key_);
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  TIRM_DCHECK(!after_key_);
+  Comma();
+  AppendJsonEscaped(out_, key);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Comma();
+  AppendJsonEscaped(out_, value);
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  Comma();
+  out_ += JsonNumber(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  Comma();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Comma();
+  out_ += "null";
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::Field(std::string_view key, const char* value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::Field(std::string_view key, std::int64_t value) {
+  Key(key);
+  Int(value);
+}
+void JsonWriter::Field(std::string_view key, std::uint64_t value) {
+  Key(key);
+  Uint(value);
+}
+void JsonWriter::Field(std::string_view key, int value) {
+  Key(key);
+  Int(value);
+}
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+// ---- JsonValue -------------------------------------------------------------
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+Result<bool> JsonValue::AsBool() const {
+  if (type_ != Type::kBool) {
+    return Status::InvalidArgument("expected a JSON boolean");
+  }
+  return bool_;
+}
+
+Result<double> JsonValue::AsDouble() const {
+  if (type_ != Type::kNumber) {
+    return Status::InvalidArgument("expected a JSON number");
+  }
+  return number_;
+}
+
+Result<std::int64_t> JsonValue::AsInt() const {
+  if (type_ != Type::kNumber) {
+    return Status::InvalidArgument("expected a JSON number");
+  }
+  // Range-check before the cast: double -> int64 outside the target range
+  // is undefined behavior, and the wire codec must survive adversarial
+  // numbers like 1e300. Both bounds are exactly representable (+-2^63).
+  constexpr double kInt64Lo = -9223372036854775808.0;
+  constexpr double kInt64Hi = 9223372036854775808.0;
+  if (!(number_ >= kInt64Lo && number_ < kInt64Hi)) {  // also rejects NaN
+    return Status::InvalidArgument("integer out of int64 range: " +
+                                   JsonNumber(number_));
+  }
+  const auto i = static_cast<std::int64_t>(number_);
+  if (static_cast<double>(i) != number_) {
+    return Status::InvalidArgument("expected an integer, got " +
+                                   JsonNumber(number_));
+  }
+  return i;
+}
+
+Result<std::string> JsonValue::AsString() const {
+  if (type_ != Type::kString) {
+    return Status::InvalidArgument("expected a JSON string");
+  }
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  return type_ == Type::kObject ? object_.size() : array_.size();
+}
+
+const JsonValue& JsonValue::operator[](std::size_t i) const {
+  TIRM_CHECK(type_ == Type::kArray && i < array_.size());
+  return array_[i];
+}
+
+void JsonValue::Append(JsonValue v) {
+  TIRM_CHECK(type_ == Type::kArray);
+  array_.push_back(std::move(v));
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  TIRM_CHECK(type_ == Type::kObject);
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  TIRM_CHECK(type_ == Type::kObject);
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  TIRM_CHECK(type_ == Type::kObject);
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+void DumpTo(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += v.AsBool().value() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber:
+      // Prefer the raw source token (exact round trip of what the client
+      // sent); programmatically built numbers have none.
+      if (!v.raw_number().empty()) {
+        out += v.raw_number();
+      } else {
+        out += JsonNumber(v.AsDouble().value());
+      }
+      break;
+    case JsonValue::Type::kString:
+      AppendJsonEscaped(out, v.AsString().value());
+      break;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out += ',';
+        DumpTo(v[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const JsonValue::Member& m : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        AppendJsonEscaped(out, m.first);
+        out += ':';
+        DumpTo(m.second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, out);
+  return out;
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue v;
+    TIRM_RETURN_NOT_OK(ParseValue(&v, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after the JSON value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        TIRM_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view word, JsonValue value, JsonValue* out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(
+            static_cast<unsigned char>(text_[pos_]))) {
+      return Error("invalid number");
+    }
+    // Grammar: int [frac] [exp]. Leading zeros are rejected (strict JSON).
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("invalid number: missing fraction digits");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("invalid number: missing exponent digits");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string raw(text_.substr(start, pos_ - start));
+    double d = 0.0;
+    const std::from_chars_result r =
+        std::from_chars(raw.data(), raw.data() + raw.size(), d);
+    if (r.ec == std::errc::result_out_of_range) {
+      // Overflow to +-inf mirrors strtod; reject (JSON has no infinity).
+      return Error("number out of range: " + raw);
+    }
+    if (r.ec != std::errc() || r.ptr != raw.data() + raw.size()) {
+      return Error("invalid number: " + raw);
+    }
+    *out = JsonValue::Number(d);
+    out->raw_ = raw;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          unsigned cp = 0;
+          TIRM_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (!(Consume('\\') && Consume('u'))) {
+              return Error("unpaired surrogate");
+            }
+            unsigned low = 0;
+            TIRM_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue element;
+      SkipWhitespace();
+      TIRM_RETURN_NOT_OK(ParseValue(&element, depth + 1));
+      out->Append(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      TIRM_RETURN_NOT_OK(ParseString(&key));
+      if (out->Find(key) != nullptr) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      JsonValue value;
+      TIRM_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& value) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open \"" + path + "\" for writing");
+  }
+  const std::string text = value.Dump() + "\n";
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != text.size() || !close_ok) {
+    return Status::IOError("short write to \"" + path + "\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace tirm

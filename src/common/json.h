@@ -1,0 +1,159 @@
+// Minimal JSON support — a streaming writer, a value tree, and a strict
+// parser. No third-party dependency: the serving protocol codec
+// (serve/protocol.h), the tirm_server line protocol, and the bench
+// machine-readable reports (--json_out) all share this one implementation.
+//
+// Doubles round-trip: JsonWriter emits the shortest representation that
+// parses back to the same bits (std::to_chars), so a value written by one
+// bench run and re-read by a comparison script is exact, not truncated.
+// JSON has no NaN/Infinity; writing a non-finite double emits null.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("regret"); w.Double(12.5);
+//   w.Key("seeds"); w.BeginArray(); w.Int(3); w.Int(7); w.EndArray();
+//   w.EndObject();
+//   w.str();  // {"regret":12.5,"seeds":[3,7]}
+//
+//   Result<JsonValue> v = ParseJson(line);
+//   double regret = (*v)["regret"].AsDouble().value();
+
+#ifndef TIRM_COMMON_JSON_H_
+#define TIRM_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tirm {
+
+/// Appends `s` to `out` as a JSON string literal (quotes and escapes: `"`,
+/// `\`, control characters as \uXXXX, the common short escapes directly).
+/// Bytes >= 0x80 pass through untouched (UTF-8 transparent).
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+/// Formats a double with the shortest round-trip representation
+/// (std::to_chars); "null" for NaN / Infinity.
+std::string JsonNumber(double value);
+
+/// Streaming JSON writer with automatic comma placement. The caller is
+/// responsible for well-formedness (a Key before every value inside an
+/// object, balanced Begin/End) — violations abort via TIRM_DCHECK in
+/// debug builds.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Object member key; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void Uint(std::uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Shorthand for Key(key) followed by the value.
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value);
+  void Field(std::string_view key, std::int64_t value);
+  void Field(std::string_view key, std::uint64_t value);  ///< also size_t
+  void Field(std::string_view key, int value);
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+
+  /// The document so far. Valid JSON once every Begin has its End.
+  const std::string& str() const { return out_; }
+  std::string MoveStr() { return std::move(out_); }
+
+ private:
+  void Comma();  // separator before a value/key if one is needed
+
+  std::string out_;
+  /// One entry per open container: whether a separator is pending.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node. Numbers keep both the converted double and
+/// the raw source token, so integer-exact values and strict re-parsing
+/// (e.g. through Flags::ParseDouble) never lose precision.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; InvalidArgument when the type does not match.
+  Result<bool> AsBool() const;
+  Result<double> AsDouble() const;
+  Result<std::int64_t> AsInt() const;  ///< rejects non-integral numbers
+  Result<std::string> AsString() const;
+
+  /// Raw source token of a number ("0.1", "1e-3"); empty for non-numbers
+  /// or programmatically built values. Lets strict downstream parsers see
+  /// exactly what the client sent.
+  const std::string& raw_number() const { return raw_; }
+
+  // -- Array access.
+  std::size_t size() const;
+  const JsonValue& operator[](std::size_t i) const;
+  void Append(JsonValue v);  ///< requires is_array()
+
+  // -- Object access (members keep insertion order).
+  const std::vector<Member>& members() const;
+  /// First member named `key`, or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+  void Set(std::string key, JsonValue v);  ///< requires is_object(); appends
+
+  /// Serializes this value (compact, no whitespace), using the same
+  /// escaping and double formatting as JsonWriter.
+  std::string Dump() const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  // string payload
+  std::string raw_;     // raw number token
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
+};
+
+/// Strict whole-input parse: one JSON value plus optional surrounding
+/// whitespace; trailing bytes, trailing commas, comments, NaN/Infinity
+/// literals, and unescaped control characters are InvalidArgument errors.
+/// Nesting depth is capped (guards the recursive parser against
+/// adversarial input on the wire).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Writes `value` to `path` with a trailing newline.
+Status WriteJsonFile(const std::string& path, const JsonValue& value);
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_JSON_H_

@@ -18,8 +18,25 @@ const char* StatusCodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kIOError,      StatusCode::kNotFound,
+      StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+      StatusCode::kInternal,     StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded};
+  for (const StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

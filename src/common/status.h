@@ -24,10 +24,19 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  /// The service cannot take the request right now (admission control:
+  /// bounded queue full, or shutting down). Retrying later may succeed.
+  kUnavailable,
+  /// The request's deadline passed before it was served.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName; kInternal for unrecognized names (an unknown
+/// code crossing the wire protocol must surface as an error, not as OK).
+StatusCode StatusCodeFromName(const std::string& name);
 
 /// Lightweight success/error outcome. Cheap to copy on the OK path.
 class Status {
@@ -55,6 +64,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

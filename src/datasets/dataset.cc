@@ -217,4 +217,33 @@ BuiltInstance BuildFigure1Instance() {
   return built;
 }
 
+const std::vector<std::string>& KnownDatasetNames() {
+  static const std::vector<std::string> kNames = {
+      "dblp", "epinions", "fig1", "flixster", "livejournal"};
+  return kNames;
+}
+
+bool IsKnownDataset(const std::string& name) {
+  const std::vector<std::string>& names = KnownDatasetNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Result<BuiltInstance> BuildNamedDataset(const std::string& name, double scale,
+                                        Rng& rng) {
+  if (name == "fig1") return BuildFigure1Instance();
+  if (name == "flixster") return BuildDataset(FlixsterLike(scale), rng);
+  if (name == "epinions") return BuildDataset(EpinionsLike(scale), rng);
+  if (name == "dblp") return BuildDataset(DblpLike(scale), rng);
+  if (name == "livejournal") {
+    return BuildDataset(LiveJournalLike(scale), rng);
+  }
+  std::string known;
+  for (const std::string& candidate : KnownDatasetNames()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  return Status::InvalidArgument("unknown --dataset \"" + name +
+                                 "\" (known: " + known + ")");
+}
+
 }  // namespace tirm

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "graph/graph.h"
 #include "topic/ctp_model.h"
 #include "topic/edge_probabilities.h"
@@ -93,6 +94,16 @@ BuiltInstance BuildDataset(const DatasetSpec& spec, Rng& rng,
 /// budgets {4,2,2,1}, CPE 1, CTPs δ(u,a)=0.9, δ(u,b)=0.8, δ(u,c)=0.7,
 /// δ(u,d)=0.6 for every u, edge probabilities 0.2/0.5/0.1 as drawn.
 BuiltInstance BuildFigure1Instance();
+
+/// The dataset stand-in names the CLI front-ends accept, sorted.
+const std::vector<std::string>& KnownDatasetNames();
+bool IsKnownDataset(const std::string& name);
+
+/// Builds a stand-in by name ("fig1" ignores `scale`); InvalidArgument
+/// naming the known set for anything else. One dispatch shared by
+/// tirm_cli and tirm_server so the name set cannot drift.
+Result<BuiltInstance> BuildNamedDataset(const std::string& name, double scale,
+                                        Rng& rng);
 
 }  // namespace tirm
 

@@ -166,6 +166,11 @@ std::size_t RrSampleStore::TotalArenaBytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t bytes = 0;
   for (const auto& [signature, entry] : entries_) {
+    // The per-entry mutex orders this read against concurrent top-up
+    // growth (metrics pollers call this from other threads); the store
+    // mutex alone only protects the entry map. Lock order store -> entry
+    // matches every other path.
+    std::lock_guard<std::mutex> entry_lock(entry->mutex_);
     bytes += entry->pool_.MemoryBytes();
   }
   return bytes;

@@ -216,9 +216,12 @@ class RrSampleStore {
   const Options& options() const { return options_; }
 
   std::size_t NumEntries() const;
-  /// Exact bytes across every pooled entry.
+  /// Exact bytes across every pooled entry. Safe to call concurrently
+  /// with top-ups (takes each entry's mutex), so metrics pollers may read
+  /// from any thread.
   std::size_t TotalArenaBytes() const;
-  /// Store-lifetime counters (reused/sampled/top-ups/KPT hits).
+  /// Store-lifetime counters (reused/sampled/top-ups/KPT hits). Same
+  /// thread-safety as TotalArenaBytes.
   SampleCacheStats LifetimeStats() const;
 
  private:

@@ -6,13 +6,29 @@
 #include "common/check.h"
 
 namespace tirm {
+namespace {
+
+// std::lgamma writes the process-global `signgam` — a data race when
+// concurrent engine runs (the serving layer's worker pool) compute theta
+// at the same time. The POSIX reentrant variant keeps the sign local; the
+// argument here is always > 0 so the sign is never consulted.
+double LogGamma(double x) {
+#if defined(__unix__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 double LogNChooseK(std::uint64_t n, std::uint64_t k) {
   TIRM_CHECK_LE(k, n);
   if (k == 0 || k == n) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0) -
+         LogGamma(static_cast<double>(k) + 1.0) -
+         LogGamma(static_cast<double>(n - k) + 1.0);
 }
 
 std::uint64_t ComputeTheta(std::uint64_t num_nodes, std::uint64_t s,

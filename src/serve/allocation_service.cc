@@ -1,0 +1,221 @@
+#include "serve/allocation_service.h"
+
+#include <utility>
+
+#include "common/threading.h"
+#include "common/timer.h"
+
+namespace tirm {
+namespace serve {
+
+std::vector<AllocationRequest> SweepRequest::Grid() const {
+  std::vector<std::string> names = allocators;
+  if (names.empty()) names.push_back(config.allocator);
+  std::vector<AllocationRequest> grid;
+  grid.reserve(names.size() * kappas.size() * lambdas.size() * betas.size() *
+               budget_scales.size());
+  for (const std::string& name : names) {
+    for (const int kappa : kappas) {
+      for (const double lambda : lambdas) {
+        for (const double beta : betas) {
+          for (const double budget_scale : budget_scales) {
+            AllocationRequest r;
+            r.config = config;
+            r.config.allocator = name;
+            r.query = {.kappa = kappa,
+                       .lambda = lambda,
+                       .beta = beta,
+                       .budget_scale = budget_scale};
+            r.timeout_ms = timeout_ms;
+            r.id = id_prefix + "/" + std::to_string(grid.size()) + "/" + name;
+            grid.push_back(std::move(r));
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+AllocationService::AllocationService(InstanceFactory factory, Options options)
+    : factory_(std::move(factory)),
+      options_(options),
+      num_workers_(ResolveThreadCount(options.num_workers)),
+      queue_(options.queue_capacity) {
+  TIRM_CHECK(factory_ != nullptr) << "AllocationService: null factory";
+  if (options_.autostart) Start();
+}
+
+AllocationService::~AllocationService() { Stop(); }
+
+void AllocationService::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  // Build the per-worker engines sequentially: the factory need not be
+  // thread-safe, and identical construction order keeps startup
+  // deterministic. Engine construction is the service's warm-up cost;
+  // queries never pay it.
+  engines_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    engines_.push_back(
+        std::make_unique<AdAllocEngine>(factory_(), options_.engine));
+  }
+  threads_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+void AllocationService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.Close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  // Anything still queued was admitted but never dequeued (the service was
+  // stopped without ever starting): answer in-band so no future is left
+  // broken.
+  while (std::optional<Job> job = queue_.Pop()) {
+    const double waited =
+        std::chrono::duration<double>(Clock::now() - job->admitted_at).count();
+    AllocationResponse response;
+    response.id = job->request.id;
+    response.status =
+        Status::Unavailable("service stopped before the request was served");
+    response.queue_ms = waited * 1e3;
+    metrics_.RecordDropped(waited);  // never ran: no serve-histogram sample
+    job->promise.set_value(std::move(response));
+  }
+}
+
+bool AllocationService::started() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  return started_;
+}
+
+AllocationService::Job AllocationService::MakeJob(
+    AllocationRequest request, std::future<AllocationResponse>* future) {
+  Job job;
+  job.request = std::move(request);
+  job.admitted_at = Clock::now();
+  *future = job.promise.get_future();
+  return job;
+}
+
+Result<std::future<AllocationResponse>> AllocationService::Submit(
+    AllocationRequest request) {
+  std::future<AllocationResponse> future;
+  Job job = MakeJob(std::move(request), &future);
+  const Status admitted = queue_.TryPush(std::move(job));
+  if (!admitted.ok()) {
+    metrics_.RecordRejected();
+    return admitted;
+  }
+  metrics_.RecordAdmitted();
+  return future;
+}
+
+Result<std::future<AllocationResponse>> AllocationService::SubmitWait(
+    AllocationRequest request) {
+  std::future<AllocationResponse> future;
+  Job job = MakeJob(std::move(request), &future);
+  const Status admitted = queue_.PushWait(std::move(job));
+  if (!admitted.ok()) {
+    metrics_.RecordRejected();
+    return admitted;
+  }
+  metrics_.RecordAdmitted();
+  return future;
+}
+
+std::vector<AllocationResponse> AllocationService::SubmitSweep(
+    const SweepRequest& sweep) {
+  const std::vector<AllocationRequest> grid = sweep.Grid();
+  std::vector<AllocationResponse> responses(grid.size());
+  std::vector<std::pair<std::size_t, std::future<AllocationResponse>>> pending;
+  pending.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    Result<std::future<AllocationResponse>> submitted = SubmitWait(grid[i]);
+    if (!submitted.ok()) {
+      responses[i].id = grid[i].id;
+      responses[i].status = submitted.status();
+      continue;
+    }
+    pending.emplace_back(i, submitted.MoveValue());
+  }
+  for (auto& [index, future] : pending) {
+    responses[index] = future.get();
+  }
+  return responses;
+}
+
+SampleCacheStats AllocationService::StoreStats() const {
+  SampleCacheStats total;
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  for (const std::unique_ptr<AdAllocEngine>& engine : engines_) {
+    const RrSampleStore* store = engine->sample_store();
+    if (store == nullptr) continue;
+    const SampleCacheStats s = store->LifetimeStats();
+    total.reused_sets += s.reused_sets;
+    total.sampled_sets += s.sampled_sets;
+    total.top_ups += s.top_ups;
+    total.kpt_cache_hits += s.kpt_cache_hits;
+    total.kpt_estimations += s.kpt_estimations;
+    total.arena_bytes += s.arena_bytes;
+    total.view_bytes += s.view_bytes;
+    total.shared_store = true;
+  }
+  return total;
+}
+
+const AdAllocEngine& AllocationService::engine(int w) const {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  TIRM_CHECK(w >= 0 && static_cast<std::size_t>(w) < engines_.size())
+      << "engine(" << w << "): service not started or index out of range";
+  return *engines_[static_cast<std::size_t>(w)];
+}
+
+void AllocationService::WorkerLoop(int worker_index) {
+  AdAllocEngine& engine = *engines_[static_cast<std::size_t>(worker_index)];
+  while (std::optional<Job> job = queue_.Pop()) {
+    const double waited =
+        std::chrono::duration<double>(Clock::now() - job->admitted_at).count();
+    AllocationResponse response;
+    response.id = job->request.id;
+    response.queue_ms = waited * 1e3;
+    response.worker = worker_index;
+
+    // Deadline admission at dequeue: an expired request is cheaper to
+    // answer than to run, and the client has already given up on it.
+    const double timeout_ms = job->request.timeout_ms;
+    if (timeout_ms > 0.0 && waited * 1e3 > timeout_ms) {
+      response.status = Status::DeadlineExceeded(
+          "deadline of " + std::to_string(timeout_ms) + " ms passed after " +
+          std::to_string(waited * 1e3) + " ms in queue");
+      metrics_.RecordExpired(waited);
+      job->promise.set_value(std::move(response));
+      continue;
+    }
+
+    WallTimer serve_timer;
+    Result<EngineRun> run = engine.Run(job->request.config, job->request.query);
+    const double serve_seconds = serve_timer.Seconds();
+    response.serve_ms = serve_seconds * 1e3;
+    if (run.ok()) {
+      response.run = run.MoveValue();
+      response.status = Status::OK();
+    } else {
+      response.status = run.status();
+    }
+    metrics_.RecordServed(waited, serve_seconds, response.status.ok());
+    job->promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace serve
+}  // namespace tirm

@@ -1,0 +1,205 @@
+// AllocationService — the concurrent query-serving layer over AdAllocEngine.
+//
+// One service owns a fixed pool of worker threads, a bounded request queue
+// with admission control, and one AdAllocEngine per worker. Clients submit
+// AllocationRequests (allocator name + config knobs + an EngineQuery) and
+// receive AllocationResponses (the EngineRun plus queue/serve timings and
+// the run's sample-cache stats) through futures, or fan a whole
+// lambda/kappa/beta/budget grid through SubmitSweep and get ordered
+// results back.
+//
+// Concurrency model: engine-per-worker sharding. Every worker builds its
+// own engine from the same deterministic instance factory and engine
+// options, so the engines are identical and a request's response is a pure
+// function of the request — bit-identical to a direct engine.Run() no
+// matter which worker serves it, how warm that worker's RR-sample store
+// is (pooled == fresh is the store's own guarantee), or what else is being
+// served concurrently. Sharding also keeps each pooled store
+// single-consumer, which is what the store's read-vs-top-up contract
+// requires (see api/ad_alloc_engine.h); the price is one instance + store
+// copy per worker, the classic memory-for-throughput trade.
+//
+// Admission control: Submit() rejects with Status::Unavailable the moment
+// the queue is full (overload shedding); SubmitWait()/SubmitSweep() apply
+// backpressure instead. A request may carry a deadline (timeout_ms); it is
+// checked when a worker dequeues the request, and an expired request is
+// answered with DeadlineExceeded without running. Errors (unknown
+// allocator, invalid config/query, engine failures) are returned in-band
+// in AllocationResponse::status — the future always resolves.
+//
+//   AllocationService service(
+//       [] { return BuildFigure1Instance(); },
+//       {.num_workers = 4, .engine = {.eval_sims = 1000, .seed = 2015}});
+//   auto pending = service.Submit({.id = "q1", .config = {...},
+//                                  .query = {.lambda = 0.1}});
+//   if (!pending.ok()) { /* queue full */ }
+//   AllocationResponse r = pending->get();
+
+#ifndef TIRM_SERVE_ALLOCATION_SERVICE_H_
+#define TIRM_SERVE_ALLOCATION_SERVICE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/ad_alloc_engine.h"
+#include "api/allocator_config.h"
+#include "datasets/dataset.h"
+#include "serve/request_queue.h"
+#include "serve/service_metrics.h"
+
+namespace tirm {
+namespace serve {
+
+/// One allocation query on the wire. The response is a pure function of
+/// this struct (given the service's engine options): the service never
+/// consults ambient state, and `config.sample_store` is overridden by the
+/// serving engine's own seed policy.
+struct AllocationRequest {
+  /// Client correlation tag, echoed in the response. Not interpreted.
+  std::string id;
+  /// Allocator name + knobs (api/allocator_config.h).
+  AllocatorConfig config;
+  /// The Problem-1 sweep point (kappa / lambda / beta / budget_scale).
+  EngineQuery query;
+  /// Deadline in milliseconds from submission, checked when a worker
+  /// dequeues the request; 0 = no deadline.
+  double timeout_ms = 0.0;
+};
+
+/// Outcome of one request. `run` is meaningful iff `status.ok()`.
+struct AllocationResponse {
+  std::string id;
+  Status status;
+  EngineRun run;  ///< allocation + diagnostics + MC report (+ run.result.cache)
+  double queue_ms = 0.0;  ///< admission -> dequeue
+  double serve_ms = 0.0;  ///< dequeue -> response
+  int worker = -1;        ///< which worker served it (-1: never dequeued)
+};
+
+/// A lambda/kappa/beta/budget grid to fan into the queue. Expansion order
+/// (Grid(), and therefore the order of SubmitSweep results) is
+/// deterministic: allocator-major, then kappa, lambda, beta, budget_scale.
+struct SweepRequest {
+  /// Base config; `allocators` (when non-empty) overrides its allocator
+  /// name per grid axis.
+  AllocatorConfig config;
+  std::vector<std::string> allocators;  ///< empty = {config.allocator}
+  std::vector<int> kappas = {1};
+  std::vector<double> lambdas = {0.0};
+  std::vector<double> betas = {0.0};
+  std::vector<double> budget_scales = {1.0};
+  double timeout_ms = 0.0;  ///< applied to every grid point
+  std::string id_prefix = "sweep";
+
+  /// The expanded request list; ids are "<id_prefix>/<index>/<allocator>".
+  std::vector<AllocationRequest> Grid() const;
+};
+
+/// See file comment.
+class AllocationService {
+ public:
+  /// Produces the problem instance every worker engine is built from.
+  /// MUST be deterministic (identical BuiltInstance on every call — e.g.
+  /// rebuild from a spec with a fixed seed): the service's response-purity
+  /// guarantee is exactly the guarantee that the factory's output does not
+  /// vary. Called sequentially from Start(), once per worker.
+  using InstanceFactory = std::function<BuiltInstance()>;
+
+  struct Options {
+    /// Worker threads == engines (common/threading.h semantics: <= 0
+    /// selects hardware concurrency; clamped to kMaxSamplingThreads).
+    int num_workers = 0;
+    /// Bounded request-queue capacity (admission control beyond it).
+    std::size_t queue_capacity = 256;
+    /// Engine knobs shared by every worker engine (seed policy, eval_sims,
+    /// reuse_samples).
+    EngineOptions engine;
+    /// Start() from the constructor. Tests defer (autostart = false) to
+    /// exercise admission control and deadline expiry deterministically.
+    bool autostart = true;
+  };
+
+  AllocationService(InstanceFactory factory, Options options);
+  ~AllocationService();  ///< Stop()s: drains admitted work, joins workers
+
+  AllocationService(const AllocationService&) = delete;
+  AllocationService& operator=(const AllocationService&) = delete;
+
+  /// Builds the worker engines (sequentially, one factory call each) and
+  /// launches the workers. Idempotent.
+  void Start();
+
+  /// Graceful shutdown: closes admission, serves everything already
+  /// queued, joins the workers. Requests never dequeued (service stopped
+  /// without Start()) are answered Unavailable in-band. Idempotent.
+  void Stop();
+
+  /// Non-blocking admission: Unavailable when the queue is full or the
+  /// service is stopping — the typed reject IS the admission control.
+  /// On success the future always resolves (errors arrive in-band).
+  Result<std::future<AllocationResponse>> Submit(AllocationRequest request);
+
+  /// Blocking admission: waits for queue space (backpressure);
+  /// Unavailable only when the service is stopping.
+  Result<std::future<AllocationResponse>> SubmitWait(AllocationRequest request);
+
+  /// Fans `sweep.Grid()` into the queue with backpressure and gathers the
+  /// responses in grid order. Requires a started service (workers must be
+  /// draining, or a grid larger than the queue would deadlock).
+  std::vector<AllocationResponse> SubmitSweep(const SweepRequest& sweep);
+
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+
+  /// Zeroes the service metrics (counters + latency histograms). For
+  /// measurement harnesses that warm the service up first and must not
+  /// count warm-up traffic in the reported percentiles; call only while
+  /// no requests are in flight.
+  void ResetMetrics() { metrics_.Reset(); }
+
+  /// Resolved worker count.
+  int num_workers() const { return num_workers_; }
+  bool started() const;
+
+  /// Aggregated lifetime sample-cache stats over every worker engine's
+  /// store (arena bytes summed across the per-worker copies).
+  SampleCacheStats StoreStats() const;
+
+  /// Worker `w`'s engine (for goldens and stats; valid after Start()).
+  const AdAllocEngine& engine(int w) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    AllocationRequest request;
+    std::promise<AllocationResponse> promise;
+    Clock::time_point admitted_at;
+  };
+
+  Job MakeJob(AllocationRequest request,
+              std::future<AllocationResponse>* future);
+  void WorkerLoop(int worker_index);
+
+  InstanceFactory factory_;
+  Options options_;
+  int num_workers_;
+  BoundedQueue<Job> queue_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex lifecycle_mutex_;  // guards started_/stopped_/threads_
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<std::unique_ptr<AdAllocEngine>> engines_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace serve
+}  // namespace tirm
+
+#endif  // TIRM_SERVE_ALLOCATION_SERVICE_H_

@@ -1,0 +1,84 @@
+// Newline-delimited JSON protocol for the AllocationService.
+//
+// tirm_server speaks this on stdin/stdout (and per TCP connection): one
+// request object per line in, one response object per line out. The codec
+// is strict — unknown keys, malformed numerics, and out-of-range values
+// are InvalidArgument errors, mirroring tirm_cli's closed flag set — and
+// pure: request parsing never reads the process environment (server-level
+// defaults are passed in explicitly).
+//
+// Request line (every field optional except that *some* allocator must
+// resolve; unset fields take the server's defaults):
+//
+//   {"id":"q1","allocator":"tirm",
+//    "query":{"kappa":2,"lambda":0.1,"beta":0,"budget_scale":1},
+//    "config":{"eps":0.2,"theta_cap":262144,"threads":1},
+//    "timeout_ms":5000}
+//
+// `config` accepts exactly the AllocatorConfig flag names (eps, ell,
+// theta_cap, theta_min, kpt_max_samples, threads, mc_sims, irie_*, ...);
+// values go through the same strict parsers as the command line.
+//
+// Response line (always produced, errors in-band; never contains a raw
+// newline):
+//
+//   {"id":"q1","ok":true,"worker":0,"queue_ms":0.1,"serve_ms":52.9,
+//    "allocator":"tirm","allocation":{"seeds":[[4,2],[5]]},
+//    "result":{"seconds":0.05,...},"report":{"total_regret":1.9,...},
+//    "cache":{"reused_sets":8192,...}}
+//   {"id":"q2","ok":false,"error":{"code":"NotFound",
+//    "message":"unknown allocator \"nope\""}}
+//
+// ParseResponse inverts the serialized subset (per-ad diagnostics are not
+// on the wire); FormatRequest/ParseRequest round-trip exactly.
+
+#ifndef TIRM_SERVE_PROTOCOL_H_
+#define TIRM_SERVE_PROTOCOL_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "serve/allocation_service.h"
+
+namespace tirm {
+namespace serve {
+
+/// Parses one request line on top of `defaults` (the server's baseline
+/// config/query/timeout; request fields override). Strict: malformed JSON,
+/// unknown keys anywhere, bad numerics, and failed validation all error.
+Result<AllocationRequest> ParseRequest(std::string_view line,
+                                       const AllocationRequest& defaults);
+
+/// Best-effort id recovery from a line ParseRequest rejected: the string
+/// "id" member if the line is a JSON object carrying one, else "". Lets
+/// the server keep error responses correlatable whenever possible.
+std::string RecoverRequestId(std::string_view line);
+
+/// The closed key sets of the "config" / "query" request sub-objects
+/// (exactly the AllocatorConfig / EngineQuery flag names). Exposed so
+/// front-ends validating their own flag lists share one source of truth.
+const std::set<std::string>& RequestConfigKeys();
+const std::set<std::string>& RequestQueryKeys();
+
+/// Serializes every request field (self-contained: parsing it back under
+/// ANY defaults reproduces the request exactly).
+std::string FormatRequest(const AllocationRequest& request);
+
+/// One response line (no trailing newline). Errors travel in-band as
+/// {"ok":false,"error":{...}}; the MC "report" object is present iff the
+/// run was evaluated.
+std::string FormatResponse(const AllocationResponse& response);
+
+/// Error response for a line that could not be parsed into a request at
+/// all (id is whatever could be recovered, often empty).
+std::string FormatErrorResponse(const std::string& id, const Status& status);
+
+/// Inverts FormatResponse's serialized subset. Fields not on the wire
+/// (per-ad stats, internal revenue vectors) come back default-initialized.
+Result<AllocationResponse> ParseResponse(std::string_view line);
+
+}  // namespace serve
+}  // namespace tirm
+
+#endif  // TIRM_SERVE_PROTOCOL_H_

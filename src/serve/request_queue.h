@@ -1,0 +1,122 @@
+// Bounded MPMC queue with admission control — the AllocationService's
+// request buffer.
+//
+// Two admission modes: TryPush rejects with a typed Unavailable status the
+// moment the queue is full (overload shedding — callers get an immediate,
+// retryable answer instead of unbounded latency), while PushWait blocks
+// for space (backpressure — right for batch producers like SubmitSweep and
+// the stdin front-end, where the producer *should* slow down). Pop blocks
+// until an item arrives or the queue is closed and drained.
+//
+// FIFO order is preserved; Close() wakes every waiter, lets consumers
+// drain what was admitted, and fails subsequent pushes with Unavailable.
+
+#ifndef TIRM_SERVE_REQUEST_QUEUE_H_
+#define TIRM_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace tirm {
+namespace serve {
+
+/// See file comment.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    TIRM_CHECK(capacity_ > 0) << "BoundedQueue capacity must be >= 1";
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Non-blocking admission: Unavailable when the queue is full or closed.
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return Closed();
+      if (items_.size() >= capacity_) {
+        return Status::Unavailable("request queue full (capacity " +
+                                   std::to_string(capacity_) +
+                                   "); retry later");
+      }
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocking admission: waits for space; Unavailable only when closed.
+  Status PushWait(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      producer_cv_.wait(lock, [this] {
+        return closed_ || items_.size() < capacity_;
+      });
+      if (closed_) return Closed();
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty
+  /// (then nullopt — the consumer's signal to exit).
+  std::optional<T> Pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      consumer_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    producer_cv_.notify_one();
+    return item;
+  }
+
+  /// Stops admission and wakes every waiter. Admitted items remain
+  /// poppable (graceful drain). Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+    producer_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  static Status Closed() {
+    return Status::Unavailable("request queue closed (service stopping)");
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable producer_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace tirm
+
+#endif  // TIRM_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,63 @@
+#include "serve/service_metrics.h"
+
+namespace tirm {
+namespace serve {
+
+void ServiceMetrics::RecordExpired(double queue_seconds) {
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_latency_.Record(queue_seconds);
+}
+
+void ServiceMetrics::RecordDropped(double queue_seconds) {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_latency_.Record(queue_seconds);
+}
+
+void ServiceMetrics::Reset() {
+  received_.store(0, std::memory_order_relaxed);
+  admitted_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  served_ok_.store(0, std::memory_order_relaxed);
+  failed_.store(0, std::memory_order_relaxed);
+  expired_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_latency_ = LatencyHistogram();
+  serve_latency_ = LatencyHistogram();
+}
+
+void ServiceMetrics::RecordServed(double queue_seconds, double serve_seconds,
+                                  bool ok) {
+  (ok ? served_ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_latency_.Record(queue_seconds);
+  serve_latency_.Record(serve_seconds);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsSnapshot s;
+  s.received = received_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.served_ok = served_ok_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.queue_count = queue_latency_.count();
+  s.queue_mean = queue_latency_.mean();
+  s.queue_p50 = queue_latency_.Quantile(0.50);
+  s.queue_p95 = queue_latency_.Quantile(0.95);
+  s.queue_p99 = queue_latency_.Quantile(0.99);
+  s.queue_max = queue_latency_.max();
+  s.serve_count = serve_latency_.count();
+  s.serve_mean = serve_latency_.mean();
+  s.serve_p50 = serve_latency_.Quantile(0.50);
+  s.serve_p95 = serve_latency_.Quantile(0.95);
+  s.serve_p99 = serve_latency_.Quantile(0.99);
+  s.serve_max = serve_latency_.max();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace tirm

@@ -1,0 +1,89 @@
+// Service-level metrics for the AllocationService: admission/outcome
+// counters plus queue-wait and serve-time latency histograms.
+//
+// Counter identities (enforced by tests/serving_test.cc):
+//   received  = admitted + rejected
+//   completed = served_ok + failed + expired
+// and every admitted request eventually completes (after Stop()
+// drains, admitted == completed).
+
+#ifndef TIRM_SERVE_SERVICE_METRICS_H_
+#define TIRM_SERVE_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/histogram.h"
+
+namespace tirm {
+namespace serve {
+
+/// Point-in-time copy of the service counters and latency quantiles.
+/// Latencies are in seconds; queue latency covers admission -> dequeue,
+/// serve latency covers dequeue -> response (engine run + bookkeeping).
+struct MetricsSnapshot {
+  std::uint64_t received = 0;   ///< Submit/SubmitWait calls
+  std::uint64_t admitted = 0;   ///< entered the queue
+  std::uint64_t rejected = 0;   ///< admission control turned away
+  std::uint64_t served_ok = 0;  ///< completed with an OK response
+  std::uint64_t failed = 0;     ///< completed with an in-band error
+  std::uint64_t expired = 0;    ///< deadline passed before dequeue
+
+  std::uint64_t queue_count = 0;
+  double queue_mean = 0.0, queue_p50 = 0.0, queue_p95 = 0.0, queue_p99 = 0.0;
+  double queue_max = 0.0;
+
+  std::uint64_t serve_count = 0;
+  double serve_mean = 0.0, serve_p50 = 0.0, serve_p95 = 0.0, serve_p99 = 0.0;
+  double serve_max = 0.0;
+};
+
+/// Shared-state metrics sink; every method is thread-safe. Counters are
+/// lock-free atomics; the histograms (one Record per request, off the hot
+/// path) are mutex-guarded.
+class ServiceMetrics {
+ public:
+  void RecordAdmitted() {
+    received_.fetch_add(1, std::memory_order_relaxed);
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordRejected() {
+    received_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A request whose deadline passed at dequeue; `queue_seconds` still
+  /// feeds the queue histogram (expiries are queue-latency signal).
+  void RecordExpired(double queue_seconds);
+  /// A dequeued request that ran; `ok` separates OK responses from in-band
+  /// errors (unknown allocator, invalid config, engine failure).
+  void RecordServed(double queue_seconds, double serve_seconds, bool ok);
+  /// A request admitted but never dequeued (service stopped first): counts
+  /// toward `failed` but feeds only the queue histogram — the serve
+  /// histogram covers requests that actually ran.
+  void RecordDropped(double queue_seconds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter and histogram. For measurement harnesses that
+  /// exclude warm-up traffic; call only while the service is idle (no
+  /// requests in flight), or the counter identities will not hold.
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> served_ok_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+
+  mutable std::mutex mutex_;  // guards the histograms
+  LatencyHistogram queue_latency_;
+  LatencyHistogram serve_latency_;
+};
+
+}  // namespace serve
+}  // namespace tirm
+
+#endif  // TIRM_SERVE_SERVICE_METRICS_H_

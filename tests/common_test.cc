@@ -5,10 +5,13 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/histogram.h"
+#include "common/json.h"
 #include "common/memory_info.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -44,6 +47,21 @@ TEST(StatusTest, EveryCodeHasName) {
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, CodeFromNameRoundTripsAndRejectsUnknown) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kIOError,
+        StatusCode::kNotFound, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kInternal,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded}) {
+    EXPECT_EQ(StatusCodeFromName(StatusCodeName(code)), code);
+  }
+  // Unknown names must not decode to OK.
+  EXPECT_EQ(StatusCodeFromName("NoSuchCode"), StatusCode::kInternal);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -408,6 +426,160 @@ TEST(TimerTest, MeasuresElapsed) {
   const double before = t.Seconds();
   t.Reset();
   EXPECT_LE(t.Seconds(), before + 1.0);
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "tirm");
+  w.Field("count", 3);
+  w.Key("values");
+  w.BeginArray();
+  w.Double(0.5);
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"tirm\",\"count\":3,"
+            "\"values\":[0.5,true,null],\"nested\":{}}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 12345.6789, -2.5e17,
+                         0.30000000000000004}) {
+    const std::string text = JsonNumber(v);
+    Result<JsonValue> parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->AsDouble().value(), v) << text;
+  }
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");  // JSON has no NaN
+}
+
+TEST(JsonParserTest, ParsesNestedDocument) {
+  Result<JsonValue> v = ParseJson(
+      R"( {"a": [1, 2.5, -3e2], "b": {"c": "xéy", "d": false}} )");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ((*a)[0].AsInt().value(), 1);
+  EXPECT_EQ((*a)[1].AsDouble().value(), 2.5);
+  EXPECT_EQ((*a)[1].raw_number(), "2.5");
+  EXPECT_EQ((*a)[2].AsDouble().value(), -300.0);
+  const JsonValue* c = v->Find("b")->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->AsString().value(), "x\xC3\xA9y");  // é -> UTF-8
+  EXPECT_FALSE(v->Find("b")->Find("d")->AsBool().value());
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.",
+        "\"unterminated", "{\"a\":1} trailing", "nan", "{\"a\":1,\"a\":2}",
+        "\"bad \\u12 escape\"", "[1 2]", "{'a':1}"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParserTest, RejectsTooDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonValueTest, AsIntRejectsOutOfRangeNumbers) {
+  // A double -> int64 cast outside the target range is UB; the accessor
+  // must reject instead (adversarial wire input like 1e300).
+  for (const char* bad : {"1e300", "-1e300", "9223372036854775808",
+                          "1.5"}) {
+    Result<JsonValue> v = ParseJson(bad);
+    ASSERT_TRUE(v.ok()) << bad;
+    EXPECT_FALSE(v->AsInt().ok()) << bad;
+  }
+  EXPECT_EQ(ParseJson("-9223372036854775808")->AsInt().value(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(JsonValueTest, DumpRoundTrips) {
+  const char* text =
+      R"({"s":"a\nb","n":0.1,"i":-7,"b":true,"z":null,"arr":[1,[2]]})";
+  Result<JsonValue> v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Dump(), text);  // raw number tokens survive the round trip
+}
+
+TEST(FlagsTest, FromPairsDisablesEnvFallback) {
+  setenv("TIRM_JSON_PROBE", "999", 1);
+  const Flags no_env = Flags::FromPairs({{"eps", "0.5"}}, /*use_env=*/false);
+  EXPECT_EQ(no_env.GetDoubleStrict("eps", 0.1).value(), 0.5);
+  // The env var must NOT leak in when disabled...
+  EXPECT_EQ(no_env.GetIntStrict("json_probe", 7).value(), 7);
+  // ...and must when enabled.
+  const Flags with_env = Flags::FromPairs({}, /*use_env=*/true);
+  EXPECT_EQ(with_env.GetIntStrict("json_probe", 7).value(), 999);
+  unsetenv("TIRM_JSON_PROBE");
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(LatencyHistogramTest, ExactStatsAndQuantileBounds) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1e-3);  // 1ms .. 1s
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_NEAR(h.mean(), 0.5005, 1e-9);
+  // Log-bucketed quantiles carry ~4.4% relative error.
+  EXPECT_NEAR(h.Quantile(0.50), 0.5, 0.5 * 0.06);
+  EXPECT_NEAR(h.Quantile(0.95), 0.95, 0.95 * 0.06);
+  EXPECT_NEAR(h.Quantile(0.99), 0.99, 0.99 * 0.06);
+  // Quantiles never leave [min, max].
+  EXPECT_GE(h.Quantile(0.0), h.min());
+  EXPECT_LE(h.Quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (int i = 1; i <= 50; ++i) {
+    a.Record(i * 1e-4);
+    combined.Record(i * 1e-4);
+  }
+  for (int i = 1; i <= 50; ++i) {
+    b.Record(i * 1e-2);
+    combined.Record(i * 1e-2);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q));
+  }
+}
+
+TEST(LatencyHistogramTest, OutOfRangeObservationsClamp) {
+  LatencyHistogram h;
+  h.Record(-1.0);     // clamps to 0
+  h.Record(0.0);      // below resolution floor
+  h.Record(1e9);      // beyond the top octave
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 1e9);
+  EXPECT_LE(h.Quantile(0.5), 1e9);
 }
 
 }  // namespace
