@@ -21,10 +21,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.008);
-  config.Print("bench_ablation_beta: boosted budgets B' = (1+beta)B");
+  config.Print("bench_ablation_beta: boosted budgets B' = (1+beta)B",
+               /*supports_bundle=*/true);
 
   Rng rng(config.seed);
-  BuiltInstance built = BuildDataset(FlixsterLike(config.scale), rng);
+  BuiltInstance built = BuildBenchInstance(config, FlixsterLike(config.scale), rng);
 
   TablePrinter t({"beta", "revenue", "capped revenue", "free service",
                   "raw regret vs B", "seeds"});

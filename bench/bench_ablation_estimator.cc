@@ -24,15 +24,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.01);
-  config.Print("bench_ablation_estimator: RR+delta-scaling vs direct RRC");
+  config.Print("bench_ablation_estimator: RR+delta-scaling vs direct RRC",
+               /*supports_bundle=*/true);
 
   Rng rng(config.seed);
-  BuiltInstance built = BuildDataset(EpinionsLike(config.scale), rng);
+  BuiltInstance built = BuildBenchInstance(config, EpinionsLike(config.scale), rng);
   const Graph& g = *built.graph;
   ProblemInstance inst = built.MakeInstance(1, 0.0);
   const auto& probs = inst.EdgeProbsForAd(0);
   const double delta = 0.02;  // representative CTP
   const auto ctp = [delta](NodeId) { return delta; };
+  const std::vector<float> node_ctps(g.num_nodes(),
+                                     static_cast<float>(delta));
 
   // Ground truth: MC spread (with CTP) for the top-degree node.
   NodeId hub = 0;
@@ -69,7 +72,7 @@ int main(int argc, char** argv) {
 
     // Direct RRC sampling.
     WallTimer rrc_timer;
-    RrSampler rrc(g, probs, ctp);
+    RrSampler rrc(g, probs, node_ctps);
     Rng r2(config.seed + 3);
     std::size_t rrc_hits = 0;
     for (int i = 0; i < samples; ++i) {

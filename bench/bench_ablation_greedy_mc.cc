@@ -22,12 +22,13 @@ int main(int argc, char** argv) {
   // Deliberately tiny default: GREEDY-MC cost is O(n * sims) *per seed*.
   BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.002,
                                               /*default_eps=*/0.2);
-  config.Print("bench_ablation_greedy_mc: Algorithm 1 (MC oracle) vs TIRM");
+  config.Print("bench_ablation_greedy_mc: Algorithm 1 (MC oracle) vs TIRM",
+               /*supports_bundle=*/true);
   const std::size_t mc_sims =
       static_cast<std::size_t>(flags.GetInt("mc_sims", 200));
 
   Rng rng(config.seed);
-  BuiltInstance built = BuildDataset(FlixsterLike(config.scale), rng);
+  BuiltInstance built = BuildBenchInstance(config, FlixsterLike(config.scale), rng);
   ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
   std::printf("instance: %s, h=%d, total budget %.1f\n\n",
               FormatGraphStats(ComputeGraphStats(*built.graph)).c_str(),

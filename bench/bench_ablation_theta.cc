@@ -19,10 +19,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.008);
-  config.Print("bench_ablation_theta: sampling effort vs quality");
+  config.Print("bench_ablation_theta: sampling effort vs quality",
+               /*supports_bundle=*/true);
 
   Rng rng(config.seed);
-  BuiltInstance built = BuildDataset(FlixsterLike(config.scale), rng);
+  BuiltInstance built = BuildBenchInstance(config, FlixsterLike(config.scale), rng);
   ProblemInstance inst = built.MakeInstance(/*kappa=*/1, /*lambda=*/0.0);
 
   TablePrinter t({"eps", "theta cap", "total RR sets", "regret",

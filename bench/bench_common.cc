@@ -19,8 +19,17 @@ BenchConfig BenchConfig::FromFlags(const Flags& flags, double default_scale,
   c.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2015));
   c.irie_alpha = flags.GetDouble("irie_alpha", 0.8);
   c.threads = flags.GetThreads(1);
+  c.bundle = flags.GetString("bundle", "");
   c.json_out = flags.GetString("json_out", default_json_out);
   return c;
+}
+
+BuiltInstance BuildBenchInstance(const BenchConfig& config,
+                                 const DatasetSpec& spec, Rng& rng) {
+  if (config.bundle.empty()) return BuildDataset(spec, rng);
+  Result<BuiltInstance> loaded = LoadBundleInstance(config.bundle);
+  TIRM_CHECK(loaded.ok()) << loaded.status().ToString();
+  return loaded.MoveValue();
 }
 
 JsonReport::JsonReport(const char* bench_name, const BenchConfig& config)
@@ -45,7 +54,14 @@ void JsonReport::Write() const {
   std::printf("\nwrote %s\n", path_.c_str());
 }
 
-void BenchConfig::Print(const char* bench_name) const {
+void BenchConfig::Print(const char* bench_name, bool supports_bundle) const {
+  TIRM_CHECK(bundle.empty() || supports_bundle)
+      << bench_name << " does not support --bundle (it builds its own "
+      << "instances); drop the flag";
+  if (!bundle.empty()) {
+    std::printf("bundle: %s (mmap'ed; replaces the generated dataset)\n",
+                bundle.c_str());
+  }
   std::printf(
       "== %s ==\n"
       "config: scale=%.4g eval_sims=%zu eps=%.2f theta_cap=%llu seed=%llu "

@@ -35,6 +35,7 @@
 #include "common/timer.h"
 #include "datasets/dataset.h"
 #include "graph/graph_stats.h"
+#include "io/bundle_reader.h"
 
 namespace tirm {
 namespace bench {
@@ -49,6 +50,10 @@ struct BenchConfig {
   std::uint64_t seed = 2015;
   double irie_alpha = 0.8;
   int threads = 1;  ///< RR-sampling worker threads (--threads, 0 = hardware)
+  /// Prebuilt ".tirm" bundle path (--bundle / TIRM_BUNDLE; empty = build
+  /// the bench's own dataset). Benches that resolve their instance through
+  /// BuildBenchInstance run on the mmap'ed bundle instead of generating.
+  std::string bundle;
   /// Machine-readable report path (--json_out; empty = don't write). The
   /// perf-trajectory benches default to BENCH_<figure>.json so runs are
   /// comparable across PRs without extra flags.
@@ -81,8 +86,18 @@ struct BenchConfig {
     return o;
   }
 
-  void Print(const char* bench_name) const;
+  /// Prints the config banner. Benches that resolve their instance
+  /// through BuildBenchInstance pass supports_bundle=true; everywhere
+  /// else a given --bundle would be silently ignored — results would be
+  /// attributed to the wrong instance — so Print aborts instead.
+  void Print(const char* bench_name, bool supports_bundle = false) const;
 };
+
+/// Resolves a bench's instance: the mmap'ed --bundle when one was given,
+/// otherwise BuildDataset(spec). Aborts on a bad bundle — a bench must
+/// fail loudly.
+BuiltInstance BuildBenchInstance(const BenchConfig& config,
+                                 const DatasetSpec& spec, Rng& rng);
 
 /// Runs allocator `name` on `engine` at `query` and returns the full
 /// EngineRun (allocation + MC report), aborting on error — a bench must

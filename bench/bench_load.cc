@@ -1,0 +1,154 @@
+// bench_load — instance readiness: regenerate vs mmap a ".tirm" bundle.
+//
+// The data-plane claim behind the bundle refactor is that a serving
+// process should not pay instance *generation* (R-MAT sampling, CSR
+// construction, probability/CTP materialization) on every cold start when
+// the instance can be mapped read-only from a prebuilt artifact. This
+// bench measures exactly that, per dataset scale:
+//
+//   generate   — BuildDataset from the seed (what every binary did before)
+//   write      — one-time bundle build cost (amortized across starts)
+//   load+verify— mmap + checksums + full element validation
+//   load mmap  — mmap + structural validation only (pre-verified file)
+//
+// and gates the numbers behind a determinism check: the myopic allocation
+// computed on the generated instance and on the bundle round-trip must be
+// identical (the all-allocator bit-identical gate lives in
+// tests/bundle_io_test.cc).
+//
+// Writes BENCH_load.json by default.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "io/bundle_reader.h"
+#include "io/bundle_writer.h"
+
+namespace {
+
+using namespace tirm;
+using namespace tirm::bench;
+
+struct LoadPoint {
+  double scale = 0.0;
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t bundle_bytes = 0;
+  double generate_s = 0.0;
+  double write_s = 0.0;
+  double load_verified_s = 0.0;
+  double load_mmap_s = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  BenchConfig config = BenchConfig::FromFlags(flags, /*default_scale=*/0.01,
+                                              /*default_eps=*/0.25,
+                                              "BENCH_load.json");
+  const std::string dataset = flags.GetString("dataset", "flixster");
+  config.Print("bench_load: cold-start — regenerate vs mmap bundle");
+
+  JsonReport report("load", config);
+  report.Set("dataset", JsonValue::String(dataset));
+  JsonValue points = JsonValue::Array();
+
+  TablePrinter t({"scale", "nodes", "edges", "bundle", "generate (s)",
+                  "write (s)", "load+verify (s)", "load mmap (s)",
+                  "speedup verify", "speedup mmap"});
+
+  for (const double scale_mult : {1.0, 5.0}) {
+    LoadPoint p;
+    p.scale = config.scale * scale_mult;
+    const Result<DatasetSpec> spec_lookup = StandInSpecByName(dataset, p.scale);
+    TIRM_CHECK(spec_lookup.ok()) << "bench_load: " << spec_lookup.status().ToString();
+    const DatasetSpec& spec = *spec_lookup;
+    const std::string bundle_path =
+        "BENCH_load_" + dataset + "_" + std::to_string(scale_mult) + ".tirm";
+
+    // Cold start the old way: regenerate everything from the seed.
+    WallTimer gen_timer;
+    Rng gen_rng(config.seed);
+    const BuiltInstance generated = BuildDataset(spec, gen_rng);
+    p.generate_s = gen_timer.Seconds();
+    p.nodes = generated.graph->num_nodes();
+    p.edges = generated.graph->num_edges();
+
+    // One-time bundle build.
+    WallTimer write_timer;
+    const Status written = WriteBundle(generated, bundle_path);
+    TIRM_CHECK(written.ok()) << written.ToString();
+    p.write_s = write_timer.Seconds();
+
+    // Cold start the new way, with and without full verification.
+    WallTimer verify_timer;
+    Result<BuiltInstance> verified =
+        LoadBundleInstance(bundle_path, {.verify = true});
+    TIRM_CHECK(verified.ok()) << verified.status().ToString();
+    p.load_verified_s = verify_timer.Seconds();
+
+    WallTimer mmap_timer;
+    Result<BuiltInstance> mapped =
+        LoadBundleInstance(bundle_path, {.verify = false});
+    TIRM_CHECK(mapped.ok()) << mapped.status().ToString();
+    p.load_mmap_s = mmap_timer.Seconds();
+
+    Result<BundleInfo> info = ReadBundleInfo(bundle_path, false);
+    TIRM_CHECK(info.ok()) << info.status().ToString();
+    p.bundle_bytes = info->file_size;
+
+    // Determinism gate: same allocation from either source.
+    const ProblemInstance gen_inst = generated.MakeInstance(1, 0.1);
+    const ProblemInstance load_inst = verified->MakeInstance(1, 0.1);
+    const AllocationResult a = RunAlgorithm("myopic", gen_inst, config);
+    const AllocationResult b = RunAlgorithm("myopic", load_inst, config);
+    TIRM_CHECK(a.allocation.seeds == b.allocation.seeds)
+        << "bundle round-trip changed the myopic allocation at scale "
+        << p.scale;
+
+    const double speedup_verified = p.generate_s / p.load_verified_s;
+    const double speedup_mmap = p.generate_s / p.load_mmap_s;
+    t.AddRow({TablePrinter::Num(p.scale, 3),
+              TablePrinter::Int(static_cast<long long>(p.nodes)),
+              TablePrinter::Int(static_cast<long long>(p.edges)),
+              HumanBytes(p.bundle_bytes), TablePrinter::Num(p.generate_s, 4),
+              TablePrinter::Num(p.write_s, 4),
+              TablePrinter::Num(p.load_verified_s, 4),
+              TablePrinter::Num(p.load_mmap_s, 4),
+              TablePrinter::Num(speedup_verified, 1) + "x",
+              TablePrinter::Num(speedup_mmap, 1) + "x"});
+
+    JsonValue point = JsonValue::Object();
+    point.Set("scale", JsonValue::Number(p.scale));
+    point.Set("nodes", JsonValue::Number(static_cast<double>(p.nodes)));
+    point.Set("edges", JsonValue::Number(static_cast<double>(p.edges)));
+    point.Set("bundle_bytes",
+              JsonValue::Number(static_cast<double>(p.bundle_bytes)));
+    point.Set("generate_seconds", JsonValue::Number(p.generate_s));
+    point.Set("write_seconds", JsonValue::Number(p.write_s));
+    point.Set("load_verified_seconds", JsonValue::Number(p.load_verified_s));
+    point.Set("load_mmap_seconds", JsonValue::Number(p.load_mmap_s));
+    point.Set("speedup_verified", JsonValue::Number(speedup_verified));
+    point.Set("speedup_mmap", JsonValue::Number(speedup_mmap));
+    point.Set("determinism_gate", JsonValue::String("ok"));
+    points.Append(std::move(point));
+
+    std::remove(bundle_path.c_str());
+  }
+
+  t.Print();
+  std::printf(
+      "\n(load+verify reads every byte for checksums; load mmap is the\n"
+      " pre-verified serving path — structural validation only, pages\n"
+      " fault in lazily on first use)\n");
+  report.Set("points", std::move(points));
+  report.Write();
+  return 0;
+}

@@ -61,7 +61,9 @@ BENCHMARK(BM_RrSetSampling);
 void BM_RrcSetSampling(benchmark::State& state) {
   const Fixture& f = Fixture::Get();
   const double delta = 0.02;
-  RrSampler sampler(f.graph, f.probs, [delta](NodeId) { return delta; });
+  const std::vector<float> ctps(f.graph.num_nodes(),
+                                static_cast<float>(delta));
+  RrSampler sampler(f.graph, f.probs, ctps);
   Rng rng(2);
   std::vector<NodeId> set;
   for (auto _ : state) {

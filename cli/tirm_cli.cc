@@ -7,10 +7,12 @@
 //   tirm_cli --allocator=all --kappa=2 --lambda=0.1
 //   tirm_cli --allocator=tirm --sweep_lambda=0,0.1,0.5,1
 //
-// Flags: --dataset={fig1,flixster,epinions,dblp,livejournal} --scale=
-//        --kappa= --lambda= --beta= --budget_scale= --eval_sims= --seed=
-//        --sweep_lambda=a,b,c --reuse_samples={true,false} plus every
-//        AllocatorConfig flag
+// Flags: --dataset={fig1,flixster,epinions,dblp,livejournal,
+//        file:<edge-list>,bundle:<path.tirm>} --bundle=<path.tirm>
+//        (shorthand for --dataset=bundle:<path>; mmap'ed zero-copy load)
+//        --scale= --kappa= --lambda= --beta= --budget_scale= --eval_sims=
+//        --seed= --sweep_lambda=a,b,c --reuse_samples={true,false} plus
+//        every AllocatorConfig flag
 //        (--eps, --theta_cap, --threads, --irie_alpha, --mc_sims, ...).
 // All knobs also read TIRM_* environment variables. Malformed numeric
 // values are rejected with an error (strict parsing), not defaulted.
@@ -60,7 +62,7 @@ int Fail(const Status& status) {
 bool IsKnownFlag(const std::string& key) {
   static const std::set<std::string> kKnown = {
       // CLI
-      "list", "allocator", "dataset", "scale", "seed", "eval_sims",
+      "list", "allocator", "dataset", "bundle", "scale", "seed", "eval_sims",
       "sweep_lambda", "reuse_samples",
       // EngineQuery
       "kappa", "lambda", "beta", "budget_scale",
@@ -96,7 +98,16 @@ int main(int argc, char** argv) {
   Result<AllocatorConfig> config = AllocatorConfig::FromFlags(flags);
   if (!config.ok()) return Fail(config.status());
 
-  const std::string dataset = flags.GetString("dataset", "fig1");
+  // --bundle=<path> is shorthand for --dataset=bundle:<path>.
+  std::string dataset = flags.GetString("dataset", "fig1");
+  const std::string bundle_path = flags.GetString("bundle", "");
+  if (!bundle_path.empty()) {
+    if (flags.Has("dataset")) {
+      return Fail(Status::InvalidArgument(
+          "--bundle and --dataset are mutually exclusive"));
+    }
+    dataset = "bundle:" + bundle_path;
+  }
   Result<double> scale = flags.GetDoubleStrict("scale", 0.01);
   if (!scale.ok()) return Fail(scale.status());
   if (!(*scale > 0.0) || !std::isfinite(*scale)) {  // also rejects NaN

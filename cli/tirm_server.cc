@@ -8,7 +8,13 @@
 //   # optional TCP listener (same line protocol per connection)
 //   tirm_server --dataset=fig1 --port=7077
 //
-// Flags: --dataset={fig1,flixster,epinions,dblp,livejournal} --scale=
+//   # serve a prebuilt bundle: the file is mmap'ed and verified ONCE at
+//   # startup and every worker borrows the same read-only mapping —
+//   # N workers, one physical copy, millisecond warm-up per worker
+//   tirm_server --bundle=flixster.tirm --workers=8
+//
+// Flags: --dataset={fig1,flixster,epinions,dblp,livejournal,
+//        file:<edge-list>,bundle:<path.tirm>} --bundle=<path.tirm> --scale=
 //        --workers= (0 = hardware) --queue_capacity= --port= (0 = stdin)
 //        --seed= --eval_sims= --evaluate= --reuse_samples= --timeout_ms=
 //        plus every AllocatorConfig flag and every EngineQuery flag — those
@@ -43,6 +49,8 @@
 #include "common/rng.h"
 #include "common/threading.h"
 #include "datasets/dataset.h"
+#include "io/bundle_reader.h"
+#include "io/mapped_file.h"
 #include "serve/allocation_service.h"
 #include "serve/protocol.h"
 
@@ -60,7 +68,7 @@ bool IsKnownFlag(const std::string& key) {
   // come from the protocol's own key sets so the three lists (CLI flags,
   // request "config", request "query") cannot drift apart.
   static const std::set<std::string> kServer = {
-      "dataset", "scale",    "workers",       "queue_capacity",
+      "dataset", "bundle",   "scale",         "workers", "queue_capacity",
       "port",    "seed",     "eval_sims",     "evaluate",
       "allocator", "reuse_samples", "timeout_ms"};
   return kServer.count(key) > 0 ||
@@ -337,9 +345,24 @@ int main(int argc, char** argv) {
     return Fail(Status::InvalidArgument("--port must be in [0, 65535]"));
   }
 
+  std::string bundle_path = flags.GetString("bundle", "");
+  if (!bundle_path.empty() && flags.Has("dataset")) {
+    return Fail(Status::InvalidArgument(
+        "--bundle and --dataset are mutually exclusive"));
+  }
+  if (bundle_path.empty() && dataset.starts_with("bundle:")) {
+    // Route the dataset-name spelling onto the same pre-mapped fast path:
+    // one mmap + one full verification shared by every worker, instead of
+    // each worker independently re-opening and re-verifying the file.
+    bundle_path = dataset.substr(7);
+  }
+
   // A name typo must fail before N worker engines try to build the
-  // dataset — and without paying for a throwaway build.
-  if (!IsKnownDataset(dataset)) {
+  // dataset — and without paying for a throwaway build. Prefixed names
+  // (file:/bundle:) are probed by actually loading once below.
+  const bool prefixed_dataset = dataset.starts_with("file:") ||
+                                dataset.starts_with("bundle:");
+  if (bundle_path.empty() && !prefixed_dataset && !IsKnownDataset(dataset)) {
     Rng probe_rng(0);
     return Fail(BuildNamedDataset(dataset, *scale, probe_rng).status());
   }
@@ -354,19 +377,46 @@ int main(int argc, char** argv) {
 
   const std::uint64_t build_seed = static_cast<std::uint64_t>(*seed);
   const double build_scale = *scale;
-  serve::AllocationService service(
-      [dataset, build_scale, build_seed] {
-        // Deterministic per call: the per-worker engines must be identical
-        // (this is the service's response-purity contract).
-        Rng build_rng(build_seed);
-        return BuildNamedDataset(dataset, build_scale, build_rng).MoveValue();
-      },
-      options);
+  std::function<BuiltInstance()> build_instance;
+  std::string source = dataset;
+  if (!bundle_path.empty()) {
+    // Pre-map and fully verify the bundle ONCE at startup; the worker
+    // engines then assemble their zero-copy views from the same shared
+    // read-only mapping with verification off — per-worker warm-up is
+    // just span bookkeeping, and all workers share one physical copy.
+    Result<MappedFile> mapped = MappedFile::Open(bundle_path);
+    if (!mapped.ok()) return Fail(mapped.status());
+    auto mapping = std::make_shared<const MappedFile>(mapped.MoveValue());
+    mapping->Prefetch();
+    Result<BuiltInstance> probe =
+        LoadBundleInstance(mapping, {.verify = true});
+    if (!probe.ok()) return Fail(probe.status());
+    source = "bundle:" + bundle_path + " (" + probe->name + ")";
+    build_instance = [mapping] {
+      return LoadBundleInstance(mapping, {.verify = false}).MoveValue();
+    };
+  } else {
+    if (prefixed_dataset) {
+      // Probe once so a bad path/file fails before worker spin-up
+      // (the builder lambda aborts on error by contract).
+      Rng probe_rng(build_seed);
+      Result<BuiltInstance> probe =
+          BuildNamedDataset(dataset, build_scale, probe_rng);
+      if (!probe.ok()) return Fail(probe.status());
+    }
+    build_instance = [dataset, build_scale, build_seed] {
+      // Deterministic per call: the per-worker engines must be identical
+      // (this is the service's response-purity contract).
+      Rng build_rng(build_seed);
+      return BuildNamedDataset(dataset, build_scale, build_rng).MoveValue();
+    };
+  }
+  serve::AllocationService service(build_instance, options);
 
   std::fprintf(stderr,
                "tirm_server: dataset=%s scale=%g workers=%d queue=%zu "
                "eval=%s reuse_samples=%s\n",
-               dataset.c_str(), build_scale, service.num_workers(),
+               source.c_str(), build_scale, service.num_workers(),
                options.queue_capacity, *evaluate ? "on" : "off",
                *reuse_samples ? "on" : "off");
 

@@ -1,0 +1,93 @@
+// ArrayRef<T> — a read-mostly array that either OWNS a std::vector<T> or
+// BORROWS an immutable span (e.g. a section of an mmap'ed instance bundle,
+// see io/bundle_reader.h).
+//
+// This is the storage primitive behind the zero-copy data plane: Graph,
+// EdgeProbabilities, ClickProbabilities, and TopicDistribution keep their
+// public span-shaped accessors, but the bytes behind them can come either
+// from freshly generated vectors (the synthetic path) or straight from a
+// read-only file mapping shared by N workers/processes (the bundle path).
+//
+// Borrowed storage never copies and never frees; the borrower must keep
+// the backing mapping alive (BuiltInstance::backing does exactly that).
+// Mutation (MutableVec) is only legal on owned storage — borrowed arrays
+// are views into a shared read-only mapping and TIRM_CHECK-abort on
+// mutation attempts.
+
+#ifndef TIRM_COMMON_ARRAY_REF_H_
+#define TIRM_COMMON_ARRAY_REF_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tirm {
+
+/// See file comment. Copyable (a copy of a borrowed ref borrows the same
+/// bytes; a copy of an owned ref deep-copies) and cheaply movable.
+template <typename T>
+class ArrayRef {
+ public:
+  /// Empty owned array.
+  ArrayRef() = default;
+
+  /// Takes ownership of `v`.
+  static ArrayRef Owned(std::vector<T> v) {
+    ArrayRef ref;
+    ref.owned_ = std::move(v);
+    ref.is_owned_ = true;
+    return ref;
+  }
+
+  /// Borrows `s`; the backing bytes must outlive every use of this ref.
+  static ArrayRef Borrowed(std::span<const T> s) {
+    ArrayRef ref;
+    ref.borrowed_ = s;
+    ref.is_owned_ = false;
+    return ref;
+  }
+
+  bool owned() const { return is_owned_; }
+
+  std::span<const T> span() const {
+    return is_owned_ ? std::span<const T>(owned_) : borrowed_;
+  }
+  const T* data() const { return span().data(); }
+  std::size_t size() const {
+    return is_owned_ ? owned_.size() : borrowed_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](std::size_t i) const {
+    TIRM_DCHECK(i < size());
+    return span()[i];
+  }
+
+  auto begin() const { return span().begin(); }
+  auto end() const { return span().end(); }
+
+  /// Mutable access; requires owned storage (borrowed arrays are views
+  /// into a shared read-only mapping).
+  std::vector<T>& MutableVec() {
+    TIRM_CHECK(is_owned_) << "mutating borrowed (mmap-backed) storage";
+    return owned_;
+  }
+
+  /// Heap bytes held by THIS object: the vector capacity when owned, zero
+  /// when borrowed (the mapping's bytes are accounted once by its owner).
+  std::size_t MemoryBytes() const {
+    return is_owned_ ? owned_.capacity() * sizeof(T) : 0;
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> borrowed_;
+  bool is_owned_ = true;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_ARRAY_REF_H_

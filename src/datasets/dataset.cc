@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/edge_list_io.h"
 #include "graph/generators.h"
+#include "io/bundle_reader.h"
 
 namespace tirm {
 namespace {
@@ -94,11 +96,24 @@ DatasetSpec LiveJournalLike(double scale) {
   return spec;
 }
 
+DatasetSpec FileGraphSpec(double scale) {
+  DatasetSpec spec;
+  spec.name = "file-graph";
+  spec.scale = ClampScale(scale);
+  spec.prob_model = DatasetSpec::ProbModel::kWeightedCascade;
+  spec.num_topics = 1;
+  spec.num_ads = 5;
+  spec.budget_min = 100.0;
+  spec.budget_max = 350.0;
+  spec.cpe_min = 1.0;
+  spec.cpe_max = 2.0;
+  spec.ctp_min = 0.01;
+  spec.ctp_max = 0.03;
+  return spec;
+}
+
 BuiltInstance BuildDataset(const DatasetSpec& spec, Rng& rng,
                            int num_ads_override, double budget_override) {
-  BuiltInstance built;
-  built.name = spec.name;
-
   const double target_nodes =
       std::max(64.0, spec.scale * static_cast<double>(spec.base_nodes));
   const std::size_t target_edges = static_cast<std::size_t>(
@@ -109,9 +124,22 @@ BuiltInstance BuildDataset(const DatasetSpec& spec, Rng& rng,
   Graph g = spec.symmetric
                 ? RMatGraphSymmetric(rmat_scale, target_edges, graph_rng)
                 : RMatGraph(rmat_scale, target_edges, graph_rng);
-  built.graph = std::make_unique<Graph>(std::move(g));
+  return BuildDatasetOnGraph(spec, std::make_unique<Graph>(std::move(g)), rng,
+                             num_ads_override, budget_override);
+}
+
+BuiltInstance BuildDatasetOnGraph(const DatasetSpec& spec,
+                                  std::unique_ptr<Graph> graph_in, Rng& rng,
+                                  int num_ads_override,
+                                  double budget_override) {
+  BuiltInstance built;
+  built.name = spec.name;
+  built.graph = std::move(graph_in);
   const Graph& graph = *built.graph;
 
+  // Fork discipline: substreams 2/3/4 for probabilities/CTPs/ads — the
+  // same salts BuildDataset always used (its graph stream is fork 1), so
+  // the generated stand-ins stay bit-identical across this refactor.
   Rng prob_rng = rng.Fork(2);
   switch (spec.prob_model) {
     case DatasetSpec::ProbModel::kExponentialTopics:
@@ -228,14 +256,38 @@ bool IsKnownDataset(const std::string& name) {
   return std::find(names.begin(), names.end(), name) != names.end();
 }
 
+Result<DatasetSpec> StandInSpecByName(const std::string& name, double scale) {
+  if (name == "flixster") return FlixsterLike(scale);
+  if (name == "epinions") return EpinionsLike(scale);
+  if (name == "dblp") return DblpLike(scale);
+  if (name == "livejournal") return LiveJournalLike(scale);
+  return Status::NotFound("no dataset spec named \"" + name +
+                          "\" (flixster, epinions, dblp, livejournal)");
+}
+
+Result<BuiltInstance> BuildFromEdgeList(const std::string& path, double scale,
+                                        Rng& rng) {
+  Result<Graph> graph = LoadEdgeList(path);
+  if (!graph.ok()) return graph.status();
+  DatasetSpec spec = FileGraphSpec(scale);
+  spec.name = "file:" + path;
+  BuiltInstance built = BuildDatasetOnGraph(
+      spec, std::make_unique<Graph>(graph.MoveValue()), rng);
+  return built;
+}
+
 Result<BuiltInstance> BuildNamedDataset(const std::string& name, double scale,
                                         Rng& rng) {
+  // Prefixed forms first: real data paths, not stand-in names.
+  if (name.starts_with("file:")) {
+    return BuildFromEdgeList(name.substr(5), scale, rng);
+  }
+  if (name.starts_with("bundle:")) {
+    return LoadBundleInstance(name.substr(7));
+  }
   if (name == "fig1") return BuildFigure1Instance();
-  if (name == "flixster") return BuildDataset(FlixsterLike(scale), rng);
-  if (name == "epinions") return BuildDataset(EpinionsLike(scale), rng);
-  if (name == "dblp") return BuildDataset(DblpLike(scale), rng);
-  if (name == "livejournal") {
-    return BuildDataset(LiveJournalLike(scale), rng);
+  if (Result<DatasetSpec> spec = StandInSpecByName(name, scale); spec.ok()) {
+    return BuildDataset(*spec, rng);
   }
   std::string known;
   for (const std::string& candidate : KnownDatasetNames()) {
@@ -243,7 +295,8 @@ Result<BuiltInstance> BuildNamedDataset(const std::string& name, double scale,
     known += candidate;
   }
   return Status::InvalidArgument("unknown --dataset \"" + name +
-                                 "\" (known: " + known + ")");
+                                 "\" (known: " + known +
+                                 ", or file:<edge-list>, bundle:<.tirm>)");
 }
 
 }  // namespace tirm

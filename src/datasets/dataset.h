@@ -1,8 +1,19 @@
-// Owning problem-instance containers and synthetic stand-ins for the
-// paper's four datasets (§6, Tables 1-2). See DESIGN.md §3 for the
-// substitution rationale: the original graphs are not redistributable, so
-// we generate R-MAT graphs with matching shape and apply the paper's own
-// probability recipes, scaled by a `scale` factor (1.0 ≈ paper size).
+// Owning problem-instance containers and the dataset dispatch the CLI
+// front-ends share.
+//
+// Three instance sources, one BuildNamedDataset entry point:
+//   * synthetic stand-ins for the paper's four datasets (§6, Tables 1-2):
+//     R-MAT graphs with matching shape plus the paper's own probability
+//     recipes, scaled by `scale` (1.0 ≈ paper size) — see DESIGN.md §3 for
+//     the substitution rationale (the original graphs are not
+//     redistributable);
+//   * "file:<path>" — a real SNAP edge-list graph (graph/edge_list_io.h)
+//     with the default recipe applied on top, so experiments can run on
+//     actual datasets, not only generated shapes;
+//   * "bundle:<path>" — a prebuilt ".tirm" instance bundle loaded
+//     zero-copy via mmap (io/bundle_reader.h): graph, probabilities,
+//     CTPs, and advertisers come straight from the file, byte-identical
+//     to the instance that was saved, with millisecond cold start.
 
 #ifndef TIRM_DATASETS_DATASET_H_
 #define TIRM_DATASETS_DATASET_H_
@@ -22,6 +33,13 @@ namespace tirm {
 
 /// Owns every structure a ProblemInstance views. Movable, not copyable.
 struct BuiltInstance {
+  /// Keep-alive for borrowed storage: bundle-loaded instances hold their
+  /// read-only file mapping here (shared by every instance loaded from
+  /// the same mapping); generated instances leave it null. Declared first
+  /// so it is destroyed last — after every component that may borrow
+  /// spans from the mapping.
+  std::shared_ptr<const void> backing;
+
   std::unique_ptr<Graph> graph;
   std::unique_ptr<EdgeProbabilities> edge_probs;
   std::unique_ptr<ClickProbabilities> ctps;
@@ -84,24 +102,56 @@ DatasetSpec DblpLike(double scale);
 /// CPE=CTP=1, budgets 80K per ad.
 DatasetSpec LiveJournalLike(double scale);
 
+/// The spec for a stand-in name ("flixster", "epinions", "dblp",
+/// "livejournal"); NotFound for anything else — including "fig1", which
+/// is hand-built rather than spec-driven. One lookup shared by
+/// BuildNamedDataset, tirm_data, and bench_load so the name -> recipe
+/// mapping cannot drift.
+Result<DatasetSpec> StandInSpecByName(const std::string& name, double scale);
+
+/// Recipe applied on top of an ingested real graph ("file:<path>"): the
+/// graph shape comes from the file, so only the probability/advertiser
+/// model remains — Weighted Cascade probabilities, 5 ads with budgets
+/// scale·U[100,350], CPE U[1,2], CTP U[0.01,0.03].
+DatasetSpec FileGraphSpec(double scale);
+
 /// Materializes a spec (graph, probabilities, CTPs, advertisers).
 /// `num_ads_override` > 0 replaces spec.num_ads (scalability sweeps).
 BuiltInstance BuildDataset(const DatasetSpec& spec, Rng& rng,
                            int num_ads_override = 0,
                            double budget_override = -1.0);
 
+/// Applies a spec's probability/CTP/advertiser recipe to an existing
+/// graph (takes ownership). This is BuildDataset minus graph generation —
+/// the path real SNAP graphs take; BuildDataset delegates here so the two
+/// cannot drift.
+BuiltInstance BuildDatasetOnGraph(const DatasetSpec& spec,
+                                  std::unique_ptr<Graph> graph, Rng& rng,
+                                  int num_ads_override = 0,
+                                  double budget_override = -1.0);
+
+/// Ingests a SNAP edge list at `path` (graph/edge_list_io.h; sparse node
+/// ids compacted, arcs deduplicated) and applies FileGraphSpec on top.
+Result<BuiltInstance> BuildFromEdgeList(const std::string& path, double scale,
+                                        Rng& rng);
+
 /// The paper's Fig. 1 worked example: 6-node gadget, 4 ads {a,b,c,d} with
 /// budgets {4,2,2,1}, CPE 1, CTPs δ(u,a)=0.9, δ(u,b)=0.8, δ(u,c)=0.7,
 /// δ(u,d)=0.6 for every u, edge probabilities 0.2/0.5/0.1 as drawn.
 BuiltInstance BuildFigure1Instance();
 
-/// The dataset stand-in names the CLI front-ends accept, sorted.
+/// The dataset stand-in names the CLI front-ends accept, sorted. The
+/// prefixed forms "file:<path>" and "bundle:<path>" are accepted in
+/// addition to these.
 const std::vector<std::string>& KnownDatasetNames();
 bool IsKnownDataset(const std::string& name);
 
-/// Builds a stand-in by name ("fig1" ignores `scale`); InvalidArgument
-/// naming the known set for anything else. One dispatch shared by
-/// tirm_cli and tirm_server so the name set cannot drift.
+/// Builds an instance by name: a stand-in name ("fig1" ignores `scale`),
+/// "file:<path>" (SNAP edge-list ingest), or "bundle:<path>" (mmap'ed
+/// .tirm bundle; `scale` and `rng` unused — the bundle is already
+/// materialized). InvalidArgument naming the known set for anything else.
+/// One dispatch shared by tirm_cli, tirm_server, and the benches so the
+/// name set cannot drift.
 Result<BuiltInstance> BuildNamedDataset(const std::string& name, double scale,
                                         Rng& rng);
 

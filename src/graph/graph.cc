@@ -2,8 +2,43 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 namespace tirm {
+namespace {
+
+Status CorruptCsr(const std::string& what) {
+  return Status::InvalidArgument("corrupt CSR graph: " + what);
+}
+
+/// Offsets must start at 0, end at m, and never decrease.
+Status ValidateOffsets(std::span<const std::uint64_t> offsets,
+                       std::uint64_t m, const char* which) {
+  if (offsets.front() != 0) {
+    return CorruptCsr(std::string(which) + " offsets do not start at 0");
+  }
+  if (offsets.back() != m) {
+    return CorruptCsr(std::string(which) + " offsets do not end at edge count");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return CorruptCsr(std::string(which) + " offsets decrease");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateIds(std::span<const NodeId> ids, NodeId bound,
+                   const char* which) {
+  for (const NodeId v : ids) {
+    if (v >= bound) {
+      return CorruptCsr(std::string(which) + " id out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Graph Graph::FromEdges(NodeId num_nodes,
                        std::vector<std::pair<NodeId, NodeId>> edges) {
@@ -16,50 +51,99 @@ Graph Graph::FromEdges(NodeId num_nodes,
   std::stable_sort(edges.begin(), edges.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  g.edge_source_.resize(m);
-  g.edge_target_.resize(m);
+  std::vector<NodeId> edge_source(m);
+  std::vector<NodeId> edge_target(m);
   for (std::size_t i = 0; i < m; ++i) {
     TIRM_CHECK_LT(edges[i].first, num_nodes);
     TIRM_CHECK_LT(edges[i].second, num_nodes);
-    g.edge_source_[i] = edges[i].first;
-    g.edge_target_[i] = edges[i].second;
+    edge_source[i] = edges[i].first;
+    edge_target[i] = edges[i].second;
   }
 
   // Out-CSR (already sorted by source).
-  g.out_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
-  for (std::size_t i = 0; i < m; ++i) ++g.out_offsets_[g.edge_source_[i] + 1];
-  std::partial_sum(g.out_offsets_.begin(), g.out_offsets_.end(),
-                   g.out_offsets_.begin());
-  g.out_targets_.resize(m);
-  g.out_edge_ids_.resize(m);
+  std::vector<std::uint64_t> out_offsets(
+      static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (std::size_t i = 0; i < m; ++i) ++out_offsets[edge_source[i] + 1];
+  std::partial_sum(out_offsets.begin(), out_offsets.end(), out_offsets.begin());
+  std::vector<NodeId> out_targets(m);
+  std::vector<EdgeId> out_edge_ids(m);
   for (std::size_t i = 0; i < m; ++i) {
-    g.out_targets_[i] = g.edge_target_[i];
-    g.out_edge_ids_[i] = static_cast<EdgeId>(i);
+    out_targets[i] = edge_target[i];
+    out_edge_ids[i] = static_cast<EdgeId>(i);
   }
 
   // In-CSR via counting sort on targets.
-  g.in_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
-  for (std::size_t i = 0; i < m; ++i) ++g.in_offsets_[g.edge_target_[i] + 1];
-  std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
-                   g.in_offsets_.begin());
-  g.in_sources_.resize(m);
-  g.in_edge_ids_.resize(m);
-  std::vector<std::size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  std::vector<std::uint64_t> in_offsets(static_cast<std::size_t>(num_nodes) + 1,
+                                        0);
+  for (std::size_t i = 0; i < m; ++i) ++in_offsets[edge_target[i] + 1];
+  std::partial_sum(in_offsets.begin(), in_offsets.end(), in_offsets.begin());
+  std::vector<NodeId> in_sources(m);
+  std::vector<EdgeId> in_edge_ids(m);
+  std::vector<std::uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
   for (std::size_t i = 0; i < m; ++i) {
-    const NodeId v = g.edge_target_[i];
-    const std::size_t pos = cursor[v]++;
-    g.in_sources_[pos] = g.edge_source_[i];
-    g.in_edge_ids_[pos] = static_cast<EdgeId>(i);
+    const NodeId v = edge_target[i];
+    const std::size_t pos = static_cast<std::size_t>(cursor[v]++);
+    in_sources[pos] = edge_source[i];
+    in_edge_ids[pos] = static_cast<EdgeId>(i);
   }
 
+  g.out_offsets_ = ArrayRef<std::uint64_t>::Owned(std::move(out_offsets));
+  g.out_targets_ = ArrayRef<NodeId>::Owned(std::move(out_targets));
+  g.out_edge_ids_ = ArrayRef<EdgeId>::Owned(std::move(out_edge_ids));
+  g.in_offsets_ = ArrayRef<std::uint64_t>::Owned(std::move(in_offsets));
+  g.in_sources_ = ArrayRef<NodeId>::Owned(std::move(in_sources));
+  g.in_edge_ids_ = ArrayRef<EdgeId>::Owned(std::move(in_edge_ids));
+  g.edge_source_ = ArrayRef<NodeId>::Owned(std::move(edge_source));
+  g.edge_target_ = ArrayRef<NodeId>::Owned(std::move(edge_target));
+  return g;
+}
+
+Result<Graph> Graph::FromParts(NodeId num_nodes, const Parts& parts,
+                               bool validate_elements) {
+  const std::uint64_t m = parts.edge_target.size();
+  const std::size_t offsets_size = static_cast<std::size_t>(num_nodes) + 1;
+  if (parts.out_offsets.size() != offsets_size ||
+      parts.in_offsets.size() != offsets_size) {
+    return CorruptCsr("offset array size mismatch");
+  }
+  if (parts.out_targets.size() != m || parts.out_edge_ids.size() != m ||
+      parts.in_sources.size() != m || parts.in_edge_ids.size() != m ||
+      parts.edge_source.size() != m) {
+    return CorruptCsr("edge array size mismatch");
+  }
+  TIRM_RETURN_NOT_OK(ValidateOffsets(parts.out_offsets, m, "out"));
+  TIRM_RETURN_NOT_OK(ValidateOffsets(parts.in_offsets, m, "in"));
+  if (validate_elements) {
+    TIRM_RETURN_NOT_OK(ValidateIds(parts.out_targets, num_nodes, "out target"));
+    TIRM_RETURN_NOT_OK(ValidateIds(parts.in_sources, num_nodes, "in source"));
+    TIRM_RETURN_NOT_OK(ValidateIds(parts.edge_source, num_nodes, "edge source"));
+    TIRM_RETURN_NOT_OK(ValidateIds(parts.edge_target, num_nodes, "edge target"));
+    for (const EdgeId e : parts.out_edge_ids) {
+      if (e >= m) return CorruptCsr("out edge id out of range");
+    }
+    for (const EdgeId e : parts.in_edge_ids) {
+      if (e >= m) return CorruptCsr("in edge id out of range");
+    }
+  }
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.out_offsets_ = ArrayRef<std::uint64_t>::Borrowed(parts.out_offsets);
+  g.out_targets_ = ArrayRef<NodeId>::Borrowed(parts.out_targets);
+  g.out_edge_ids_ = ArrayRef<EdgeId>::Borrowed(parts.out_edge_ids);
+  g.in_offsets_ = ArrayRef<std::uint64_t>::Borrowed(parts.in_offsets);
+  g.in_sources_ = ArrayRef<NodeId>::Borrowed(parts.in_sources);
+  g.in_edge_ids_ = ArrayRef<EdgeId>::Borrowed(parts.in_edge_ids);
+  g.edge_source_ = ArrayRef<NodeId>::Borrowed(parts.edge_source);
+  g.edge_target_ = ArrayRef<NodeId>::Borrowed(parts.edge_target);
   return g;
 }
 
 std::size_t Graph::MemoryBytes() const {
-  auto bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
-  return bytes(out_offsets_) + bytes(out_targets_) + bytes(out_edge_ids_) +
-         bytes(in_offsets_) + bytes(in_sources_) + bytes(in_edge_ids_) +
-         bytes(edge_source_) + bytes(edge_target_);
+  return out_offsets_.MemoryBytes() + out_targets_.MemoryBytes() +
+         out_edge_ids_.MemoryBytes() + in_offsets_.MemoryBytes() +
+         in_sources_.MemoryBytes() + in_edge_ids_.MemoryBytes() +
+         edge_source_.MemoryBytes() + edge_target_.MemoryBytes();
 }
 
 }  // namespace tirm

@@ -10,16 +10,25 @@
 // Each directed edge has a dense EdgeId (its position in the canonical edge
 // array, ordered by source node). Both adjacency views carry the EdgeId so
 // per-edge probability arrays can be indexed from either direction.
+//
+// Storage is ArrayRef-backed (common/array_ref.h): FromEdges builds owned
+// arrays; FromParts adopts *borrowed* spans — typically sections of an
+// mmap'ed instance bundle (io/bundle_reader.h) — with zero copies, so N
+// workers or processes can share one read-only CSR mapping. A borrowed
+// graph is valid only while its backing mapping lives.
 
 #ifndef TIRM_GRAPH_GRAPH_H_
 #define TIRM_GRAPH_GRAPH_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/check.h"
+#include "common/status.h"
 #include "common/types.h"
 
 namespace tirm {
@@ -27,6 +36,20 @@ namespace tirm {
 /// Immutable CSR digraph with out- and in-adjacency plus aligned edge ids.
 class Graph {
  public:
+  /// The eight CSR arrays of a graph, as borrowable spans. Produced by the
+  /// bundle writer from an existing graph and consumed by FromParts on
+  /// load; the layout is exactly the member layout of Graph.
+  struct Parts {
+    std::span<const std::uint64_t> out_offsets;  // size n+1
+    std::span<const NodeId> out_targets;         // size m
+    std::span<const EdgeId> out_edge_ids;        // size m
+    std::span<const std::uint64_t> in_offsets;   // size n+1
+    std::span<const NodeId> in_sources;          // size m
+    std::span<const EdgeId> in_edge_ids;         // size m
+    std::span<const NodeId> edge_source;         // size m
+    std::span<const NodeId> edge_target;         // size m
+  };
+
   /// An empty graph with zero nodes.
   Graph() = default;
 
@@ -37,16 +60,25 @@ class Graph {
   static Graph FromEdges(NodeId num_nodes,
                          std::vector<std::pair<NodeId, NodeId>> edges);
 
+  /// Adopts pre-built CSR arrays by reference — zero-copy; the backing
+  /// storage (e.g. a MappedFile) must outlive the graph. Always validates
+  /// structure (array sizes, offset monotonicity and totals) in O(n);
+  /// with `validate_elements` additionally range-checks every node/edge id
+  /// in O(m). Returns InvalidArgument instead of aborting on corrupt
+  /// input — this is the trust boundary for file-loaded graphs.
+  static Result<Graph> FromParts(NodeId num_nodes, const Parts& parts,
+                                 bool validate_elements);
+
   NodeId num_nodes() const { return num_nodes_; }
   std::size_t num_edges() const { return edge_target_.size(); }
 
   std::size_t OutDegree(NodeId u) const {
     TIRM_DCHECK(u < num_nodes_);
-    return out_offsets_[u + 1] - out_offsets_[u];
+    return static_cast<std::size_t>(out_offsets_[u + 1] - out_offsets_[u]);
   }
   std::size_t InDegree(NodeId v) const {
     TIRM_DCHECK(v < num_nodes_);
-    return in_offsets_[v + 1] - in_offsets_[v];
+    return static_cast<std::size_t>(in_offsets_[v + 1] - in_offsets_[v]);
   }
 
   /// Targets of u's out-edges. Aligned with OutEdgeIds(u).
@@ -81,25 +113,44 @@ class Graph {
     return edge_target_[e];
   }
 
+  /// The raw CSR arrays, for serialization (io/bundle_writer.h). Views are
+  /// valid while the graph (and, if borrowed, its backing mapping) lives.
+  Parts parts() const {
+    return Parts{out_offsets_.span(), out_targets_.span(),
+                 out_edge_ids_.span(), in_offsets_.span(), in_sources_.span(),
+                 in_edge_ids_.span(),  edge_source_.span(),
+                 edge_target_.span()};
+  }
+
+  /// True when every CSR array is owned (false for bundle-borrowed graphs).
+  bool owns_storage() const {
+    return out_offsets_.owned() && out_targets_.owned() &&
+           out_edge_ids_.owned() && in_offsets_.owned() &&
+           in_sources_.owned() && in_edge_ids_.owned() &&
+           edge_source_.owned() && edge_target_.owned();
+  }
+
   /// Approximate heap footprint of the CSR arrays, for memory reports.
+  /// Borrowed (mmap-backed) arrays count zero here — their bytes belong to
+  /// the shared mapping, accounted once by its owner.
   std::size_t MemoryBytes() const;
 
  private:
   NodeId num_nodes_ = 0;
 
   // Out-CSR.
-  std::vector<std::size_t> out_offsets_;  // size n+1
-  std::vector<NodeId> out_targets_;       // size m
-  std::vector<EdgeId> out_edge_ids_;      // size m
+  ArrayRef<std::uint64_t> out_offsets_;  // size n+1
+  ArrayRef<NodeId> out_targets_;         // size m
+  ArrayRef<EdgeId> out_edge_ids_;        // size m
 
   // In-CSR.
-  std::vector<std::size_t> in_offsets_;  // size n+1
-  std::vector<NodeId> in_sources_;       // size m
-  std::vector<EdgeId> in_edge_ids_;      // size m
+  ArrayRef<std::uint64_t> in_offsets_;  // size n+1
+  ArrayRef<NodeId> in_sources_;         // size m
+  ArrayRef<EdgeId> in_edge_ids_;        // size m
 
   // Canonical edge arrays (EdgeId -> endpoints).
-  std::vector<NodeId> edge_source_;  // size m
-  std::vector<NodeId> edge_target_;  // size m
+  ArrayRef<NodeId> edge_source_;  // size m
+  ArrayRef<NodeId> edge_target_;  // size m
 };
 
 }  // namespace tirm

@@ -1,0 +1,143 @@
+// On-disk layout of the versioned ".tirm" instance bundle.
+//
+// One binary artifact holds everything a ProblemInstance needs — the CSR
+// graph (both adjacency directions, precomputed so loading does zero graph
+// construction), the per-topic edge-probability matrix, the CTP table,
+// advertiser records, and their topic-distribution masses — laid out so
+// every array section can be *viewed in place* from a read-only mmap:
+//
+//   [Header | SectionEntry x section_count | section bytes ...]
+//
+// Every section starts at a 64-byte-aligned offset (the mapping base is
+// page-aligned, so in-place casts to u64/double arrays are aligned) and
+// carries an FNV-1a/splitmix64 checksum in the section table. Integers and
+// floats are stored in native little-endian layout; the header carries an
+// endianness tag so a foreign-order file is rejected instead of
+// misinterpreted.
+//
+// Version history: 1 — initial layout (this file).
+
+#ifndef TIRM_IO_BUNDLE_FORMAT_H_
+#define TIRM_IO_BUNDLE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/hashing.h"
+
+namespace tirm {
+namespace bundle {
+
+inline constexpr char kMagic[8] = {'T', 'I', 'R', 'M', 'B', 'D', 'L', '1'};
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+inline constexpr std::uint32_t kVersion = 1;
+/// Section payloads are aligned to this many bytes within the file.
+inline constexpr std::uint64_t kSectionAlignment = 64;
+/// Hard caps rejected as corrupt rather than allocated/looped over.
+inline constexpr std::uint32_t kMaxSections = 64;
+inline constexpr std::uint64_t kMaxTopics = 1024;
+inline constexpr std::uint64_t kMaxAds = 1u << 20;
+inline constexpr std::uint64_t kMaxNameLen = 4096;
+
+/// Section identifiers. Exactly one section per id is required in v1.
+enum class SectionId : std::uint32_t {
+  kMeta = 1,
+  // Graph CSR arrays (see Graph::Parts).
+  kOutOffsets = 2,   // u64[n+1]
+  kOutTargets = 3,   // u32[m]
+  kOutEdgeIds = 4,   // u32[m]
+  kInOffsets = 5,    // u64[n+1]
+  kInSources = 6,    // u32[m]
+  kInEdgeIds = 7,    // u32[m]
+  kEdgeSources = 8,  // u32[m]
+  kEdgeTargets = 9,  // u32[m]
+  // Probability model.
+  kEdgeProbs = 10,  // f32[m] (shared) or f32[m*K] edge-major (per-topic)
+  kCtps = 11,       // f32[ctp_num_ads * n], ad-major
+  // Advertisers.
+  kAdRecords = 12,  // AdRecord[num_ads]
+  kGammaMass = 13,  // f64[gamma_total], normalized masses, ad-concatenated
+};
+
+/// Human-readable section name for tirm_data info.
+inline const char* SectionName(SectionId id) {
+  switch (id) {
+    case SectionId::kMeta: return "meta";
+    case SectionId::kOutOffsets: return "out_offsets";
+    case SectionId::kOutTargets: return "out_targets";
+    case SectionId::kOutEdgeIds: return "out_edge_ids";
+    case SectionId::kInOffsets: return "in_offsets";
+    case SectionId::kInSources: return "in_sources";
+    case SectionId::kInEdgeIds: return "in_edge_ids";
+    case SectionId::kEdgeSources: return "edge_sources";
+    case SectionId::kEdgeTargets: return "edge_targets";
+    case SectionId::kEdgeProbs: return "edge_probs";
+    case SectionId::kCtps: return "ctps";
+    case SectionId::kAdRecords: return "ad_records";
+    case SectionId::kGammaMass: return "gamma_mass";
+  }
+  return "unknown";
+}
+
+/// File header at offset 0. 40 bytes, no implicit padding.
+struct Header {
+  char magic[8];
+  std::uint32_t endian_tag;
+  std::uint32_t version;
+  std::uint64_t file_size;       ///< must equal the actual file size
+  std::uint32_t section_count;
+  std::uint32_t reserved;
+  std::uint64_t table_checksum;  ///< Checksum() of the section table bytes
+};
+static_assert(sizeof(Header) == 40, "Header must be packed to 40 bytes");
+
+/// One section-table entry. 32 bytes, no implicit padding.
+struct SectionEntry {
+  std::uint32_t id;          ///< SectionId
+  std::uint32_t reserved;
+  std::uint64_t offset;      ///< from file start; kSectionAlignment-aligned
+  std::uint64_t size;        ///< payload bytes
+  std::uint64_t checksum;    ///< Checksum() of the payload bytes
+};
+static_assert(sizeof(SectionEntry) == 32, "SectionEntry must be 32 bytes");
+
+/// Fixed head of the kMeta section; the dataset name (name_len bytes)
+/// follows immediately.
+struct Meta {
+  std::uint64_t num_nodes;
+  std::uint64_t num_edges;
+  std::uint64_t num_topics;
+  std::uint64_t prob_mode;    ///< 0 = shared, 1 = per-topic
+  std::uint64_t num_ads;      ///< advertiser records
+  std::uint64_t ctp_num_ads;  ///< rows of the CTP table (>= num_ads)
+  std::uint64_t gamma_total;  ///< doubles in kGammaMass
+  std::uint64_t name_len;
+};
+static_assert(sizeof(Meta) == 64, "Meta must be packed to 64 bytes");
+
+/// One advertiser. The topic distribution lives in kGammaMass at
+/// [gamma_offset, gamma_offset + gamma_count), already normalized.
+struct AdRecord {
+  double budget;
+  double cpe;
+  std::uint64_t gamma_offset;
+  std::uint64_t gamma_count;
+};
+static_assert(sizeof(AdRecord) == 32, "AdRecord must be 32 bytes");
+
+/// The bundle checksum: FNV-1a accumulation with a splitmix64 finalizer
+/// (common/hashing.h — the same primitives the sampling-seed derivation
+/// uses, so there is exactly one hashing implementation in the tree).
+inline std::uint64_t Checksum(const void* data, std::size_t size) {
+  return FinalizeHash(HashBytes(kFnvOffsetBasis, data, size));
+}
+
+/// `offset` rounded up to the next section-alignment boundary.
+inline std::uint64_t AlignUp(std::uint64_t offset) {
+  return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+}  // namespace bundle
+}  // namespace tirm
+
+#endif  // TIRM_IO_BUNDLE_FORMAT_H_

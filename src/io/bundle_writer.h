@@ -1,0 +1,38 @@
+// Writes ".tirm" instance bundles (io/bundle_format.h).
+//
+// The writer serializes a fully materialized instance — CSR graph,
+// probability matrix, CTP table, advertisers — into the section layout the
+// zero-copy reader maps back in place. Writing goes through a temporary
+// file and an atomic rename, so a crashed build never leaves a
+// half-written bundle at the target path.
+
+#ifndef TIRM_IO_BUNDLE_WRITER_H_
+#define TIRM_IO_BUNDLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "topic/ctp_model.h"
+#include "topic/edge_probabilities.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+struct BuiltInstance;  // datasets/dataset.h
+
+/// Writes one bundle. `name` is stored in the meta section and becomes
+/// BuiltInstance::name on load. Validates component shape consistency
+/// before touching the filesystem.
+Status WriteBundle(const Graph& graph, const EdgeProbabilities& edge_probs,
+                   const ClickProbabilities& ctps,
+                   const std::vector<Advertiser>& advertisers,
+                   const std::string& name, const std::string& path);
+
+/// Convenience: writes `built` (its name included) to `path`.
+Status WriteBundle(const BuiltInstance& built, const std::string& path);
+
+}  // namespace tirm
+
+#endif  // TIRM_IO_BUNDLE_WRITER_H_

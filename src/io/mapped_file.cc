@@ -1,0 +1,79 @@
+#include "io/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace tirm {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError(path + ": not a regular file");
+  }
+
+  MappedFile file;
+  file.path_ = path;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot mmap " + path + ": " +
+                             std::strerror(err));
+    }
+    file.data_ = static_cast<const std::byte*>(addr);
+  }
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::byte*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void MappedFile::Prefetch() const {
+  if (data_ != nullptr) {
+    (void)::madvise(const_cast<std::byte*>(data_), size_, MADV_WILLNEED);
+  }
+}
+
+}  // namespace tirm

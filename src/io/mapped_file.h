@@ -1,0 +1,52 @@
+// Read-only memory-mapped file (RAII over mmap).
+//
+// The zero-copy substrate of the bundle data plane: a MappedFile's bytes
+// are backed by the page cache, so N workers (or N processes mapping the
+// same path) share one physical copy, nothing is deserialized, and "load"
+// is an open + mmap + validation pass — milliseconds, independent of how
+// long generating the instance took.
+
+#ifndef TIRM_IO_MAPPED_FILE_H_
+#define TIRM_IO_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace tirm {
+
+/// See file comment. Movable, not copyable; unmaps on destruction.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. IOError when the file cannot be opened,
+  /// stat'ed, or mapped. Empty files map successfully with size() == 0.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+  const std::string& path() const { return path_; }
+
+  /// Advises the kernel the mapping will be read sequentially soon
+  /// (madvise MADV_WILLNEED); best-effort, never fails the caller.
+  void Prefetch() const;
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_IO_MAPPED_FILE_H_

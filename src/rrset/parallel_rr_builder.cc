@@ -21,24 +21,25 @@ ParallelRrBuilder::ParallelRrBuilder(const Graph& graph,
 
 ParallelRrBuilder::ParallelRrBuilder(const Graph& graph,
                                      std::span<const float> edge_probs,
-                                     std::function<double(NodeId)> ctp,
+                                     std::span<const float> node_ctps,
                                      Options options)
     : graph_(graph),
       edge_probs_(edge_probs),
-      ctp_(std::move(ctp)),
+      node_ctps_(node_ctps),
+      with_ctp_(true),
       num_threads_(ResolveThreadCount(options.num_threads)),
       min_parallel_batch_(options.min_parallel_batch) {
   TIRM_CHECK_EQ(edge_probs_.size(), graph_.num_edges());
-  TIRM_CHECK(ctp_ != nullptr);
+  TIRM_CHECK_EQ(node_ctps_.size(), graph_.num_nodes());
   samplers_.resize(static_cast<std::size_t>(num_threads_));
 }
 
 RrSampler& ParallelRrBuilder::SamplerFor(int worker) {
   auto& slot = samplers_[static_cast<std::size_t>(worker)];
   if (slot == nullptr) {
-    slot = ctp_ == nullptr
-               ? std::make_unique<RrSampler>(graph_, edge_probs_)
-               : std::make_unique<RrSampler>(graph_, edge_probs_, ctp_);
+    slot = with_ctp_
+               ? std::make_unique<RrSampler>(graph_, edge_probs_, node_ctps_)
+               : std::make_unique<RrSampler>(graph_, edge_probs_);
   }
   return *slot;
 }

@@ -67,10 +67,12 @@ class ParallelRrBuilder {
   ParallelRrBuilder(const Graph& graph, std::span<const float> edge_probs,
                     Options options);
 
-  /// RRC-set builder with node-level CTP coins; `ctp` must be safe to call
-  /// concurrently from multiple threads (pure function of the node).
+  /// RRC-set builder with node-level CTP coins; `node_ctps[v]` = δ(v), one
+  /// float per node (see rr_sampler.h). The array is read concurrently by
+  /// every worker and must stay alive and unchanged while the builder is
+  /// in use.
   ParallelRrBuilder(const Graph& graph, std::span<const float> edge_probs,
-                    std::function<double(NodeId)> ctp, Options options);
+                    std::span<const float> node_ctps, Options options);
 
   /// Samples `count` sets. Consumes one fork of `master` per active worker —
   /// min(count, num_threads()) forks, or a single fork when `count` is below
@@ -112,7 +114,8 @@ class ParallelRrBuilder {
 
   const Graph& graph_;
   std::span<const float> edge_probs_;
-  std::function<double(NodeId)> ctp_;  // null => plain mode
+  std::span<const float> node_ctps_;  // per-node δ; empty span => plain mode
+  bool with_ctp_ = false;
   int num_threads_;
   std::uint64_t min_parallel_batch_;
   // Lazily created so a builder configured for N threads but only ever used

@@ -10,13 +10,13 @@ RrSampler::RrSampler(const Graph& graph, std::span<const float> edge_probs)
 }
 
 RrSampler::RrSampler(const Graph& graph, std::span<const float> edge_probs,
-                     std::function<double(NodeId)> ctp)
+                     std::span<const float> node_ctps)
     : graph_(graph),
       edge_probs_(edge_probs),
       mode_(Mode::kWithCtp),
-      ctp_(std::move(ctp)) {
+      node_ctps_(node_ctps) {
   TIRM_CHECK_EQ(edge_probs_.size(), graph_.num_edges());
-  TIRM_CHECK(ctp_ != nullptr);
+  TIRM_CHECK_EQ(node_ctps_.size(), graph_.num_nodes());
   visited_.assign(graph_.num_nodes(), 0);
   queue_.reserve(64);
 }
@@ -43,7 +43,8 @@ void RrSampler::SampleWithRoot(NodeId root, Rng& rng,
   // itself, the node test should also be performed using its CTP").
   visited_[root] = epoch_;
   queue_.push_back(root);
-  if (mode_ == Mode::kPlain || rng.Bernoulli(ctp_(root))) {
+  if (mode_ == Mode::kPlain ||
+      rng.Bernoulli(static_cast<double>(node_ctps_[root]))) {
     out.push_back(root);
   }
 
@@ -60,7 +61,8 @@ void RrSampler::SampleWithRoot(NodeId root, Rng& rng,
       if (p <= 0.0f || rng.NextFloat() >= p) continue;  // edge blocked
       visited_[v] = epoch_;
       queue_.push_back(v);
-      if (mode_ == Mode::kPlain || rng.Bernoulli(ctp_(v))) {
+      if (mode_ == Mode::kPlain ||
+          rng.Bernoulli(static_cast<double>(node_ctps_[v]))) {
         out.push_back(v);  // node live: valid seed candidate
       }
       // Node blocked in kWithCtp mode: still traversed (enqueued above) so

@@ -7,8 +7,9 @@ ClickProbabilities ClickProbabilities::Constant(NodeId num_nodes, int num_ads,
   TIRM_CHECK_GT(num_ads, 0);
   TIRM_CHECK(value >= 0.0 && value <= 1.0);
   ClickProbabilities cp(num_nodes, num_ads);
-  cp.table_.assign(static_cast<std::size_t>(num_ads) * num_nodes,
-                   static_cast<float>(value));
+  cp.table_ = ArrayRef<float>::Owned(
+      std::vector<float>(static_cast<std::size_t>(num_ads) * num_nodes,
+                         static_cast<float>(value)));
   return cp;
 }
 
@@ -18,10 +19,11 @@ ClickProbabilities ClickProbabilities::SampleUniform(NodeId num_nodes,
   TIRM_CHECK_GT(num_ads, 0);
   TIRM_CHECK(0.0 <= lo && lo <= hi && hi <= 1.0);
   ClickProbabilities cp(num_nodes, num_ads);
-  cp.table_.resize(static_cast<std::size_t>(num_ads) * num_nodes);
-  for (float& v : cp.table_) {
+  std::vector<float> table(static_cast<std::size_t>(num_ads) * num_nodes);
+  for (float& v : table) {
     v = static_cast<float>(rng.UniformReal(lo, hi));
   }
+  cp.table_ = ArrayRef<float>::Owned(std::move(table));
   return cp;
 }
 
@@ -31,7 +33,21 @@ ClickProbabilities ClickProbabilities::FromTable(NodeId num_nodes, int num_ads,
   TIRM_CHECK_EQ(table.size(), static_cast<std::size_t>(num_ads) * num_nodes);
   for (float v : table) TIRM_CHECK(v >= 0.0f && v <= 1.0f);
   ClickProbabilities cp(num_nodes, num_ads);
-  cp.table_ = std::move(table);
+  cp.table_ = ArrayRef<float>::Owned(std::move(table));
+  return cp;
+}
+
+Result<ClickProbabilities> ClickProbabilities::FromBorrowed(
+    NodeId num_nodes, int num_ads, std::span<const float> table) {
+  if (num_ads <= 0) {
+    return Status::InvalidArgument("CTP table: ad count <= 0");
+  }
+  if (table.size() != static_cast<std::size_t>(num_ads) * num_nodes) {
+    return Status::InvalidArgument(
+        "CTP table: size mismatches ad/node counts");
+  }
+  ClickProbabilities cp(num_nodes, num_ads);
+  cp.table_ = ArrayRef<float>::Borrowed(table);
   return cp;
 }
 

@@ -3,14 +3,22 @@
 // δ(u, i) is the prior probability that user u clicks on promoted post i in
 // the absence of any social proof. In the TIC-CTP model a seed u ∈ S_i
 // accepts seeding (clicks) with probability δ(u, i).
+//
+// The table is ArrayRef-backed: generator factories own it; FromBorrowed
+// views an mmap'ed bundle section in place with zero copies (SetDelta then
+// requires owned storage). Row(ad) exposes an ad's per-node CTPs as a flat
+// span — the shape RrSampler's RRC mode consumes directly.
 
 #ifndef TIRM_TOPIC_CTP_MODEL_H_
 #define TIRM_TOPIC_CTP_MODEL_H_
 
+#include <span>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/types.h"
 
 namespace tirm {
@@ -31,6 +39,13 @@ class ClickProbabilities {
   static ClickProbabilities FromTable(NodeId num_nodes, int num_ads,
                                       std::vector<float> table);
 
+  /// Borrows `table` in place (no copy; ad-major, num_ads * num_nodes
+  /// floats). The backing storage must outlive the object. Returns
+  /// InvalidArgument on a size mismatch instead of aborting — the trust
+  /// boundary for file-loaded tables.
+  static Result<ClickProbabilities> FromBorrowed(NodeId num_nodes, int num_ads,
+                                                 std::span<const float> table);
+
   NodeId num_nodes() const { return num_nodes_; }
   int num_ads() const { return num_ads_; }
 
@@ -41,15 +56,29 @@ class ClickProbabilities {
     return table_[static_cast<std::size_t>(ad) * num_nodes_ + u];
   }
 
+  /// Ad `ad`'s per-node CTP row δ(·, ad) — num_nodes floats, indexed by
+  /// NodeId. Valid while the table (and its backing, if borrowed) lives.
+  std::span<const float> Row(AdId ad) const {
+    TIRM_DCHECK(ad >= 0 && ad < num_ads_);
+    return {table_.data() + static_cast<std::size_t>(ad) * num_nodes_,
+            static_cast<std::size_t>(num_nodes_)};
+  }
+
   void SetDelta(NodeId u, AdId ad, double value) {
     TIRM_CHECK(u < num_nodes_);
     TIRM_CHECK(ad >= 0 && ad < num_ads_);
     TIRM_CHECK(value >= 0.0 && value <= 1.0);
-    table_[static_cast<std::size_t>(ad) * num_nodes_ + u] =
+    table_.MutableVec()[static_cast<std::size_t>(ad) * num_nodes_ + u] =
         static_cast<float>(value);
   }
 
-  std::size_t MemoryBytes() const { return table_.capacity() * sizeof(float); }
+  /// The whole ad-major table, for serialization.
+  std::span<const float> raw() const { return table_.span(); }
+
+  /// True when the table is owned (false for bundle-borrowed storage).
+  bool owns_storage() const { return table_.owned(); }
+
+  std::size_t MemoryBytes() const { return table_.MemoryBytes(); }
 
  private:
   ClickProbabilities(NodeId num_nodes, int num_ads)
@@ -57,7 +86,7 @@ class ClickProbabilities {
 
   NodeId num_nodes_ = 0;
   int num_ads_ = 0;
-  std::vector<float> table_;  // [ad * num_nodes + u]
+  ArrayRef<float> table_;  // [ad * num_nodes + u]
 };
 
 }  // namespace tirm

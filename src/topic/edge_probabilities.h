@@ -9,6 +9,11 @@
 //   * kShared   — one float per edge used for every topic (topic-blind
 //     models such as Weighted Cascade used in the scalability experiments);
 //     mixing is then the identity and ads can share one probability array.
+//
+// Storage is ArrayRef-backed: the generator factories own their arrays;
+// FromBorrowed views a probability matrix in place (an mmap'ed bundle
+// section) with zero copies. Borrowed storage is immutable — SetProb
+// requires an owned matrix.
 
 #ifndef TIRM_TOPIC_EDGE_PROBABILITIES_H_
 #define TIRM_TOPIC_EDGE_PROBABILITIES_H_
@@ -16,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "topic/topic_distribution.h"
@@ -51,6 +57,22 @@ class EdgeProbabilities {
   static EdgeProbabilities FromShared(const Graph& graph,
                                       std::vector<float> probs);
 
+  /// Borrows `probs` in place (no copy): kShared expects num_edges floats,
+  /// kPerTopic num_edges * num_topics in edge-major order. The backing
+  /// storage (e.g. a MappedFile) must outlive the object. Returns
+  /// InvalidArgument on a size mismatch instead of aborting — this is the
+  /// trust boundary for file-loaded matrices.
+  static Result<EdgeProbabilities> FromBorrowed(Mode mode, int num_topics,
+                                                std::size_t num_edges,
+                                                std::span<const float> probs);
+
+  /// Owned counterpart of FromBorrowed: takes the full matrix by value
+  /// (same shape rules). Used when deep-copying a bundle out of its
+  /// mapping.
+  static Result<EdgeProbabilities> FromDense(Mode mode, int num_topics,
+                                             std::size_t num_edges,
+                                             std::vector<float> probs);
+
   Mode mode() const { return mode_; }
   int num_topics() const { return num_topics_; }
   std::size_t num_edges() const { return num_edges_; }
@@ -80,8 +102,17 @@ class EdgeProbabilities {
   /// Single-edge mix (Eq. 1) without materializing.
   float MixEdge(EdgeId e, const TopicDistribution& gamma) const;
 
-  /// Approximate heap footprint in bytes.
-  std::size_t MemoryBytes() const { return probs_.capacity() * sizeof(float); }
+  /// The whole probability matrix (kPerTopic: edge-major [e*K+z]; kShared:
+  /// [e]) — for serialization. Valid while the object (and, if borrowed,
+  /// its backing mapping) lives.
+  std::span<const float> raw() const { return probs_.span(); }
+
+  /// True when the matrix is owned (false for bundle-borrowed storage).
+  bool owns_storage() const { return probs_.owned(); }
+
+  /// Approximate heap footprint in bytes (0 when borrowed — the mapping's
+  /// bytes are accounted by its owner).
+  std::size_t MemoryBytes() const { return probs_.MemoryBytes(); }
 
  private:
   EdgeProbabilities(Mode mode, int num_topics, std::size_t num_edges)
@@ -91,7 +122,7 @@ class EdgeProbabilities {
   int num_topics_ = 1;
   std::size_t num_edges_ = 0;
   // kPerTopic: edge-major [e * K + z]; kShared: [e].
-  std::vector<float> probs_;
+  ArrayRef<float> probs_;
 };
 
 }  // namespace tirm

@@ -4,16 +4,45 @@
 
 namespace tirm {
 
-TopicDistribution::TopicDistribution(std::vector<double> mass)
-    : mass_(std::move(mass)) {
-  TIRM_CHECK(!mass_.empty());
+TopicDistribution::TopicDistribution(std::vector<double> mass) {
+  TIRM_CHECK(!mass.empty());
   double sum = 0.0;
-  for (double m : mass_) {
+  for (double m : mass) {
     TIRM_CHECK_GE(m, 0.0);
     sum += m;
   }
   TIRM_CHECK_GT(sum, 0.0);
-  for (double& m : mass_) m /= sum;
+  for (double& m : mass) m /= sum;
+  mass_ = ArrayRef<double>::Owned(std::move(mass));
+}
+
+Result<TopicDistribution> TopicDistribution::BorrowNormalized(
+    std::span<const double> mass) {
+  if (mass.empty()) {
+    return Status::InvalidArgument("topic distribution: empty mass array");
+  }
+  double sum = 0.0;
+  for (const double m : mass) {
+    if (!(m >= 0.0)) {  // also rejects NaN
+      return Status::InvalidArgument("topic distribution: negative mass");
+    }
+    sum += m;
+  }
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("topic distribution: mass does not sum to 1");
+  }
+  TopicDistribution d;
+  d.mass_ = ArrayRef<double>::Borrowed(mass);
+  return d;
+}
+
+Result<TopicDistribution> TopicDistribution::FromNormalized(
+    std::vector<double> mass) {
+  Result<TopicDistribution> borrowed = BorrowNormalized(mass);
+  if (!borrowed.ok()) return borrowed.status();
+  TopicDistribution d;
+  d.mass_ = ArrayRef<double>::Owned(std::move(mass));
+  return d;
 }
 
 TopicDistribution TopicDistribution::Concentrated(int num_topics, TopicId topic,

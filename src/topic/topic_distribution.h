@@ -12,19 +12,36 @@
 #include <span>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/types.h"
 
 namespace tirm {
 
-/// A normalized distribution over K latent topics.
+/// A normalized distribution over K latent topics. Storage is
+/// ArrayRef-backed: explicit/sampled constructions own their mass array;
+/// BorrowNormalized views already-normalized masses in place (an mmap'ed
+/// bundle section), so loading an instance copies no distribution bytes.
 class TopicDistribution {
  public:
   TopicDistribution() = default;
 
   /// Takes ownership of `mass`; normalizes it to sum 1 (sum must be > 0).
   explicit TopicDistribution(std::vector<double> mass);
+
+  /// Borrows an ALREADY-NORMALIZED mass array in place (no copy, no
+  /// re-normalization — bundle round-trips must reproduce the stored
+  /// bytes exactly). The backing storage must outlive the object.
+  /// InvalidArgument when empty, negative, or not summing to ~1.
+  static Result<TopicDistribution> BorrowNormalized(
+      std::span<const double> mass);
+
+  /// Owned counterpart of BorrowNormalized: adopts an already-normalized
+  /// mass array WITHOUT re-normalizing (bundle round-trips must reproduce
+  /// the stored bytes exactly). Same validation rules.
+  static Result<TopicDistribution> FromNormalized(std::vector<double> mass);
 
   /// Point mass `peak` on `topic`, remainder spread evenly over the others.
   /// The paper's quality experiments use peak = 0.91 with K = 10
@@ -44,7 +61,7 @@ class TopicDistribution {
     TIRM_DCHECK(z >= 0 && z < num_topics());
     return mass_[static_cast<std::size_t>(z)];
   }
-  std::span<const double> mass() const { return mass_; }
+  std::span<const double> mass() const { return mass_.span(); }
 
   /// Dot product with a per-topic value vector (Eq. 1 mixing weight).
   double Mix(std::span<const float> per_topic_values) const;
@@ -53,8 +70,11 @@ class TopicDistribution {
   /// competition between ads).
   double L1Distance(const TopicDistribution& other) const;
 
+  /// True when the mass array is owned (false for bundle-borrowed storage).
+  bool owns_storage() const { return mass_.owned(); }
+
  private:
-  std::vector<double> mass_;
+  ArrayRef<double> mass_;
 };
 
 }  // namespace tirm

@@ -1,0 +1,607 @@
+// Tests for the mmap-backed ".tirm" bundle data plane (src/io/):
+// write/load round-trips, zero-copy vs owned equivalence, bit-identical
+// allocations from bundle-loaded instances, pooled-store sampling on a
+// mapped instance (including concurrent top-up, for the TSan job), and
+// table-driven corruption handling for both the bundle reader and the
+// legacy binary-graph loader.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/allocator_config.h"
+#include "api/allocator_registry.h"
+#include "common/rng.h"
+#include "datasets/dataset.h"
+#include "graph/edge_list_io.h"
+#include "io/bundle_format.h"
+#include "io/bundle_reader.h"
+#include "io/bundle_writer.h"
+#include "rrset/sample_store.h"
+
+namespace tirm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+template <typename T>
+void ExpectSpansEqual(std::span<const T> a, std::span<const T> b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size_bytes())) << what;
+}
+
+void ExpectInstancesEqual(const BuiltInstance& a, const BuiltInstance& b) {
+  ASSERT_EQ(a.graph->num_nodes(), b.graph->num_nodes());
+  ASSERT_EQ(a.graph->num_edges(), b.graph->num_edges());
+  const Graph::Parts pa = a.graph->parts();
+  const Graph::Parts pb = b.graph->parts();
+  ExpectSpansEqual(pa.out_offsets, pb.out_offsets, "out_offsets");
+  ExpectSpansEqual(pa.out_targets, pb.out_targets, "out_targets");
+  ExpectSpansEqual(pa.out_edge_ids, pb.out_edge_ids, "out_edge_ids");
+  ExpectSpansEqual(pa.in_offsets, pb.in_offsets, "in_offsets");
+  ExpectSpansEqual(pa.in_sources, pb.in_sources, "in_sources");
+  ExpectSpansEqual(pa.in_edge_ids, pb.in_edge_ids, "in_edge_ids");
+  ExpectSpansEqual(pa.edge_source, pb.edge_source, "edge_source");
+  ExpectSpansEqual(pa.edge_target, pb.edge_target, "edge_target");
+
+  ASSERT_EQ(a.edge_probs->mode(), b.edge_probs->mode());
+  ASSERT_EQ(a.edge_probs->num_topics(), b.edge_probs->num_topics());
+  ExpectSpansEqual(a.edge_probs->raw(), b.edge_probs->raw(), "edge_probs");
+
+  ASSERT_EQ(a.ctps->num_nodes(), b.ctps->num_nodes());
+  ASSERT_EQ(a.ctps->num_ads(), b.ctps->num_ads());
+  ExpectSpansEqual(a.ctps->raw(), b.ctps->raw(), "ctps");
+
+  ASSERT_EQ(a.advertisers.size(), b.advertisers.size());
+  for (std::size_t i = 0; i < a.advertisers.size(); ++i) {
+    EXPECT_EQ(a.advertisers[i].budget, b.advertisers[i].budget);
+    EXPECT_EQ(a.advertisers[i].cpe, b.advertisers[i].cpe);
+    ExpectSpansEqual(a.advertisers[i].gamma.mass(),
+                     b.advertisers[i].gamma.mass(), "gamma");
+  }
+}
+
+BuiltInstance BuildFlixsterTiny() {
+  Rng rng(2015);
+  return BuildDataset(FlixsterLike(0.003), rng);
+}
+
+// --------------------------------------------------------- round trips
+
+TEST(BundleRoundTripTest, Figure1ComponentsSurviveExactly) {
+  const BuiltInstance original = BuildFigure1Instance();
+  const std::string path = TempPath("fig1.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+
+  Result<BuiltInstance> loaded = LoadBundleInstance(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "figure1");
+  EXPECT_NE(loaded->backing, nullptr);
+  EXPECT_FALSE(loaded->graph->owns_storage());
+  EXPECT_FALSE(loaded->edge_probs->owns_storage());
+  EXPECT_FALSE(loaded->ctps->owns_storage());
+  EXPECT_FALSE(loaded->advertisers[0].gamma.owns_storage());
+  ExpectInstancesEqual(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(BundleRoundTripTest, PerTopicDatasetSurvivesExactly) {
+  const BuiltInstance original = BuildFlixsterTiny();
+  ASSERT_EQ(original.edge_probs->mode(), EdgeProbabilities::Mode::kPerTopic);
+  const std::string path = TempPath("flixster_tiny.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+
+  Result<BuiltInstance> loaded = LoadBundleInstance(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectInstancesEqual(original, *loaded);
+
+  // The zero-copy load holds no heap copies of the big arrays.
+  EXPECT_EQ(loaded->graph->MemoryBytes(), 0u);
+  EXPECT_EQ(loaded->edge_probs->MemoryBytes(), 0u);
+  EXPECT_EQ(loaded->ctps->MemoryBytes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BundleRoundTripTest, OwnedLoadEqualsMappedLoad) {
+  const BuiltInstance original = BuildFlixsterTiny();
+  const std::string path = TempPath("flixster_owned.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+
+  Result<BuiltInstance> mapped = LoadBundleInstance(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  Result<BuiltInstance> owned = LoadBundleInstanceOwned(path);
+  ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+
+  EXPECT_TRUE(owned->graph->owns_storage());
+  EXPECT_TRUE(owned->edge_probs->owns_storage());
+  EXPECT_TRUE(owned->ctps->owns_storage());
+  EXPECT_TRUE(owned->advertisers[0].gamma.owns_storage());
+  EXPECT_EQ(owned->backing, nullptr);
+  ExpectInstancesEqual(*mapped, *owned);
+
+  // The owned copy survives the file disappearing.
+  std::remove(path.c_str());
+  EXPECT_GT(owned->graph->MemoryBytes(), 0u);
+}
+
+TEST(BundleRoundTripTest, SharedMappingServesManyInstances) {
+  const BuiltInstance original = BuildFigure1Instance();
+  const std::string path = TempPath("fig1_shared.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+
+  Result<MappedFile> mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  auto mapping = std::make_shared<const MappedFile>(mapped.MoveValue());
+
+  // Worker pattern: verify once, then assemble N cheap views.
+  Result<BuiltInstance> first = LoadBundleInstance(mapping, {.verify = true});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<BuiltInstance> second =
+      LoadBundleInstance(mapping, {.verify = false});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ExpectInstancesEqual(*first, *second);
+  // Both instances literally view the same bytes.
+  EXPECT_EQ(first->edge_probs->raw().data(), second->edge_probs->raw().data());
+  std::remove(path.c_str());
+}
+
+TEST(BundleInfoTest, ReportsCountsAndVerifiedSections) {
+  const BuiltInstance original = BuildFigure1Instance();
+  const std::string path = TempPath("fig1_info.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+
+  Result<BundleInfo> info = ReadBundleInfo(path, /*verify_checksums=*/true);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, bundle::kVersion);
+  EXPECT_EQ(info->name, "figure1");
+  EXPECT_EQ(info->num_nodes, original.graph->num_nodes());
+  EXPECT_EQ(info->num_edges, original.graph->num_edges());
+  EXPECT_EQ(info->num_ads, original.advertisers.size());
+  EXPECT_EQ(info->sections.size(), 13u);
+  for (const BundleSectionInfo& s : info->sections) {
+    EXPECT_TRUE(s.checksum_ok) << s.name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BundleWriterTest, RejectsGammaTopicMismatchAtWriteTime) {
+  // A per-topic instance whose advertiser gamma disagrees with the
+  // probability matrix must fail at WRITE time — the reader would be
+  // guaranteed to refuse the bundle otherwise.
+  BuiltInstance built = BuildFlixsterTiny();
+  built.advertisers[0].gamma = TopicDistribution::Uniform(3);  // K is 10
+  const std::string path = TempPath("mismatch.tirm");
+  const Status written = WriteBundle(built, path);
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(written.message().find("gamma topic count"), std::string::npos);
+}
+
+// ------------------------------------------- bit-identical allocations
+
+AllocationResult RunByName(const std::string& name,
+                           const ProblemInstance& instance,
+                           std::uint64_t seed) {
+  AllocatorConfig config;
+  config.allocator = name;
+  config.eps = 0.3;
+  config.theta_cap = 1 << 14;
+  config.mc_sims = 200;
+  Result<std::unique_ptr<Allocator>> allocator =
+      AllocatorRegistry::Global().Create(config);
+  EXPECT_TRUE(allocator.ok()) << allocator.status().ToString();
+  Rng rng(seed);
+  return allocator.value()->Allocate(instance, rng);
+}
+
+void ExpectIdenticalRuns(const BuiltInstance& generated,
+                         const BuiltInstance& loaded,
+                         const std::vector<std::string>& allocators) {
+  const ProblemInstance gen_inst = generated.MakeInstance(1, 0.1);
+  const ProblemInstance load_inst = loaded.MakeInstance(1, 0.1);
+  for (const std::string& name : allocators) {
+    const AllocationResult a = RunByName(name, gen_inst, 99);
+    const AllocationResult b = RunByName(name, load_inst, 99);
+    EXPECT_EQ(a.allocation.seeds, b.allocation.seeds) << name;
+    EXPECT_EQ(a.estimated_revenue, b.estimated_revenue) << name;
+    EXPECT_EQ(a.iterations, b.iterations) << name;
+  }
+}
+
+TEST(BundleAllocationTest, AllFiveAllocatorsBitIdenticalOnFigure1) {
+  const BuiltInstance original = BuildFigure1Instance();
+  const std::string path = TempPath("fig1_alloc.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+  Result<BuiltInstance> loaded = LoadBundleInstance(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Every registered allocator — the acceptance gate of the bundle
+  // refactor: a bundle round-trip must never change an allocation.
+  ExpectIdenticalRuns(original, *loaded,
+                      AllocatorRegistry::Global().Names());
+  std::remove(path.c_str());
+}
+
+TEST(BundleAllocationTest, SamplingAllocatorsBitIdenticalOnPerTopicDataset) {
+  const BuiltInstance original = BuildFlixsterTiny();
+  const std::string path = TempPath("flixster_alloc.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+  Result<BuiltInstance> loaded = LoadBundleInstance(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // greedy-mc is excluded: it is the small-graph reference oracle.
+  ExpectIdenticalRuns(original, *loaded,
+                      {"tirm", "myopic", "myopic+", "greedy-irie"});
+  std::remove(path.c_str());
+}
+
+// ------------------------------------- pooled sampling on a mapped instance
+
+TEST(BundleSampleStoreTest, PoolsFromMappedInstanceMatchGenerated) {
+  const BuiltInstance original = BuildFlixsterTiny();
+  const std::string path = TempPath("flixster_store.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+  Result<BuiltInstance> loaded = LoadBundleInstance(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const ProblemInstance gen_inst = original.MakeInstance(1, 0.0);
+  const ProblemInstance load_inst = loaded->MakeInstance(1, 0.0);
+
+  const RrSampleStore::Options store_options{.seed = 77, .chunk_sets = 256};
+  RrSampleStore gen_store(original.graph.get(), store_options);
+  RrSampleStore load_store(loaded->graph.get(), store_options);
+
+  for (AdId ad = 0; ad < 2; ++ad) {
+    const std::uint64_t sig_gen = gen_store.SignatureForAd(gen_inst, ad);
+    const std::uint64_t sig_load = load_store.SignatureForAd(load_inst, ad);
+    EXPECT_EQ(sig_gen, sig_load);
+    RrSampleStore::AdPool* gen_pool =
+        gen_store.Acquire(sig_gen, gen_inst.EdgeProbsForAd(ad));
+    RrSampleStore::AdPool* load_pool =
+        load_store.Acquire(sig_load, load_inst.EdgeProbsForAd(ad));
+    gen_store.EnsureSets(gen_pool, 512);
+    load_store.EnsureSets(load_pool, 512);
+    ASSERT_EQ(gen_pool->sets().NumSets(), load_pool->sets().NumSets());
+    for (std::uint32_t s = 0; s < gen_pool->sets().NumSets(); ++s) {
+      ExpectSpansEqual(gen_pool->sets().SetMembers(s),
+                       load_pool->sets().SetMembers(s), "pooled RR set");
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BundleSampleStoreTest, ConcurrentTopUpOnMappedInstanceIsSafe) {
+  const BuiltInstance original = BuildFlixsterTiny();
+  const std::string path = TempPath("flixster_tsan.tirm");
+  ASSERT_TRUE(WriteBundle(original, path).ok());
+  Result<BuiltInstance> loaded = LoadBundleInstance(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ProblemInstance inst = loaded->MakeInstance(1, 0.0);
+
+  // Concurrent EnsureSets across ads of one store over mmap-borrowed
+  // probability arrays — the contract the TSan job checks.
+  RrSampleStore store(loaded->graph.get(), {.seed = 5, .chunk_sets = 128});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, &inst, t] {
+      const AdId ad = static_cast<AdId>(t % inst.num_ads());
+      RrSampleStore::AdPool* pool = store.Acquire(
+          store.SignatureForAd(inst, ad), inst.EdgeProbsForAd(ad));
+      store.EnsureSets(pool, 256);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GE(store.LifetimeStats().sampled_sets, 256u);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------- file: dataset dispatch
+
+TEST(FileDatasetTest, EdgeListIngestionBuildsInstance) {
+  const std::string path = TempPath("snap_edges.txt");
+  {
+    std::ofstream out(path);
+    out << "# SNAP-style comment\n";
+    out << "10 20\n20 30\n30 10\n10 30\n20 10\n";
+  }
+  Rng rng(1);
+  Result<BuiltInstance> built = BuildNamedDataset("file:" + path, 1.0, rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built->graph->num_nodes(), 3u);  // sparse ids compacted
+  EXPECT_EQ(built->graph->num_edges(), 5u);
+  EXPECT_EQ(built->advertisers.size(), 5u);
+  EXPECT_EQ(built->name, "file:" + path);
+  EXPECT_TRUE(built->MakeInstance(1, 0.0).Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileDatasetTest, MissingFileAndUnknownNamesAreTypedErrors) {
+  Rng rng(1);
+  Result<BuiltInstance> missing =
+      BuildNamedDataset("file:/nonexistent/edges.txt", 1.0, rng);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+
+  Result<BuiltInstance> unknown = BuildNamedDataset("nope", 1.0, rng);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.status().message().find("bundle:"), std::string::npos);
+}
+
+// --------------------------------------------------- corruption handling
+
+class BundleCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const BuiltInstance original = BuildFigure1Instance();
+    base_path_ = TempPath("corrupt_base.tirm");
+    ASSERT_TRUE(WriteBundle(original, base_path_).ok());
+    base_bytes_ = ReadFileBytes(base_path_);
+    ASSERT_GT(base_bytes_.size(), sizeof(bundle::Header));
+  }
+  void TearDown() override { std::remove(base_path_.c_str()); }
+
+  /// Applies `mutate` to a copy of the valid bundle, writes it out, and
+  /// returns the loader's status.
+  Status LoadMutated(const std::function<void(std::vector<char>&)>& mutate,
+                     bool verify = true) {
+    std::vector<char> bytes = base_bytes_;
+    mutate(bytes);
+    const std::string path = TempPath("corrupt_case.tirm");
+    WriteFileBytes(path, bytes);
+    Result<BuiltInstance> loaded =
+        LoadBundleInstance(path, {.verify = verify});
+    std::remove(path.c_str());
+    return loaded.ok() ? Status::OK() : loaded.status();
+  }
+
+  /// Flips a byte inside section `id`'s payload (not in alignment
+  /// padding, which is rightly not checksummed).
+  static void FlipPayloadByte(std::vector<char>& bytes, bundle::SectionId id) {
+    bundle::Header header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    for (std::uint32_t i = 0; i < header.section_count; ++i) {
+      bundle::SectionEntry entry;
+      std::memcpy(&entry,
+                  bytes.data() + sizeof(header) + i * sizeof(entry),
+                  sizeof(entry));
+      if (entry.id == static_cast<std::uint32_t>(id)) {
+        ASSERT_GT(entry.size, 0u);
+        bytes[static_cast<std::size_t>(entry.offset)] ^= 0x40;
+        return;
+      }
+    }
+    FAIL() << "section not found";
+  }
+
+  /// Recomputes the header's table checksum after a deliberate table
+  /// mutation, so the corruption under test (not the checksum) trips.
+  static void FixTableChecksum(std::vector<char>& bytes) {
+    bundle::Header header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    const std::size_t table_bytes =
+        header.section_count * sizeof(bundle::SectionEntry);
+    header.table_checksum =
+        bundle::Checksum(bytes.data() + sizeof(header), table_bytes);
+    std::memcpy(bytes.data(), &header, sizeof(header));
+  }
+
+  std::string base_path_;
+  std::vector<char> base_bytes_;
+};
+
+TEST_F(BundleCorruptionTest, TableDrivenCorruptionsAreTypedErrors) {
+  struct Case {
+    const char* name;
+    std::function<void(std::vector<char>&)> mutate;
+    const char* expect_substring;
+  };
+  const std::size_t entry0 = sizeof(bundle::Header);
+  const Case cases[] = {
+      {"empty file", [](std::vector<char>& b) { b.clear(); },
+       "shorter than header"},
+      {"truncated header",
+       [](std::vector<char>& b) { b.resize(sizeof(bundle::Header) / 2); },
+       "shorter than header"},
+      {"bad magic", [](std::vector<char>& b) { b[0] = 'X'; }, "bad magic"},
+      {"foreign endianness",
+       [](std::vector<char>& b) { std::swap(b[8], b[11]); },
+       "foreign byte order"},
+      {"unsupported version",
+       [](std::vector<char>& b) { b[12] = 99; }, "unsupported"},
+      {"truncated body",
+       [](std::vector<char>& b) { b.resize(b.size() - 64); }, "truncated"},
+      {"trailing garbage",
+       [](std::vector<char>& b) { b.insert(b.end(), 100, 'x'); },
+       "truncated"},
+      {"section table checksum",
+       [entry0](std::vector<char>& b) { b[entry0 + 8] ^= 0x01; },
+       "table checksum"},
+      {"section out of bounds",
+       [entry0](std::vector<char>& b) {
+         bundle::SectionEntry entry;
+         std::memcpy(&entry, b.data() + entry0, sizeof(entry));
+         entry.offset = 1ull << 40;
+         std::memcpy(b.data() + entry0, &entry, sizeof(entry));
+         FixTableChecksum(b);
+       },
+       "past end of file"},
+      {"misaligned section",
+       [entry0](std::vector<char>& b) {
+         bundle::SectionEntry entry;
+         std::memcpy(&entry, b.data() + entry0, sizeof(entry));
+         entry.offset += 4;
+         std::memcpy(b.data() + entry0, &entry, sizeof(entry));
+         FixTableChecksum(b);
+       },
+       "misaligned"},
+      {"duplicate section",
+       [entry0](std::vector<char>& b) {
+         // Overwrite entry 1's id with entry 0's id.
+         bundle::SectionEntry e0;
+         bundle::SectionEntry e1;
+         std::memcpy(&e0, b.data() + entry0, sizeof(e0));
+         std::memcpy(&e1, b.data() + entry0 + sizeof(e0), sizeof(e1));
+         e1.id = e0.id;
+         std::memcpy(b.data() + entry0 + sizeof(e0), &e1, sizeof(e1));
+         FixTableChecksum(b);
+       },
+       "duplicate section"},
+      {"payload bit flip",
+       [](std::vector<char>& b) {
+         FlipPayloadByte(b, bundle::SectionId::kEdgeProbs);
+       },
+       "checksum mismatch"},
+  };
+  for (const Case& c : cases) {
+    const Status status = LoadMutated(c.mutate);
+    EXPECT_FALSE(status.ok()) << c.name;
+    EXPECT_EQ(status.code(), StatusCode::kIOError) << c.name;
+    EXPECT_NE(status.message().find(c.expect_substring), std::string::npos)
+        << c.name << ": got \"" << status.message() << "\"";
+  }
+}
+
+TEST_F(BundleCorruptionTest, StructuralCorruptionCaughtEvenWithoutVerify) {
+  // verify=false skips checksums and element scans, but structure —
+  // magic, sizes, section bounds, meta counts — is always validated.
+  const Status truncated = LoadMutated(
+      [](std::vector<char>& b) { b.resize(b.size() / 2); }, false);
+  EXPECT_FALSE(truncated.ok());
+  const Status magic =
+      LoadMutated([](std::vector<char>& b) { b[3] = '?'; }, false);
+  EXPECT_FALSE(magic.ok());
+}
+
+TEST_F(BundleCorruptionTest, MissingFileIsATypedError) {
+  Result<BuiltInstance> loaded =
+      LoadBundleInstance(TempPath("does_not_exist.tirm"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(BundleCorruptionTest, InfoReportsCorruptSectionWithoutFailing) {
+  std::vector<char> bytes = base_bytes_;
+  FlipPayloadByte(bytes, bundle::SectionId::kEdgeProbs);
+  const std::string path = TempPath("corrupt_info.tirm");
+  WriteFileBytes(path, bytes);
+  Result<BundleInfo> info = ReadBundleInfo(path, /*verify_checksums=*/true);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  bool saw_corrupt = false;
+  for (const BundleSectionInfo& s : info->sections) {
+    saw_corrupt = saw_corrupt || !s.checksum_ok;
+  }
+  EXPECT_TRUE(saw_corrupt);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------- legacy binary graph loader hardening
+
+class BinaryGraphCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    base_path_ = TempPath("graph_base.bin");
+    ASSERT_TRUE(SaveBinary(g, base_path_).ok());
+    base_bytes_ = ReadFileBytes(base_path_);
+  }
+  void TearDown() override { std::remove(base_path_.c_str()); }
+
+  Status LoadMutated(const std::function<void(std::vector<char>&)>& mutate) {
+    std::vector<char> bytes = base_bytes_;
+    mutate(bytes);
+    const std::string path = TempPath("graph_case.bin");
+    WriteFileBytes(path, bytes);
+    Result<Graph> loaded = LoadBinary(path);
+    std::remove(path.c_str());
+    return loaded.ok() ? Status::OK() : loaded.status();
+  }
+
+  std::string base_path_;
+  std::vector<char> base_bytes_;
+};
+
+TEST_F(BinaryGraphCorruptionTest, RoundTripStillWorks) {
+  Result<Graph> loaded = LoadBinary(base_path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 4u);
+  EXPECT_EQ(loaded->num_edges(), 4u);
+}
+
+
+TEST_F(BinaryGraphCorruptionTest, TableDrivenCorruptionsAreTypedErrors) {
+  struct Case {
+    const char* name;
+    std::function<void(std::vector<char>&)> mutate;
+    const char* expect_substring;
+  };
+  const Case cases[] = {
+      {"wrong magic", [](std::vector<char>& b) { b[0] = 'Z'; },
+       "not a tirm binary graph"},
+      {"truncated header",
+       [](std::vector<char>& b) { b.resize(12); }, "truncated header"},
+      {"truncated edges",
+       [](std::vector<char>& b) { b.resize(b.size() - 4); },
+       "size mismatches"},
+      {"trailing garbage",
+       [](std::vector<char>& b) { b.push_back('x'); }, "size mismatches"},
+      {"huge edge count",
+       [](std::vector<char>& b) {
+         // m lives at offset 16 (after magic + n); declare 2^30 edges so a
+         // naive loader would try a multi-GB allocation.
+         const std::uint64_t m = 1ull << 30;
+         std::memcpy(b.data() + 16, &m, sizeof(m));
+       },
+       "size mismatches"},
+      {"edge count exceeding EdgeId",
+       [](std::vector<char>& b) {
+         const std::uint64_t m = 1ull << 40;
+         std::memcpy(b.data() + 16, &m, sizeof(m));
+       },
+       "exceeds EdgeId"},
+      {"huge node count",
+       [](std::vector<char>& b) {
+         // n lives at offset 8; NodeId-max nodes would make the CSR build
+         // attempt ~68 GB of offset arrays.
+         const std::uint64_t n = 0xFFFFFFFFull;
+         std::memcpy(b.data() + 8, &n, sizeof(n));
+       },
+       "far exceeds edge endpoints"},
+      {"endpoint out of range",
+       [](std::vector<char>& b) {
+         const std::uint32_t bad = 1000;
+         std::memcpy(b.data() + 24, &bad, sizeof(bad));  // first edge src
+       },
+       "out of range"},
+  };
+  for (const Case& c : cases) {
+    const Status status = LoadMutated(c.mutate);
+    EXPECT_FALSE(status.ok()) << c.name;
+    EXPECT_EQ(status.code(), StatusCode::kIOError) << c.name;
+    EXPECT_NE(status.message().find(c.expect_substring), std::string::npos)
+        << c.name << ": got \"" << status.message() << "\"";
+  }
+}
+
+}  // namespace
+}  // namespace tirm

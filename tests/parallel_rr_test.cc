@@ -154,9 +154,9 @@ TEST(ParallelRrBuilderTest, RrcModeAppliesCtpCoins) {
   Rng graph_rng(13);
   Graph g = ErdosRenyiGraph(30, 120, graph_rng);
   std::vector<float> probs(g.num_edges(), 0.4f);
-  ParallelRrBuilder builder(
-      g, probs, [](NodeId) { return 0.0; },
-      {.num_threads = 2, .min_parallel_batch = 1});
+  const std::vector<float> ctps(g.num_nodes(), 0.0f);
+  ParallelRrBuilder builder(g, probs, ctps,
+                            {.num_threads = 2, .min_parallel_batch = 1});
   Rng rng(3);
   const Batch batch = builder.SampleBatch(200, rng);
   EXPECT_EQ(batch.size(), 200u);

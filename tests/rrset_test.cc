@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "common/hashing.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "diffusion/exact_spread.h"
@@ -15,6 +16,7 @@
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 #include "rrset/theta.h"
+#include "topic/ctp_model.h"
 
 namespace tirm {
 namespace {
@@ -104,13 +106,76 @@ TEST(RrSamplerTest, WidthCountsTraversedInDegrees) {
   EXPECT_EQ(sampler.last_width(), 3u);
 }
 
+// ----------------------------------------------------- golden streams
+//
+// Locks the exact sampling streams (roots, set members, widths) against a
+// fixed seed. The expected hashes were captured from the pre-span-CTP
+// sampler (the std::function<double(NodeId)> implementation), so these
+// tests prove the flat-array CTP refactor changed neither the plain nor
+// the RRC stream bit-for-bit — and guard every future sampler touch.
+
+std::uint64_t HashSampleStream(RrSampler& sampler) {
+  Rng rng(2015);
+  std::vector<NodeId> set;
+  std::uint64_t h = kFnvOffsetBasis;
+  for (int i = 0; i < 500; ++i) {
+    const NodeId root = sampler.SampleInto(rng, set);
+    h = HashBytes(h, &root, sizeof(root));
+    h = HashBytes(h, set.data(), set.size() * sizeof(NodeId));
+    const std::uint64_t w = sampler.last_width();
+    h = HashBytes(h, &w, sizeof(w));
+  }
+  return FinalizeHash(h);
+}
+
+struct GoldenFixture {
+  GoldenFixture() {
+    Rng graph_rng(7);
+    graph = RMatGraph(8, 1200, graph_rng);
+    probs.resize(graph.num_edges());
+    Rng prob_rng(11);
+    for (float& p : probs) {
+      p = static_cast<float>(prob_rng.UniformReal(0.0, 0.4));
+    }
+  }
+  Graph graph;
+  std::vector<float> probs;
+};
+
+TEST(RrSamplerGoldenTest, PlainStreamUnchanged) {
+  GoldenFixture f;
+  RrSampler sampler(f.graph, f.probs);
+  EXPECT_EQ(HashSampleStream(sampler), 0xC51BA3CF51920DABULL);
+}
+
+TEST(RrSamplerGoldenTest, RrcConstantCtpStreamUnchanged) {
+  GoldenFixture f;
+  // 0.25 is exactly representable in float, so the old double-callback
+  // path and the new float-array path flip identical coins.
+  const std::vector<float> ctps(f.graph.num_nodes(), 0.25f);
+  RrSampler sampler(f.graph, f.probs, ctps);
+  EXPECT_EQ(HashSampleStream(sampler), 0xA8F320CF68176DDDULL);
+}
+
+TEST(RrSamplerGoldenTest, RrcTableCtpStreamUnchanged) {
+  GoldenFixture f;
+  // Production shape: per-node CTPs out of a ClickProbabilities row (the
+  // old code wrapped Delta() in a std::function; Row() is the same data).
+  Rng ctp_rng(13);
+  ClickProbabilities ctps = ClickProbabilities::SampleUniform(
+      f.graph.num_nodes(), 2, 0.05, 0.95, ctp_rng);
+  RrSampler sampler(f.graph, f.probs, ctps.Row(1));
+  EXPECT_EQ(HashSampleStream(sampler), 0x9545FE865CEB71A6ULL);
+}
+
 // ------------------------------------------------------------- RRC sets
 
 TEST(RrcSamplerTest, CtpZeroMakesEmptySets) {
   Rng graph_rng(9);
   Graph g = ErdosRenyiGraph(20, 60, graph_rng);
   std::vector<float> probs(g.num_edges(), 0.4f);
-  RrSampler sampler(g, probs, [](NodeId) { return 0.0; });
+  const std::vector<float> ctps(g.num_nodes(), 0.0f);
+  RrSampler sampler(g, probs, ctps);
   Rng rng(10);
   std::vector<NodeId> set;
   for (int i = 0; i < 50; ++i) {
@@ -124,7 +189,8 @@ TEST(RrcSamplerTest, CtpOneMatchesPlain) {
   Graph g = ErdosRenyiGraph(20, 80, graph_rng);
   std::vector<float> probs(g.num_edges(), 0.5f);
   RrSampler plain(g, probs);
-  RrSampler rrc(g, probs, [](NodeId) { return 1.0; });
+  const std::vector<float> ctps(g.num_nodes(), 1.0f);
+  RrSampler rrc(g, probs, ctps);
   Rng rng_a(12);
   Rng rng_b(12);
   std::vector<NodeId> set_a;
@@ -148,7 +214,8 @@ TEST(RrcSamplerTest, Theorem5SingletonIdentity) {
   std::vector<float> probs(g.num_edges(), 0.5f);
   const double delta = 0.3;
   RrSampler plain(g, probs);
-  RrSampler rrc(g, probs, [delta](NodeId) { return delta; });
+  const std::vector<float> ctps(g.num_nodes(), static_cast<float>(delta));
+  RrSampler rrc(g, probs, ctps);
   Rng rng(13);
   std::vector<NodeId> set;
   const int trials = 80000;
@@ -178,7 +245,8 @@ TEST(RrcSamplerTest, Lemma2UnbiasedCtpSpread) {
   std::vector<NodeId> seeds = {0, 1};
   const double exact = ExactSpreadWithCtp(g, probs, seeds,
                                           [delta](NodeId) { return delta; });
-  RrSampler rrc(g, probs, [delta](NodeId) { return delta; });
+  const std::vector<float> ctps(g.num_nodes(), static_cast<float>(delta));
+  RrSampler rrc(g, probs, ctps);
   Rng rng(14);
   std::vector<NodeId> set;
   const int trials = 100000;
