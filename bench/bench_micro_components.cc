@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -14,8 +16,10 @@
 #include "diffusion/monte_carlo.h"
 #include "diffusion/possible_world.h"
 #include "graph/generators.h"
+#include "rrset/coverage_bitmap.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
+#include "rrset/sample_store.h"
 
 namespace {
 
@@ -100,19 +104,74 @@ void BM_PossibleWorldSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_PossibleWorldSampling);
 
-void BM_CoverageGreedy(benchmark::State& state) {
-  const Fixture& f = Fixture::Get();
-  const int num_sets = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    state.PauseTiming();
-    RrCollection collection(f.graph.num_nodes());
+// ------------------------------------------------- coverage-kernel section
+// Compares the two coverage data paths of rrset/coverage_bitmap.h on the
+// greedy primitives. Both kernels make bit-identical selections (enforced
+// by tests/coverage_kernel_test.cc), so these measure pure data-path cost.
+
+// One sampled pool per θ, shared by every coverage benchmark below (the
+// sampling itself is BM_RrSetSampling's subject, not these benchmarks').
+const RrSetPool& SharedCoveragePool(int num_sets) {
+  static std::map<int, std::unique_ptr<RrSetPool>>* pools =
+      new std::map<int, std::unique_ptr<RrSetPool>>();
+  auto it = pools->find(num_sets);
+  if (it == pools->end()) {
+    const Fixture& f = Fixture::Get();
+    auto pool = std::make_unique<RrSetPool>(f.graph.num_nodes());
     RrSampler sampler(f.graph, f.probs);
     Rng rng(5);
     std::vector<NodeId> set;
     for (int i = 0; i < num_sets; ++i) {
       sampler.SampleInto(rng, set);
-      collection.AddSet(set);
+      pool->AddSet(set);
     }
+    it = pools->emplace(num_sets, std::move(pool)).first;
+  }
+  return *it->second;
+}
+
+CoverageKernel KernelArg(const benchmark::State& state) {
+  return state.range(1) == 0 ? CoverageKernel::kScalar
+                             : CoverageKernel::kBitmap;
+}
+
+// The 50 greedy seeds of a pool, kernel-invariant by the golden gate.
+const std::vector<NodeId>& GreedySeeds(int num_sets) {
+  static std::map<int, std::vector<NodeId>>* cache =
+      new std::map<int, std::vector<NodeId>>();
+  auto it = cache->find(num_sets);
+  if (it == cache->end()) {
+    const RrSetPool& pool = SharedCoveragePool(num_sets);
+    RrCollection collection(&pool, CoverageKernel::kScalar);
+    collection.AttachUpTo(static_cast<std::uint32_t>(pool.NumSets()));
+    CoverageHeap heap(&collection);
+    std::vector<NodeId> seeds;
+    for (int k = 0; k < 50; ++k) {
+      const NodeId best = heap.PopBest([](NodeId) { return true; });
+      if (best == kInvalidNode) break;
+      collection.CommitSeed(best);
+      seeds.push_back(best);
+    }
+    it = cache->emplace(num_sets, std::move(seeds)).first;
+  }
+  return it->second;
+}
+
+// Full greedy path: lazy-heap argmax (initial build + stale refreshes) plus
+// seed commits, per kernel. Note the kernels trade opposite ends of this
+// path: scalar pays O(postings + members) per commit but answers each CELF
+// staleness probe with one counter load, while bitmap commits in O(words)
+// and pays an O(words) recount per probe. This instance (uniform random
+// sets, heavy coverage ties) maximizes probe count, so it bounds the
+// bitmap kernel's worst case; BM_CoverageCommitRecount below isolates the
+// commit+recount data path the bitmap kernel is built for.
+void BM_CoverageGreedy(benchmark::State& state) {
+  const RrSetPool& pool = SharedCoveragePool(static_cast<int>(state.range(0)));
+  const CoverageKernel kernel = KernelArg(state);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RrCollection collection(&pool, kernel);
+    collection.AttachUpTo(static_cast<std::uint32_t>(pool.NumSets()));
     state.ResumeTiming();
     CoverageHeap heap(&collection);
     for (int k = 0; k < 50; ++k) {
@@ -121,9 +180,86 @@ void BM_CoverageGreedy(benchmark::State& state) {
       collection.CommitSeed(best);
     }
   }
-  state.SetLabel("select 50 seeds");
+  state.SetLabel(std::string(CoverageKernelName(kernel)) +
+                 ", argmax+commit 50 seeds");
 }
-BENCHMARK(BM_CoverageGreedy)->Arg(20000)->Arg(80000);
+BENCHMARK(BM_CoverageGreedy)
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Args({80000, 0})
+    ->Args({80000, 1});
+
+// The commit+recount primitive pair alone, on the precomputed greedy seed
+// sequence: recount(v) then commit(v) per seed. The scalar kernel pays the
+// postings scan + per-member scatter on commit; the bitmap kernel pays
+// word-parallel AND-NOT popcount + OR. This is the data path the tentpole
+// speedup gate measures.
+double CommitRecountMs(const RrSetPool& pool, const std::vector<NodeId>& seeds,
+                       CoverageKernel kernel) {
+  RrCollection collection(&pool, kernel);
+  collection.AttachUpTo(static_cast<std::uint32_t>(pool.NumSets()));
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t checksum = 0;
+  for (const NodeId v : seeds) {
+    checksum += collection.CoverageOf(v);
+    checksum += collection.CommitSeed(v);
+  }
+  benchmark::DoNotOptimize(checksum);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+void BM_CoverageCommitRecount(benchmark::State& state) {
+  const int num_sets = static_cast<int>(state.range(0));
+  const RrSetPool& pool = SharedCoveragePool(num_sets);
+  const std::vector<NodeId>& seeds = GreedySeeds(num_sets);
+  const CoverageKernel kernel = KernelArg(state);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RrCollection collection(&pool, kernel);
+    collection.AttachUpTo(static_cast<std::uint32_t>(pool.NumSets()));
+    state.ResumeTiming();
+    std::uint64_t checksum = 0;
+    for (const NodeId v : seeds) {
+      checksum += collection.CoverageOf(v);
+      checksum += collection.CommitSeed(v);
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetLabel(std::string(CoverageKernelName(kernel)) +
+                 ", recount+commit 50 seeds");
+}
+BENCHMARK(BM_CoverageCommitRecount)
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Args({80000, 0})
+    ->Args({80000, 1});
+
+// Headline summary for BENCH_micro.json: best-of-5 commit+recount time per
+// kernel at bench scale and the resulting speedup (the tentpole's >= 3x
+// acceptance gate reads the "speedup" counter).
+void BM_CoverageKernelSpeedup(benchmark::State& state) {
+  const int num_sets = static_cast<int>(state.range(0));
+  const RrSetPool& pool = SharedCoveragePool(num_sets);
+  const std::vector<NodeId>& seeds = GreedySeeds(num_sets);
+  double scalar_ms = 0.0;
+  double bitmap_ms = 0.0;
+  for (auto _ : state) {
+    scalar_ms = 0.0;
+    bitmap_ms = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const double s = CommitRecountMs(pool, seeds, CoverageKernel::kScalar);
+      const double b = CommitRecountMs(pool, seeds, CoverageKernel::kBitmap);
+      if (rep == 0 || s < scalar_ms) scalar_ms = s;
+      if (rep == 0 || b < bitmap_ms) bitmap_ms = b;
+    }
+  }
+  state.counters["scalar_ms"] = scalar_ms;
+  state.counters["bitmap_ms"] = bitmap_ms;
+  state.counters["speedup"] = bitmap_ms > 0.0 ? scalar_ms / bitmap_ms : 0.0;
+  state.SetLabel(std::string("simd tier: ") + ActiveCoverageOps().name);
+}
+BENCHMARK(BM_CoverageKernelSpeedup)->Arg(80000)->Iterations(1);
 
 void BM_IrieRankIteration(benchmark::State& state) {
   const Fixture& f = Fixture::Get();

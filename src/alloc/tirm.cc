@@ -47,7 +47,8 @@ class CoverageBackend {
 
 class RemovalBackend : public CoverageBackend {
  public:
-  explicit RemovalBackend(const RrSetPool* pool) : collection_(pool) {}
+  RemovalBackend(const RrSetPool* pool, CoverageKernel kernel)
+      : collection_(pool, kernel) {}
 
   void AttachUpTo(std::uint32_t count) override {
     collection_.AttachUpTo(count);
@@ -84,7 +85,8 @@ class RemovalBackend : public CoverageBackend {
 
 class WeightedBackend : public CoverageBackend {
  public:
-  explicit WeightedBackend(const RrSetPool* pool) : collection_(pool) {}
+  WeightedBackend(const RrSetPool* pool, CoverageKernel kernel)
+      : collection_(pool, kernel) {}
 
   void AttachUpTo(std::uint32_t count) override {
     collection_.AttachUpTo(count);
@@ -203,9 +205,11 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     if (ensured.sampled > 0) ++result.cache.top_ups;
 
     if (options.ctp_aware_coverage) {
-      st->backend = std::make_unique<WeightedBackend>(&st->entry->sets());
+      st->backend = std::make_unique<WeightedBackend>(&st->entry->sets(),
+                                                      options.coverage_kernel);
     } else {
-      st->backend = std::make_unique<RemovalBackend>(&st->entry->sets());
+      st->backend = std::make_unique<RemovalBackend>(&st->entry->sets(),
+                                                     options.coverage_kernel);
     }
     st->backend->AttachUpTo(static_cast<std::uint32_t>(st->theta));
     ads.push_back(std::move(st));

@@ -101,6 +101,7 @@ Result<AllocatorConfig> AllocatorConfig::FromFlags(const Flags& flags,
   c.exact_selection_fallback =
       boolean("exact_selection_fallback", c.exact_selection_fallback);
   c.ctp_aware_coverage = boolean("ctp_aware_coverage", c.ctp_aware_coverage);
+  c.coverage_kernel = flags.GetString("coverage_kernel", c.coverage_kernel);
   c.irie_alpha = num("irie_alpha", c.irie_alpha);
   c.irie_rank_iterations = static_cast<int>(
       bounded("irie_rank_iterations", c.irie_rank_iterations, 1, 1000000));
@@ -151,6 +152,7 @@ Status AllocatorConfig::Validate() const {
   if (mc_sims == 0) {
     return Status::InvalidArgument("mc_sims must be >= 1");
   }
+  TIRM_RETURN_NOT_OK(ParseCoverageKernel(coverage_kernel).status());
   return Status::OK();
 }
 
@@ -167,6 +169,10 @@ TirmOptions AllocatorConfig::MakeTirmOptions() const {
   o.weight_by_ctp = weight_by_ctp;
   o.exact_selection_fallback = exact_selection_fallback;
   o.ctp_aware_coverage = ctp_aware_coverage;
+  // Validate() already rejected unknown names; a stale string here (field
+  // mutated after validation) falls back to kAuto.
+  Result<CoverageKernel> kernel = ParseCoverageKernel(coverage_kernel);
+  o.coverage_kernel = kernel.ok() ? kernel.value() : CoverageKernel::kAuto;
   o.sample_store = sample_store;
   o.sample_store_seed = sample_store_seed;
   return o;

@@ -1,0 +1,170 @@
+#include "rrset/coverage_bitmap.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "rrset/sample_store.h"
+
+namespace tirm {
+
+// ---------------------------------------------------------------- kernel
+// choice
+
+Result<CoverageKernel> ParseCoverageKernel(std::string_view name) {
+  if (name == "auto") return CoverageKernel::kAuto;
+  if (name == "scalar") return CoverageKernel::kScalar;
+  if (name == "bitmap") return CoverageKernel::kBitmap;
+  return Status::InvalidArgument(
+      "coverage_kernel must be \"auto\", \"scalar\", or \"bitmap\", got \"" +
+      std::string(name) + "\"");
+}
+
+const char* CoverageKernelName(CoverageKernel kernel) {
+  switch (kernel) {
+    case CoverageKernel::kAuto:
+      return "auto";
+    case CoverageKernel::kScalar:
+      return "scalar";
+    case CoverageKernel::kBitmap:
+      return "bitmap";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------- SIMD tiers
+
+#if defined(TIRM_HAVE_AVX2_KERNELS)
+// Defined in coverage_bitmap_avx2.cc (compiled with -mavx2).
+const CoverageKernelOps& Avx2CoverageOpsForDispatch();
+#endif
+
+namespace {
+
+std::uint64_t AndNotPopcountPortable(const std::uint64_t* bits,
+                                     const std::uint64_t* mask,
+                                     std::size_t words) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    count += static_cast<std::uint64_t>(std::popcount(bits[i] & ~mask[i]));
+  }
+  return count;
+}
+
+std::uint64_t CommitOrPortable(const std::uint64_t* bits, std::uint64_t* mask,
+                               std::size_t words) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t fresh = bits[i] & ~mask[i];
+    count += static_cast<std::uint64_t>(std::popcount(fresh));
+    mask[i] |= bits[i];
+  }
+  return count;
+}
+
+constexpr CoverageKernelOps kPortableOps = {
+    &AndNotPopcountPortable,
+    &CommitOrPortable,
+    "portable",
+};
+
+// The active tier is process-global mutable state so tests and benches can
+// force a tier; reads happen on hot paths, so keep it a plain pointer
+// (ForceCoverageSimdTier documents the single-threaded contract).
+const CoverageKernelOps* g_active_ops = nullptr;
+
+const CoverageKernelOps* ResolveDefaultOps() {
+  if (const char* env = std::getenv("TIRM_COVERAGE_SIMD")) {
+    if (std::string_view(env) == "portable") return &kPortableOps;
+    // "avx2"/"auto"/anything else falls through to hardware detection —
+    // a typo must not silently disable the fast tier's safety check.
+  }
+#if defined(TIRM_HAVE_AVX2_KERNELS)
+  if (CoverageAvx2Available()) return &Avx2CoverageOpsForDispatch();
+#endif
+  return &kPortableOps;
+}
+
+}  // namespace
+
+const CoverageKernelOps& PortableCoverageOps() { return kPortableOps; }
+
+const CoverageKernelOps& ActiveCoverageOps() {
+  if (g_active_ops == nullptr) g_active_ops = ResolveDefaultOps();
+  return *g_active_ops;
+}
+
+bool CoverageAvx2Available() {
+#if defined(TIRM_HAVE_AVX2_KERNELS)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Status ForceCoverageSimdTier(std::string_view tier) {
+  if (tier == "portable") {
+    g_active_ops = &kPortableOps;
+    return Status::OK();
+  }
+  if (tier == "avx2") {
+#if defined(TIRM_HAVE_AVX2_KERNELS)
+    if (CoverageAvx2Available()) {
+      g_active_ops = &Avx2CoverageOpsForDispatch();
+      return Status::OK();
+    }
+#endif
+    return Status::InvalidArgument(
+        "AVX2 coverage kernels unavailable (not compiled in or unsupported "
+        "CPU)");
+  }
+  if (tier == "auto") {
+    g_active_ops = ResolveDefaultOps();
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown SIMD tier \"" + std::string(tier) +
+                                 "\" (want portable, avx2, or auto)");
+}
+
+// -------------------------------------------------------------- transpose
+
+CoverageTranspose::CoverageTranspose(NodeId num_nodes)
+    : num_nodes_(num_nodes) {}
+
+void CoverageTranspose::ExtendFromPool(const RrSetPool& pool,
+                                       std::uint32_t up_to) {
+  TIRM_CHECK_LE(up_to, pool.NumSets());
+  TIRM_CHECK_EQ(static_cast<std::uint64_t>(pool.num_nodes()),
+                static_cast<std::uint64_t>(num_nodes_));
+  if (up_to <= built_sets_) return;
+
+  const std::size_t needed = CoverageWordsFor(up_to);
+  if (needed > stride_) {
+    // Grow geometrically, rounded to 8 words so every row stays on a
+    // 64-byte boundary, then re-stride the existing rows in place.
+    std::size_t new_stride = std::max<std::size_t>(stride_ * 2, 8);
+    while (new_stride < needed) new_stride *= 2;
+    CoverageWordBuffer grown(static_cast<std::size_t>(num_nodes_) * new_stride,
+                             0);
+    if (stride_ > 0) {
+      for (NodeId v = 0; v < num_nodes_; ++v) {
+        std::memcpy(grown.data() + static_cast<std::size_t>(v) * new_stride,
+                    words_.data() + static_cast<std::size_t>(v) * stride_,
+                    stride_ * sizeof(std::uint64_t));
+      }
+    }
+    words_ = std::move(grown);
+    stride_ = new_stride;
+  }
+
+  for (std::uint32_t id = built_sets_; id < up_to; ++id) {
+    const std::size_t word = id / kCoverageWordBits;
+    const std::uint64_t bit = std::uint64_t{1} << (id % kCoverageWordBits);
+    for (const NodeId v : pool.SetMembers(id)) {
+      words_[static_cast<std::size_t>(v) * stride_ + word] |= bit;
+    }
+  }
+  built_sets_ = up_to;
+}
+
+}  // namespace tirm

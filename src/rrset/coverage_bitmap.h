@@ -1,0 +1,194 @@
+// Packed bitmap coverage kernel — the word-parallel data path behind the
+// greedy Max-Cover inner loop.
+//
+// Every allocator in the paper bottoms out in weighted Max-Cover over RR
+// sets: recompute a node's marginal coverage, commit a seed, mark its sets
+// covered. The packed kernel represents "which sets contain node v" as one
+// bit per RR set (the node -> set-bitmap *transpose*, built lazily by
+// RrSetPool next to its inverted index) and "which sets are already
+// covered" as a second bitmap. The two hot operations then become
+// word-parallel:
+//
+//   recount(v) = popcount(bits[v] & ~covered)          (AND-NOT + POPCNT)
+//   commit(v)  = covered |= bits[v]                    (OR)
+//
+// instead of per-set postings scans and scatter-decrements. The weighted
+// (survival) policy gathers survival weights over the *surviving lanes* of
+// bits[v] & ~dead in ascending set order, which keeps its sums bit-identical
+// to the scalar postings gather (adding a dead set's 0.0 survival is an
+// exact no-op, so skipping dead lanes cannot change the result).
+//
+// Dispatch tiers. The word loops run through a function table resolved once
+// at startup: an AVX2 specialization (compiled only when TIRM_ENABLE_AVX2 is
+// on, used only when the CPU reports AVX2) and a portable std::popcount
+// fallback. The TIRM_COVERAGE_SIMD environment variable ("portable" /
+// "avx2" / "auto") overrides the choice, and tests force the portable tier
+// explicitly to assert tier equivalence. Tier choice can never change
+// results — both tiers compute the same exact integers.
+//
+// Kernel choice (CoverageKernel) is the *algorithmic* switch between this
+// packed path and the scalar postings-scan reference implementation kept in
+// RrCollection / WeightedRrCollection; it is plumbed through TimOptions,
+// TirmOptions, and AllocatorConfig (--coverage_kernel). Selections are
+// golden-gated bit-identical between the two kernels.
+
+#ifndef TIRM_RRSET_COVERAGE_BITMAP_H_
+#define TIRM_RRSET_COVERAGE_BITMAP_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace tirm {
+
+class RrSetPool;  // rrset/sample_store.h
+
+// ---------------------------------------------------------------- kernel
+// choice (algorithmic switch, parsed from --coverage_kernel)
+
+/// Which coverage data path a view / allocator run uses.
+enum class CoverageKernel : std::uint8_t {
+  kAuto = 0,    ///< resolve to the packed bitmap kernel
+  kScalar = 1,  ///< postings-scan reference implementation
+  kBitmap = 2,  ///< packed word-parallel kernel (this file)
+};
+
+/// "auto" / "scalar" / "bitmap" -> enum; anything else is InvalidArgument.
+Result<CoverageKernel> ParseCoverageKernel(std::string_view name);
+
+/// Canonical flag spelling of `kernel`.
+const char* CoverageKernelName(CoverageKernel kernel);
+
+/// Resolves kAuto to the concrete default (the bitmap kernel).
+inline CoverageKernel ResolveCoverageKernel(CoverageKernel kernel) {
+  return kernel == CoverageKernel::kAuto ? CoverageKernel::kBitmap : kernel;
+}
+
+// ------------------------------------------------------------ word helpers
+
+inline constexpr std::size_t kCoverageWordBits = 64;
+
+/// Words needed to hold `sets` one-bit lanes.
+inline constexpr std::size_t CoverageWordsFor(std::uint64_t sets) {
+  return static_cast<std::size_t>((sets + kCoverageWordBits - 1) /
+                                  kCoverageWordBits);
+}
+
+/// All-ones below bit `count % 64` in the last partial word (all-ones when
+/// `count` fills the word exactly).
+inline constexpr std::uint64_t CoverageTailMask(std::uint64_t count) {
+  const std::uint64_t rem = count % kCoverageWordBits;
+  return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+}
+
+/// Minimal cache-line-aligned allocator so bitmap rows and covered words
+/// start on 64-byte boundaries (full-speed aligned vector loads).
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{64};
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) { ::operator delete(p, kAlign); }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+using CoverageWordBuffer =
+    std::vector<std::uint64_t, CacheAlignedAllocator<std::uint64_t>>;
+
+// ------------------------------------------------------------- SIMD tiers
+
+/// The word-loop primitives, resolved once per process (see file comment).
+struct CoverageKernelOps {
+  /// Σ popcount(bits[i] & ~mask[i]) over `words` words.
+  std::uint64_t (*andnot_popcount)(const std::uint64_t* bits,
+                                   const std::uint64_t* mask,
+                                   std::size_t words);
+  /// Per word: count popcount(bits[i] & ~mask[i]), then mask[i] |= bits[i].
+  /// Returns the total count of newly set mask bits.
+  std::uint64_t (*commit_or)(const std::uint64_t* bits, std::uint64_t* mask,
+                             std::size_t words);
+  /// Tier name for diagnostics ("avx2" / "portable").
+  const char* name;
+};
+
+/// The portable tier (always available; the reference for tier-equivalence
+/// tests).
+const CoverageKernelOps& PortableCoverageOps();
+
+/// The active tier: AVX2 when compiled in, supported by the CPU, and not
+/// overridden by TIRM_COVERAGE_SIMD; portable otherwise.
+const CoverageKernelOps& ActiveCoverageOps();
+
+/// True when the AVX2 tier is compiled in AND this CPU supports it.
+bool CoverageAvx2Available();
+
+/// Test/bench hook: force a tier for the current process ("portable",
+/// "avx2", "auto"); returns InvalidArgument for unknown names or when
+/// forcing AVX2 without hardware support. Not thread-safe; call before
+/// spawning workers.
+Status ForceCoverageSimdTier(std::string_view tier);
+
+// -------------------------------------------------------------- transpose
+
+/// Packed node -> set-membership bitmap rows over a pool prefix: bit `s` of
+/// Row(v) is 1 iff set `s` contains node v. Rows share one flat cache-
+/// aligned buffer with a common stride (a multiple of 8 words, so every row
+/// is 64-byte aligned); the stride grows geometrically and rows are
+/// re-strided in place when the pool outgrows it.
+///
+/// Thread safety matches the pool arena: extending (ExtendFromPool) must
+/// not overlap reads — RrSetPool::EnsureTranspose serializes the builds,
+/// and callers follow the store discipline of never reading a pool while
+/// it may be topping up.
+class CoverageTranspose {
+ public:
+  explicit CoverageTranspose(NodeId num_nodes);
+
+  /// Adds membership bits for pool sets [built_sets(), up_to); no-op when
+  /// already built that far. `up_to` must not exceed pool.NumSets().
+  void ExtendFromPool(const RrSetPool& pool, std::uint32_t up_to);
+
+  /// Membership words of node `v` (words_per_row() words; lanes beyond
+  /// built_sets() are zero).
+  const std::uint64_t* Row(NodeId v) const {
+    TIRM_DCHECK(v < num_nodes_);
+    return words_.data() + static_cast<std::size_t>(v) * stride_;
+  }
+
+  std::uint32_t built_sets() const { return built_sets_; }
+  std::size_t words_per_row() const { return stride_; }
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Exact bytes held by the row buffer (capacity, like the pool's own
+  /// accounting).
+  std::size_t MemoryBytes() const {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  NodeId num_nodes_;
+  std::uint32_t built_sets_ = 0;
+  std::size_t stride_ = 0;  // words per row, multiple of 8
+  CoverageWordBuffer words_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_RRSET_COVERAGE_BITMAP_H_

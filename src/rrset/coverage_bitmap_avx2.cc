@@ -1,0 +1,104 @@
+// AVX2 tier of the packed coverage kernel (see coverage_bitmap.h). This
+// translation unit is the only one compiled with -mavx2; it is built only
+// when TIRM_ENABLE_AVX2 is on, and dispatched to only when the CPU reports
+// AVX2 at runtime (coverage_bitmap.cc), so the rest of the binary stays
+// runnable on any x86-64.
+//
+// Popcount strategy: AVX2 has no vector popcount, so the classic nibble
+// lookup (Mula): split each byte into nibbles, table-lookup their popcounts
+// with VPSHUFB, horizontally sum with VPSADBW. Four 64-bit lanes per
+// vector; the AND-NOT itself is a single VPANDN. Tails shorter than one
+// vector fall back to scalar std::popcount — results are the same exact
+// integers as the portable tier by construction.
+
+#if defined(TIRM_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "rrset/coverage_bitmap.h"
+
+namespace tirm {
+namespace {
+
+inline __m256i NibblePopcount(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+std::uint64_t AndNotPopcountAvx2(const std::uint64_t* bits,
+                                 const std::uint64_t* mask,
+                                 std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + i));
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    // VPANDN computes ~first & second, so pass (mask, bits).
+    const __m256i fresh = _mm256_andnot_si256(m, b);
+    acc = _mm256_add_epi64(
+        acc, _mm256_sad_epu8(NibblePopcount(fresh), _mm256_setzero_si256()));
+  }
+  std::uint64_t count =
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 0)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 1)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 2)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 3));
+  for (; i < words; ++i) {
+    count += static_cast<std::uint64_t>(std::popcount(bits[i] & ~mask[i]));
+  }
+  return count;
+}
+
+std::uint64_t CommitOrAvx2(const std::uint64_t* bits, std::uint64_t* mask,
+                           std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + i));
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    const __m256i fresh = _mm256_andnot_si256(m, b);
+    acc = _mm256_add_epi64(
+        acc, _mm256_sad_epu8(NibblePopcount(fresh), _mm256_setzero_si256()));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i),
+                        _mm256_or_si256(m, b));
+  }
+  std::uint64_t count =
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 0)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 1)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 2)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 3));
+  for (; i < words; ++i) {
+    const std::uint64_t fresh = bits[i] & ~mask[i];
+    count += static_cast<std::uint64_t>(std::popcount(fresh));
+    mask[i] |= bits[i];
+  }
+  return count;
+}
+
+constexpr CoverageKernelOps kAvx2Ops = {
+    &AndNotPopcountAvx2,
+    &CommitOrAvx2,
+    "avx2",
+};
+
+}  // namespace
+
+const CoverageKernelOps& Avx2CoverageOpsForDispatch() { return kAvx2Ops; }
+
+}  // namespace tirm
+
+#endif  // TIRM_HAVE_AVX2_KERNELS

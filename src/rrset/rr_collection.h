@@ -3,17 +3,30 @@
 // The greedy Max-Cover step of TIM / TIRM repeatedly needs
 //   argmax_v |{R in collection : v in R, R not yet covered}|
 // and, after committing a seed v, must mark every set containing v as
-// covered (decrementing the counts of all other members).
-//
-// RrCollection is the *mutable* half of that split: per-node marginal
-// coverage counts and per-set covered flags. The *immutable* half — the
-// flattened set arena and the node -> set-ids inverted index — lives in an
+// covered. RrCollection is the *mutable* half of that split: per-view
+// covered state over an immutable set arena + inverted index living in an
 // RrSetPool (rrset/sample_store.h) that the view only borrows, so any
 // number of greedy runs, allocators, and sweep points share one physical
 // copy of the samples. A view exposes a prefix of its pool: AttachUpTo()
 // advances the watermark as TIRM's θ grows (Algorithm 2 lines 14-18), and
 // CommitSeedOnRange() lets existing seeds absorb freshly attached sets in
 // selection order (UpdateEstimates, Algorithm 4).
+//
+// Two interchangeable coverage kernels (rrset/coverage_bitmap.h) back the
+// view, selected at construction and golden-gated bit-identical:
+//
+//  * CoverageKernel::kBitmap (default via kAuto) — the packed word-parallel
+//    path: membership is one bit per attached set in the pool's lazily
+//    built node -> set-bitmap transpose, covered state is a second bitmap,
+//    and the two hot operations are word-wise AND-NOT + popcount (recount)
+//    and OR (commit), with an AVX2 tier dispatched at runtime.
+//  * CoverageKernel::kScalar — the postings-scan reference implementation:
+//    per-node marginal counters maintained incrementally by walking the
+//    inverted index and set members on commit. Selectable via
+//    --coverage_kernel=scalar for audits and A/B gating.
+//
+// Both kernels produce the same exact integer coverages, so selections are
+// bit-identical; tests/coverage_kernel_test.cc enforces it end-to-end.
 //
 // For standalone use (tests, plain TIM) the owning constructor creates a
 // private pool, and AddSet() appends + attaches in one step — the
@@ -30,6 +43,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "rrset/coverage_bitmap.h"
 #include "rrset/sample_store.h"
 
 namespace tirm {
@@ -38,11 +52,13 @@ namespace tirm {
 class RrCollection {
  public:
   /// Owning mode: creates a private pool; populate via AddSet().
-  explicit RrCollection(NodeId num_nodes);
+  explicit RrCollection(NodeId num_nodes,
+                        CoverageKernel kernel = CoverageKernel::kAuto);
 
   /// View mode: borrows `pool` (not owned; must outlive the view). Starts
   /// with zero attached sets — call AttachUpTo() to expose a pool prefix.
-  explicit RrCollection(const RrSetPool* pool);
+  explicit RrCollection(const RrSetPool* pool,
+                        CoverageKernel kernel = CoverageKernel::kAuto);
 
   /// Appends one set to the private pool and attaches it; returns its id.
   /// Owning mode only.
@@ -57,16 +73,18 @@ class RrCollection {
   std::size_t NumSets() const { return attached_; }
 
   /// Number of nodes this view indexes.
-  NodeId num_nodes() const { return static_cast<NodeId>(coverage_.size()); }
+  NodeId num_nodes() const { return num_nodes_; }
 
   /// Number of attached sets currently covered by committed seeds.
   std::size_t NumCovered() const { return num_covered_; }
 
   /// Current (marginal) coverage of `v`: #uncovered attached sets
-  /// containing v.
+  /// containing v. Scalar kernel: one counter load. Bitmap kernel: a
+  /// word-parallel AND-NOT + popcount recount over the packed row.
   std::uint32_t CoverageOf(NodeId v) const {
-    TIRM_DCHECK(v < coverage_.size());
-    return coverage_[v];
+    TIRM_DCHECK(v < num_nodes_);
+    if (kernel_ == CoverageKernel::kScalar) return coverage_[v];
+    return BitmapCoverageOf(v);
   }
 
   /// Marks every uncovered attached set containing `v` as covered; returns
@@ -86,7 +104,10 @@ class RrCollection {
 
   bool IsCovered(std::uint32_t id) const {
     TIRM_DCHECK(id < attached_);
-    return covered_[id];
+    if (kernel_ == CoverageKernel::kScalar) return covered_[id] != 0;
+    return (covered_words_[id / kCoverageWordBits] >>
+            (id % kCoverageWordBits)) &
+           1u;
   }
 
   /// Node with maximum current coverage among those for which
@@ -97,30 +118,54 @@ class RrCollection {
   NodeId ArgMaxCoverage(Eligible eligible) const {
     NodeId best = kInvalidNode;
     std::uint32_t best_cov = 0;
-    for (NodeId v = 0; v < coverage_.size(); ++v) {
-      if (coverage_[v] > best_cov && eligible(v)) {
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      if (CoverageOf(v) > best_cov && eligible(v)) {
         best = v;
-        best_cov = coverage_[v];
+        best_cov = CoverageOf(v);
       }
     }
     return best;
   }
 
-  /// Bytes held by this view's bookkeeping (coverage counts + covered
-  /// flags), plus the private pool in owning mode. A borrowed pool is
-  /// shared — account for it once via pool()->MemoryBytes().
+  /// Fills `counts[v]` with CoverageOf(v) for every node in one O(arena)
+  /// pass (scalar: copies the counters; bitmap: accumulates members of
+  /// uncovered sets instead of popcount-recounting each node). Exact same
+  /// integers as per-node CoverageOf — used by CoverageHeap::Rebuild.
+  void AccumulateCoverage(std::vector<std::uint32_t>& counts) const;
+
+  /// Bytes held by this view's bookkeeping (scalar: coverage counters +
+  /// covered flags; bitmap: the covered bitmap words), plus the private
+  /// pool in owning mode. A borrowed pool (including its shared transpose)
+  /// is accounted once via pool()->MemoryBytes().
   std::size_t MemoryBytes() const;
+
+  /// The kernel this view runs on (resolved; never kAuto).
+  CoverageKernel kernel() const { return kernel_; }
 
   /// The pool this view reads (private one in owning mode).
   const RrSetPool* pool() const { return pool_; }
 
  private:
+  std::uint32_t BitmapCoverageOf(NodeId v) const;
+  std::uint32_t BitmapCommitRange(NodeId v, std::uint32_t first_set);
+
   std::unique_ptr<RrSetPool> owned_;  // null in view mode
   const RrSetPool* pool_;
+  CoverageKernel kernel_;
+  NodeId num_nodes_ = 0;
   std::uint32_t attached_ = 0;
   std::size_t num_covered_ = 0;
-  std::vector<std::uint8_t> covered_;     // per attached set
-  std::vector<std::uint32_t> coverage_;   // per node, marginal
+
+  // Scalar kernel state.
+  std::vector<std::uint8_t> covered_;    // per attached set
+  std::vector<std::uint32_t> coverage_;  // per node, marginal
+
+  // Bitmap kernel state. The transpose pointer is refreshed on every
+  // attach (the pool's transpose object is stable; its rows may re-stride
+  // when *some* view attaches further, which is why Row() is re-read per
+  // operation rather than cached).
+  const CoverageTranspose* transpose_ = nullptr;
+  CoverageWordBuffer covered_words_;  // one bit per attached set
 };
 
 /// Lazy max-heap over node coverages (CELF-style). Valid while coverage
@@ -136,10 +181,12 @@ class CoverageHeap {
   void Rebuild();
 
   /// Pops the node with maximum *current* coverage among eligible ones;
-  /// stale entries are lazily refreshed. Returns kInvalidNode when no
-  /// eligible node with positive coverage remains. Nodes rejected by
-  /// `eligible` are dropped permanently (correct for attention bounds,
-  /// which only ever tighten).
+  /// stale entries are lazily refreshed. Ties break toward the smaller
+  /// node id, matching ArgMaxCoverage's first-maximum semantics (and
+  /// WeightedCoverageHeap), so equal-coverage pops are deterministic.
+  /// Returns kInvalidNode when no eligible node with positive coverage
+  /// remains. Nodes rejected by `eligible` are dropped permanently
+  /// (correct for attention bounds, which only ever tighten).
   template <typename Eligible>
   NodeId PopBest(Eligible eligible) {
     while (!heap_.empty()) {
@@ -165,7 +212,10 @@ class CoverageHeap {
   struct Entry {
     std::uint32_t coverage;
     NodeId node;
-    bool operator<(const Entry& o) const { return coverage < o.coverage; }
+    bool operator<(const Entry& o) const {
+      if (coverage != o.coverage) return coverage < o.coverage;
+      return node > o.node;  // smaller node id wins exact ties
+    }
   };
 
   const RrCollection* collection_;

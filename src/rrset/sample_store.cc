@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/hashing.h"
+#include "rrset/coverage_bitmap.h"
 #include "rrset/parallel_rr_builder.h"
 #include "topic/edge_probabilities.h"
 #include "topic/instance.h"
@@ -17,6 +18,8 @@ RrSetPool::RrSetPool(NodeId num_nodes) : num_nodes_(num_nodes) {
   index_.resize(num_nodes);
 }
 
+RrSetPool::~RrSetPool() = default;
+
 std::uint32_t RrSetPool::AddSet(std::span<const NodeId> nodes) {
   const auto id = static_cast<std::uint32_t>(NumSets());
   for (const NodeId v : nodes) {
@@ -28,6 +31,20 @@ std::uint32_t RrSetPool::AddSet(std::span<const NodeId> nodes) {
   return id;
 }
 
+const CoverageTranspose& RrSetPool::EnsureTranspose(std::uint32_t up_to) const {
+  std::lock_guard<std::mutex> lock(transpose_mutex_);
+  if (transpose_ == nullptr) {
+    transpose_ = std::make_unique<CoverageTranspose>(num_nodes_);
+  }
+  transpose_->ExtendFromPool(*this, up_to);
+  return *transpose_;
+}
+
+std::size_t RrSetPool::TransposeBytes() const {
+  std::lock_guard<std::mutex> lock(transpose_mutex_);
+  return transpose_ == nullptr ? 0 : transpose_->MemoryBytes();
+}
+
 std::size_t RrSetPool::MemoryBytes() const {
   std::size_t bytes = set_offsets_.capacity() * sizeof(std::size_t) +
                       set_nodes_.capacity() * sizeof(NodeId) +
@@ -35,7 +52,7 @@ std::size_t RrSetPool::MemoryBytes() const {
   for (const auto& postings : index_) {
     bytes += postings.capacity() * sizeof(std::uint32_t);
   }
-  return bytes;
+  return bytes + TransposeBytes();
 }
 
 // -------------------------------------------------------------- RrSampleStore

@@ -48,16 +48,20 @@
 
 namespace tirm {
 
+class CoverageTranspose;  // rrset/coverage_bitmap.h
 class ParallelRrBuilder;  // rrset/parallel_rr_builder.h
 class ProblemInstance;    // topic/instance.h
 
 /// Append-only flattened storage of RR sets plus the node -> set-id
 /// inverted index. Sets already appended are immutable; coverage views
 /// (RrCollection / WeightedRrCollection) borrow member spans and postings
-/// from here instead of copying nodes.
+/// from here instead of copying nodes. Bitmap-kernel views additionally
+/// borrow the packed node -> set-bitmap transpose, built lazily on first
+/// use (EnsureTranspose) so scalar-only consumers never pay for it.
 class RrSetPool {
  public:
   explicit RrSetPool(NodeId num_nodes);
+  ~RrSetPool();
 
   /// Appends one set; returns its id (ids are dense, in append order).
   std::uint32_t AddSet(std::span<const NodeId> nodes);
@@ -78,8 +82,19 @@ class RrSetPool {
     return index_[v];
   }
 
-  /// Exact bytes held (arena + inverted index + bookkeeping), from
-  /// container capacities.
+  /// Packed node -> set-bitmap transpose covering at least the first
+  /// `up_to` sets, built/extended lazily on first call (concurrent calls
+  /// serialize on an internal mutex). Reading the returned transpose while
+  /// a *later* EnsureTranspose extends it follows the same discipline as
+  /// the arena: don't read while another thread may be growing the pool.
+  const CoverageTranspose& EnsureTranspose(std::uint32_t up_to) const;
+
+  /// Bytes of the lazily built transpose (0 until first EnsureTranspose);
+  /// included in MemoryBytes().
+  std::size_t TransposeBytes() const;
+
+  /// Exact bytes held (arena + inverted index + transpose + bookkeeping),
+  /// from container capacities.
   std::size_t MemoryBytes() const;
 
  private:
@@ -87,6 +102,10 @@ class RrSetPool {
   std::vector<std::size_t> set_offsets_;  // size #sets+1
   std::vector<NodeId> set_nodes_;         // flattened members (the arena)
   std::vector<std::vector<std::uint32_t>> index_;  // node -> set ids
+  // Lazy packed transpose for the bitmap coverage kernel — logically const
+  // derived state, hence buildable through const accessors.
+  mutable std::mutex transpose_mutex_;
+  mutable std::unique_ptr<CoverageTranspose> transpose_;
 };
 
 /// Sample-reuse diagnostics of one allocator run (surfaced through

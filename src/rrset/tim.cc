@@ -39,7 +39,7 @@ TimResult RunTim(const Graph& graph, std::span<const float> edge_probs,
     sampler.SampleInto(rng, scratch);
     pool.AddSet(scratch);
   }
-  RrCollection collection(&pool);
+  RrCollection collection(&pool, options.coverage_kernel);
   collection.AttachUpTo(static_cast<std::uint32_t>(pool.NumSets()));
 
   CoverageHeap heap(&collection);

@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "rrset/coverage_bitmap.h"
 #include "rrset/theta.h"
 
 namespace tirm {
@@ -37,6 +38,9 @@ struct TimResult {
 struct TimOptions {
   ThetaParams theta;            ///< ε, ℓ, caps
   std::uint64_t kpt_max_samples = 1 << 20;
+  /// Coverage data path for the greedy Max k-Cover phase (kAuto resolves
+  /// to the packed bitmap kernel; selections are kernel-invariant).
+  CoverageKernel coverage_kernel = CoverageKernel::kAuto;
 };
 
 /// Runs TIM for seed-set size `k` on `graph` with per-edge probabilities

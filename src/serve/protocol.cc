@@ -32,9 +32,9 @@ const std::set<std::string>& RequestConfigKeys() {
   static const std::set<std::string> kKeys = {
       "max_total_seeds", "min_drop", "eps", "ell", "theta_cap", "theta_min",
       "kpt_max_samples", "threads", "weight_by_ctp",
-      "exact_selection_fallback", "ctp_aware_coverage", "irie_alpha",
-      "irie_rank_iterations", "irie_ap_truncation", "irie_max_push_hops",
-      "mc_sims"};
+      "exact_selection_fallback", "ctp_aware_coverage", "coverage_kernel",
+      "irie_alpha", "irie_rank_iterations", "irie_ap_truncation",
+      "irie_max_push_hops", "mc_sims"};
   return kKeys;
 }
 
@@ -103,6 +103,7 @@ void WriteConfig(JsonWriter& w, const AllocatorConfig& c) {
   w.Field("weight_by_ctp", c.weight_by_ctp);
   w.Field("exact_selection_fallback", c.exact_selection_fallback);
   w.Field("ctp_aware_coverage", c.ctp_aware_coverage);
+  w.Field("coverage_kernel", c.coverage_kernel);
   w.Field("irie_alpha", c.irie_alpha);
   w.Field("irie_rank_iterations", c.irie_rank_iterations);
   w.Field("irie_ap_truncation", c.irie_ap_truncation);
