@@ -98,8 +98,21 @@ std::uint64_t AdAllocEngine::EvalSeed(const EngineQuery& query) const {
   return options_.seed ^ QuerySalt(/*allocator=*/"", query, /*stream=*/0x52);
 }
 
+AdAllocEngine::AdAllocEngine(AdAllocEngine&& other)
+    : built_(std::move(other.built_)),
+      options_(other.options_),
+      base_(std::move(other.base_)) {
+  // Locking the source's mutex keeps the capability analysis sound for the
+  // guarded members; a move racing an actual concurrent user is a contract
+  // violation the caller must rule out (see the header).
+  MutexLock lock(other.store_mutex_);
+  stores_ = std::move(other.stores_);
+  last_store_ = other.last_store_;
+  other.last_store_ = nullptr;
+}
+
 const RrSampleStore* AdAllocEngine::sample_store() const {
-  std::lock_guard<std::mutex> lock(*store_mutex_);
+  MutexLock lock(store_mutex_);
   return last_store_;
 }
 
@@ -134,7 +147,7 @@ Result<EngineRun> AdAllocEngine::Run(const AllocatorConfig& config,
     // Run() may be called concurrently (see the header contract) and
     // sample_store() polls from other threads.
     const int threads = ResolveThreadCount(run_config.num_threads);
-    std::lock_guard<std::mutex> lock(*store_mutex_);
+    MutexLock lock(store_mutex_);
     std::unique_ptr<RrSampleStore>& store = stores_[threads];
     if (store == nullptr) {
       store = std::make_unique<RrSampleStore>(

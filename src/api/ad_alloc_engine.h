@@ -41,9 +41,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "alloc/allocator.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "alloc/regret_evaluator.h"
 #include "api/allocator_config.h"
 #include "api/allocator_registry.h"
@@ -108,11 +109,24 @@ class AdAllocEngine {
   static Result<AdAllocEngine> Create(BuiltInstance built,
                                       EngineOptions options);
 
+  /// Move-constructible so Create() can return Result<AdAllocEngine>. The
+  /// move takes `other`'s store mutex while transplanting the store map —
+  /// but moving an engine another thread is concurrently using is a
+  /// contract violation regardless (the mutex only keeps the capability
+  /// analysis sound, it cannot make such a move safe). Copying and move
+  /// assignment are deleted: the mutex is a direct member (a statically
+  /// nameable capability), so the engine is not assignable.
+  AdAllocEngine(AdAllocEngine&& other);
+  AdAllocEngine& operator=(AdAllocEngine&&) = delete;
+  AdAllocEngine(const AdAllocEngine&) = delete;
+  AdAllocEngine& operator=(const AdAllocEngine&) = delete;
+
   /// Runs the allocator named by `config.allocator` on the `query`-derived
   /// instance and (unless disabled) evaluates it. Errors: unknown
   /// allocator, invalid config, or an invalid produced allocation.
   Result<EngineRun> Run(const AllocatorConfig& config,
-                        const EngineQuery& query = {});
+                        const EngineQuery& query = {})
+      TIRM_EXCLUDES(store_mutex_);
 
   /// Range/finiteness checks on a query. Run() performs this itself;
   /// callers feeding untrusted input to MakeInstance must check first.
@@ -143,7 +157,7 @@ class AdAllocEngine {
   /// dashboards come from here. Safe to call from any thread (the store's
   /// own counters are atomic/mutex-guarded); the returned pointer stays
   /// valid for the engine's lifetime.
-  const RrSampleStore* sample_store() const;
+  const RrSampleStore* sample_store() const TIRM_EXCLUDES(store_mutex_);
 
  private:
   BuiltInstance built_;
@@ -151,18 +165,18 @@ class AdAllocEngine {
   ProblemInstance base_;  ///< kappa=1, lambda=0 template; owns the cache
   /// Guards stores_ and last_store_ — Run() may be called concurrently
   /// (see the thread-safety contract in the file comment) and metrics
-  /// readers poll sample_store() from other threads. Heap-held so the
-  /// engine stays movable (Create() returns Result<AdAllocEngine>); moving
-  /// an engine while another thread runs on it is of course not allowed.
-  std::unique_ptr<std::mutex> store_mutex_ =
-      std::make_unique<std::mutex>();
+  /// readers poll sample_store() from other threads. A direct member (not
+  /// heap-held) so the capability analysis can name it statically; the
+  /// explicit move constructor above is what keeps the engine movable.
+  mutable Mutex store_mutex_;
   /// One store per *resolved* sampling worker count, created lazily: pool
   /// contents are deterministic per fixed thread count, so runs with
   /// different --threads must not share pools or the reuse-on/off
   /// bit-identical contract would break. In practice an engine serves one
   /// thread count and this holds a single store.
-  std::map<int, std::unique_ptr<RrSampleStore>> stores_;
-  const RrSampleStore* last_store_ = nullptr;
+  std::map<int, std::unique_ptr<RrSampleStore>> stores_
+      TIRM_GUARDED_BY(store_mutex_);
+  const RrSampleStore* last_store_ TIRM_GUARDED_BY(store_mutex_) = nullptr;
 };
 
 }  // namespace tirm

@@ -22,7 +22,7 @@ Status AllocatorRegistry::Register(const std::string& name, Factory factory) {
   if (factory == nullptr) {
     return Status::InvalidArgument("allocator factory must not be null");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!factories_.emplace(name, std::move(factory)).second) {
     return Status::InvalidArgument("allocator \"" + name +
                                    "\" is already registered");
@@ -34,7 +34,7 @@ Result<std::unique_ptr<Allocator>> AllocatorRegistry::Create(
     const std::string& name, const AllocatorConfig& config) const {
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = factories_.find(name);
     if (it == factories_.end()) {
       std::string known;
@@ -51,12 +51,12 @@ Result<std::unique_ptr<Allocator>> AllocatorRegistry::Create(
 }
 
 bool AllocatorRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return factories_.count(name) > 0;
 }
 
 std::vector<std::string> AllocatorRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [key, unused] : factories_) names.push_back(key);

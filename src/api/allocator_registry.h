@@ -18,13 +18,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "alloc/allocator.h"
 #include "api/allocator_config.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace tirm {
 
@@ -39,29 +40,31 @@ class AllocatorRegistry {
 
   /// Registers `factory` under `name`; AlreadyExists-style error (as
   /// InvalidArgument) on duplicates.
-  Status Register(const std::string& name, Factory factory);
+  Status Register(const std::string& name, Factory factory)
+      TIRM_EXCLUDES(mutex_);
 
   /// Instantiates the allocator registered under `name` with `config`.
   /// NotFound (listing the registered names) for unknown names;
   /// forwards factory errors (e.g. config validation).
   Result<std::unique_ptr<Allocator>> Create(const std::string& name,
-                                            const AllocatorConfig& config = {}) const;
+                                            const AllocatorConfig& config = {}) const
+      TIRM_EXCLUDES(mutex_);
 
   /// Convenience: Create(config.allocator, config).
   Result<std::unique_ptr<Allocator>> Create(const AllocatorConfig& config) const {
     return Create(config.allocator, config);
   }
 
-  bool Contains(const std::string& name) const;
+  bool Contains(const std::string& name) const TIRM_EXCLUDES(mutex_);
 
   /// Registered names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const TIRM_EXCLUDES(mutex_);
 
  private:
   AllocatorRegistry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  mutable Mutex mutex_;
+  std::map<std::string, Factory> factories_ TIRM_GUARDED_BY(mutex_);
 };
 
 /// Registers a factory at static-initialization time:

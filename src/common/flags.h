@@ -25,7 +25,7 @@ class Flags {
 
   /// Parses argv; returns InvalidArgument on malformed arguments
   /// (anything not of the form `--key[=value]`).
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   /// Programmatic construction for non-argv front-ends (the serving
   /// protocol codec): each pair becomes a command-line-level value. With
@@ -56,11 +56,12 @@ class Flags {
   /// malformed (`--threads=abc`, `--eps=0.1x`, trailing junk) is an
   /// InvalidArgument error naming the flag, instead of silently falling
   /// back to the default. AllocatorConfig::FromFlags parses through these.
-  Result<double> GetDoubleStrict(const std::string& key,
-                                 double default_value) const;
-  Result<std::int64_t> GetIntStrict(const std::string& key,
-                                    std::int64_t default_value) const;
-  Result<bool> GetBoolStrict(const std::string& key, bool default_value) const;
+  [[nodiscard]] Result<double> GetDoubleStrict(const std::string& key,
+                                               double default_value) const;
+  [[nodiscard]] Result<std::int64_t> GetIntStrict(
+      const std::string& key, std::int64_t default_value) const;
+  [[nodiscard]] Result<bool> GetBoolStrict(const std::string& key,
+                                           bool default_value) const;
 
   /// Resolves the shared `--threads` flag (env `TIRM_THREADS`): values >= 1
   /// are clamped to kMaxSamplingThreads, 0 maps to the hardware
@@ -75,7 +76,7 @@ class Flags {
   /// malformed, trailing-junk, or overflowing input. GetDoubleStrict and
   /// comma-list flag parsers (tirm_cli --sweep_lambda) share this so the
   /// strictness rules cannot diverge.
-  static Result<double> ParseDouble(const std::string& value);
+  [[nodiscard]] static Result<double> ParseDouble(const std::string& value);
 
  private:
   /// Command line, then environment; nullopt when neither is set. Keeps

@@ -1,0 +1,97 @@
+// Capability-annotated synchronization primitives.
+//
+// tirm::Mutex wraps std::mutex with Clang capability attributes
+// (common/thread_annotations.h) so the thread-safety analysis can check,
+// at compile time, that TIRM_GUARDED_BY members are only touched with the
+// right lock held. libstdc++'s std::mutex carries no such attributes, so
+// acquisitions through it are invisible to the analysis — which is why the
+// project bans raw std::mutex / std::lock_guard / std::condition_variable
+// outside this header (enforced by tools/lint.py).
+//
+//   class Counter {
+//    public:
+//     void Add(int n) {
+//       MutexLock lock(mutex_);
+//       total_ += n;               // OK: mutex_ held
+//     }
+//    private:
+//     Mutex mutex_;
+//     int total_ TIRM_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Condition waits use explicit while-loops around CondVar::Wait rather
+// than predicate lambdas: a lambda body is a separate function to the
+// analysis and cannot see that the capability is held, whereas the loop
+// sits in the annotated scope where it provably is.
+//
+// All three types are zero-cost shims over <mutex>/<condition_variable>
+// under GCC; CondVar uses std::condition_variable_any (waitable on any
+// BasicLockable, hence on the annotated Mutex directly), which is off the
+// hot path everywhere it is used (request-queue granularity).
+
+#ifndef TIRM_COMMON_MUTEX_H_
+#define TIRM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace tirm {
+
+/// Capability-annotated exclusive mutex. Satisfies Lockable, so the
+/// annotated RAII below (and, where unavoidable, std wrappers) work on it.
+class TIRM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TIRM_ACQUIRE() { mu_.lock(); }
+  void unlock() TIRM_RELEASE() { mu_.unlock(); }
+  bool try_lock() TIRM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex — the project's std::lock_guard. Early returns
+/// inside the locked scope release correctly (scoped capability).
+class TIRM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TIRM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() TIRM_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waitable on a tirm::Mutex. Wait() releases the mutex
+/// while blocked and reacquires it before returning, so to the caller's
+/// scope the capability is held throughout — callers re-test their
+/// predicate in a while-loop as usual:
+///
+///   MutexLock lock(mutex_);
+///   while (!closed_ && items_.empty()) cv_.Wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups possible — always wait in a predicate loop.
+  void Wait(Mutex& mu) TIRM_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tirm
+
+#endif  // TIRM_COMMON_MUTEX_H_

@@ -39,7 +39,13 @@ const char* StatusCodeName(StatusCode code);
 StatusCode StatusCodeFromName(const std::string& name);
 
 /// Lightweight success/error outcome. Cheap to copy on the OK path.
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring a returned Status is a compile
+/// error under -Werror (every error must be propagated, handled, or
+/// fatally checked — this library is exception-free, so a dropped Status
+/// is a silently swallowed failure). The negative-compile cases in
+/// tests/thread_safety_compile_cases.cc pin this contract.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -84,9 +90,10 @@ class Status {
   std::string message_;
 };
 
-/// Holds either a value of type T or an error Status.
+/// Holds either a value of type T or an error Status. [[nodiscard]] like
+/// Status: a discarded Result drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return Graph(...)` in Result-returning
   /// functions (mirrors arrow::Result ergonomics).

@@ -1,0 +1,86 @@
+// Clang thread-safety (capability) analysis macros.
+//
+// These wrap Clang's capability attributes so the locking contracts of the
+// concurrent components (RrSampleStore, BoundedQueue, AllocationService,
+// ...) are machine-checked at compile time: building with clang and
+// -Wthread-safety -Werror (CMake option TIRM_WERROR_THREAD_SAFETY, the
+// "thread-safety" CI job) turns an unguarded access to a
+// TIRM_GUARDED_BY member, or a call to a TIRM_REQUIRES function without
+// the capability held, into a build break. Under GCC (which has no
+// capability analysis) every macro expands to nothing, so the annotations
+// are free documentation there.
+//
+// Use the annotated types from common/mutex.h (tirm::Mutex / MutexLock /
+// CondVar) rather than std::mutex: libstdc++'s std::mutex carries no
+// capability attributes, so the analysis cannot see acquisitions made
+// through it (tools/lint.py enforces this project-wide).
+//
+// Canonical macro -> attribute mapping per the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+
+#ifndef TIRM_COMMON_THREAD_ANNOTATIONS_H_
+#define TIRM_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define TIRM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TIRM_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lock-like resource). The string is the
+/// capability kind shown in diagnostics, e.g. TIRM_CAPABILITY("mutex").
+#define TIRM_CAPABILITY(x) TIRM_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (tirm::MutexLock).
+#define TIRM_SCOPED_CAPABILITY TIRM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability.
+#define TIRM_GUARDED_BY(x) TIRM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the named capability
+/// (the pointer itself may be read freely).
+#define TIRM_PT_GUARDED_BY(x) TIRM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed capabilities
+/// (they are NOT acquired or released by the call).
+#define TIRM_REQUIRES(...) \
+  TIRM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and holds them on return.
+#define TIRM_ACQUIRE(...) \
+  TIRM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (they must be held).
+#define TIRM_RELEASE(...) \
+  TIRM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that attempts an acquisition; the first argument is the return
+/// value meaning "acquired" (e.g. TIRM_TRY_ACQUIRE(true)).
+#define TIRM_TRY_ACQUIRE(...) \
+  TIRM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed capabilities
+/// (deadlock prevention: it acquires them itself).
+#define TIRM_EXCLUDES(...) TIRM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares a lock-ordering edge for deadlock detection (-Wthread-safety-beta).
+#define TIRM_ACQUIRED_BEFORE(...) \
+  TIRM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define TIRM_ACQUIRED_AFTER(...) \
+  TIRM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the named capability (lock accessors).
+#define TIRM_RETURN_CAPABILITY(x) TIRM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held; teaches the analysis a
+/// fact it cannot prove (e.g. a fatal-checking AssertHeld()).
+#define TIRM_ASSERT_CAPABILITY(x) TIRM_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST
+/// carry a comment justifying why the access pattern is safe but
+/// inexpressible (e.g. read-after-release/acquire publication).
+#define TIRM_NO_THREAD_SAFETY_ANALYSIS \
+  TIRM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TIRM_COMMON_THREAD_ANNOTATIONS_H_

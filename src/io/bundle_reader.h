@@ -68,22 +68,22 @@ struct BundleInfo {
 /// reads every section and reports per-section checksum status (an error
 /// is NOT returned for a bad payload checksum here — the per-section flag
 /// carries it, so `tirm_data info` can show which section rotted).
-Result<BundleInfo> ReadBundleInfo(const std::string& path,
-                                  bool verify_checksums = true);
+[[nodiscard]] Result<BundleInfo> ReadBundleInfo(const std::string& path,
+                                                bool verify_checksums = true);
 
 /// Maps `path` and assembles a zero-copy BuiltInstance (see file comment).
-Result<BuiltInstance> LoadBundleInstance(const std::string& path,
-                                         const BundleLoadOptions& options = {});
+[[nodiscard]] Result<BuiltInstance> LoadBundleInstance(
+    const std::string& path, const BundleLoadOptions& options = {});
 
 /// Same, over an already-open mapping shared with other consumers.
-Result<BuiltInstance> LoadBundleInstance(
+[[nodiscard]] Result<BuiltInstance> LoadBundleInstance(
     std::shared_ptr<const MappedFile> mapping,
     const BundleLoadOptions& options = {});
 
 /// Deep-copy variant: same validation, but every array is copied into
 /// owned storage and no mapping is retained. For callers that must outlive
 /// the file (or want mutation); the zero-copy path is the fast one.
-Result<BuiltInstance> LoadBundleInstanceOwned(
+[[nodiscard]] Result<BuiltInstance> LoadBundleInstanceOwned(
     const std::string& path, const BundleLoadOptions& options = {});
 
 }  // namespace tirm

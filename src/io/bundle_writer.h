@@ -25,13 +25,16 @@ struct BuiltInstance;  // datasets/dataset.h
 /// Writes one bundle. `name` is stored in the meta section and becomes
 /// BuiltInstance::name on load. Validates component shape consistency
 /// before touching the filesystem.
-Status WriteBundle(const Graph& graph, const EdgeProbabilities& edge_probs,
-                   const ClickProbabilities& ctps,
-                   const std::vector<Advertiser>& advertisers,
-                   const std::string& name, const std::string& path);
+[[nodiscard]] Status WriteBundle(const Graph& graph,
+                                 const EdgeProbabilities& edge_probs,
+                                 const ClickProbabilities& ctps,
+                                 const std::vector<Advertiser>& advertisers,
+                                 const std::string& name,
+                                 const std::string& path);
 
 /// Convenience: writes `built` (its name included) to `path`.
-Status WriteBundle(const BuiltInstance& built, const std::string& path);
+[[nodiscard]] Status WriteBundle(const BuiltInstance& built,
+                                 const std::string& path);
 
 }  // namespace tirm
 

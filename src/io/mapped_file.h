@@ -23,7 +23,7 @@ class MappedFile {
  public:
   /// Maps `path` read-only. IOError when the file cannot be opened,
   /// stat'ed, or mapped. Empty files map successfully with size() == 0.
-  static Result<MappedFile> Open(const std::string& path);
+  [[nodiscard]] static Result<MappedFile> Open(const std::string& path);
 
   MappedFile() = default;
   ~MappedFile();

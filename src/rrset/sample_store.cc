@@ -32,7 +32,7 @@ std::uint32_t RrSetPool::AddSet(std::span<const NodeId> nodes) {
 }
 
 const CoverageTranspose& RrSetPool::EnsureTranspose(std::uint32_t up_to) const {
-  std::lock_guard<std::mutex> lock(transpose_mutex_);
+  MutexLock lock(transpose_mutex_);
   if (transpose_ == nullptr) {
     transpose_ = std::make_unique<CoverageTranspose>(num_nodes_);
   }
@@ -41,7 +41,7 @@ const CoverageTranspose& RrSetPool::EnsureTranspose(std::uint32_t up_to) const {
 }
 
 std::size_t RrSetPool::TransposeBytes() const {
-  std::lock_guard<std::mutex> lock(transpose_mutex_);
+  MutexLock lock(transpose_mutex_);
   return transpose_ == nullptr ? 0 : transpose_->MemoryBytes();
 }
 
@@ -57,8 +57,15 @@ std::size_t RrSetPool::MemoryBytes() const {
 
 // -------------------------------------------------------------- RrSampleStore
 
-RrSampleStore::AdPool::AdPool(NodeId num_nodes, std::uint64_t base_seed)
-    : pool_(num_nodes), base_seed_(base_seed) {}
+RrSampleStore::AdPool::AdPool(const Graph& graph, std::uint64_t base_seed,
+                              std::span<const float> edge_probs,
+                              int num_threads)
+    : pool_(graph.num_nodes()),
+      base_seed_(base_seed),
+      edge_probs_(edge_probs),
+      builder_(std::make_unique<ParallelRrBuilder>(
+          graph, edge_probs,
+          ParallelRrBuilder::Options{.num_threads = num_threads})) {}
 
 RrSampleStore::AdPool::~AdPool() = default;
 
@@ -94,15 +101,15 @@ std::uint64_t RrSampleStore::SignatureForAd(const ProblemInstance& instance,
 
 RrSampleStore::AdPool* RrSampleStore::Acquire(
     std::uint64_t signature, std::span<const float> edge_probs) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
+    // Everything an entry needs is set in the AdPool constructor, before
+    // the entry is published into the map — the immutable-after-creation
+    // members (edge_probs_, builder_) therefore need no capability guard.
     auto entry = std::unique_ptr<AdPool>(
-        new AdPool(graph_->num_nodes(), MixHash(options_.seed, signature)));
-    entry->edge_probs_ = edge_probs;
-    entry->builder_ = std::make_unique<ParallelRrBuilder>(
-        *graph_, edge_probs,
-        ParallelRrBuilder::Options{.num_threads = options_.num_threads});
+        new AdPool(*graph_, MixHash(options_.seed, signature), edge_probs,
+                   options_.num_threads));
     it = entries_.emplace(signature, std::move(entry)).first;
   } else {
     // A warm acquire must describe the same probabilities the pool was
@@ -120,7 +127,7 @@ RrSampleStore::AdPool* RrSampleStore::Acquire(
 RrSampleStore::EnsureResult RrSampleStore::EnsureSets(
     AdPool* entry, std::uint64_t min_sets, std::uint64_t already_attached) {
   TIRM_CHECK(entry != nullptr);
-  std::lock_guard<std::mutex> lock(entry->mutex_);
+  MutexLock lock(entry->mutex_);
   EnsureResult result;
   result.had_before = entry->pool_.NumSets();
   const std::uint64_t served = std::min(min_sets, result.had_before);
@@ -130,6 +137,11 @@ RrSampleStore::EnsureResult RrSampleStore::EnsureSets(
 
   const std::uint64_t chunk = options_.chunk_sets;
   const std::uint64_t target_chunks = (min_sets + chunk - 1) / chunk;
+  // The append callback runs synchronously under the entry mutex held
+  // above; it captures the pool pointer (resolved here, with the lock
+  // provably held) because a lambda body is opaque to the capability
+  // analysis.
+  RrSetPool* const pool = &entry->pool_;
   for (std::uint64_t c = entry->chunks_sampled_; c < target_chunks; ++c) {
     // One independent substream per chunk index: the pool prefix is a pure
     // function of (seed, signature, chunk_sets, thread count), never of how
@@ -137,7 +149,7 @@ RrSampleStore::EnsureResult RrSampleStore::EnsureSets(
     Rng master(MixHash(entry->base_seed_, 0x2000 + c));
     entry->builder_->SampleSetsInto(
         chunk, master,
-        [entry](std::span<const NodeId> set) { entry->pool_.AddSet(set); });
+        [pool](std::span<const NodeId> set) { pool->AddSet(set); });
   }
   entry->chunks_sampled_ = target_chunks;
   result.sampled = entry->pool_.NumSets() - result.had_before;
@@ -150,7 +162,7 @@ const KptEstimator& RrSampleStore::EnsureKpt(
     AdPool* entry, const KptEstimator::Options& options, std::uint64_t s,
     bool* cache_hit) {
   TIRM_CHECK(entry != nullptr);
-  std::lock_guard<std::mutex> lock(entry->mutex_);
+  MutexLock lock(entry->mutex_);
   kpt_estimations_.fetch_add(1, std::memory_order_relaxed);
   for (const AdPool::KptSlot& slot : entry->kpt_slots_) {
     if (slot.s == s && slot.options.ell == options.ell &&
@@ -175,19 +187,20 @@ const KptEstimator& RrSampleStore::EnsureKpt(
 }
 
 std::size_t RrSampleStore::NumEntries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t RrSampleStore::TotalArenaBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t bytes = 0;
-  for (const auto& [signature, entry] : entries_) {
+  for (const auto& kv : entries_) {
     // The per-entry mutex orders this read against concurrent top-up
     // growth (metrics pollers call this from other threads); the store
     // mutex alone only protects the entry map. Lock order store -> entry
     // matches every other path.
-    std::lock_guard<std::mutex> entry_lock(entry->mutex_);
+    AdPool* const entry = kv.second.get();
+    MutexLock entry_lock(entry->mutex_);
     bytes += entry->pool_.MemoryBytes();
   }
   return bytes;

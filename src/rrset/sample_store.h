@@ -35,13 +35,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "graph/graph.h"
 #include "rrset/kpt_estimator.h"
@@ -87,25 +88,32 @@ class RrSetPool {
   /// serialize on an internal mutex). Reading the returned transpose while
   /// a *later* EnsureTranspose extends it follows the same discipline as
   /// the arena: don't read while another thread may be growing the pool.
-  const CoverageTranspose& EnsureTranspose(std::uint32_t up_to) const;
+  const CoverageTranspose& EnsureTranspose(std::uint32_t up_to) const
+      TIRM_EXCLUDES(transpose_mutex_);
 
   /// Bytes of the lazily built transpose (0 until first EnsureTranspose);
   /// included in MemoryBytes().
-  std::size_t TransposeBytes() const;
+  std::size_t TransposeBytes() const TIRM_EXCLUDES(transpose_mutex_);
 
   /// Exact bytes held (arena + inverted index + transpose + bookkeeping),
   /// from container capacities.
-  std::size_t MemoryBytes() const;
+  std::size_t MemoryBytes() const TIRM_EXCLUDES(transpose_mutex_);
 
  private:
   NodeId num_nodes_;
+  // The arena members below are deliberately NOT capability-guarded: a
+  // pool is mutated only through its owning AdPool (whose entry mutex
+  // serializes top-ups) and read by coverage views under the documented
+  // "no reads during a top-up" discipline (see the file comment) — an
+  // external contract the analysis cannot see from here.
   std::vector<std::size_t> set_offsets_;  // size #sets+1
   std::vector<NodeId> set_nodes_;         // flattened members (the arena)
   std::vector<std::vector<std::uint32_t>> index_;  // node -> set ids
   // Lazy packed transpose for the bitmap coverage kernel — logically const
   // derived state, hence buildable through const accessors.
-  mutable std::mutex transpose_mutex_;
-  mutable std::unique_ptr<CoverageTranspose> transpose_;
+  mutable Mutex transpose_mutex_;
+  mutable std::unique_ptr<CoverageTranspose> transpose_
+      TIRM_GUARDED_BY(transpose_mutex_);
 };
 
 /// Sample-reuse diagnostics of one allocator run (surfaced through
@@ -155,18 +163,30 @@ class RrSampleStore {
   /// except for read access to the pool.
   class AdPool {
    public:
-    const RrSetPool& sets() const { return pool_; }
+    /// Read access to the pooled sets. Deliberately outside the capability
+    /// analysis (the pool is mutex-guarded for *growth*): a completed
+    /// EnsureSets call hands the caller a stable prefix to read without
+    /// the entry mutex, under the file-comment discipline that no reader
+    /// overlaps a top-up of the same entry.
+    const RrSetPool& sets() const TIRM_NO_THREAD_SAFETY_ANALYSIS {
+      return pool_;
+    }
     ~AdPool();
 
    private:
     friend class RrSampleStore;
-    AdPool(NodeId num_nodes, std::uint64_t base_seed);
+    AdPool(const Graph& graph, std::uint64_t base_seed,
+           std::span<const float> edge_probs, int num_threads);
 
-    RrSetPool pool_;
+    Mutex mutex_;
+    RrSetPool pool_ TIRM_GUARDED_BY(mutex_);
+    std::uint64_t chunks_sampled_ TIRM_GUARDED_BY(mutex_) = 0;
+
+    // Immutable after the constructor (set before the entry is published
+    // out of RrSampleStore::Acquire), hence unguarded.
     std::uint64_t base_seed_;
     std::span<const float> edge_probs_;
     std::unique_ptr<ParallelRrBuilder> builder_;
-    std::uint64_t chunks_sampled_ = 0;
 
     // One estimator per requested (options, s) — appended, never replaced,
     // so references handed out by EnsureKpt stay valid for the entry's
@@ -176,9 +196,7 @@ class RrSampleStore {
       std::uint64_t s = 0;
       std::unique_ptr<KptEstimator> estimator;
     };
-    std::vector<KptSlot> kpt_slots_;
-
-    std::mutex mutex_;
+    std::vector<KptSlot> kpt_slots_ TIRM_GUARDED_BY(mutex_);
   };
 
   /// Outcome of one EnsureSets call.
@@ -210,7 +228,8 @@ class RrSampleStore {
   /// `edge_probs` is the ad's Eq. 1 probability array; it must stay alive
   /// while the store can still top this entry up (instances sharing a
   /// materialized probability cache guarantee that). Thread-safe.
-  AdPool* Acquire(std::uint64_t signature, std::span<const float> edge_probs);
+  AdPool* Acquire(std::uint64_t signature, std::span<const float> edge_probs)
+      TIRM_EXCLUDES(mutex_);
 
   /// Grows `entry`'s pool to at least `min_sets` sets (rounded up to whole
   /// chunks; no-op when already large enough). `already_attached` is the
@@ -220,7 +239,8 @@ class RrSampleStore {
   /// calls for one entry serialize and the pool content is independent of
   /// how the growth was split across calls.
   EnsureResult EnsureSets(AdPool* entry, std::uint64_t min_sets,
-                          std::uint64_t already_attached = 0);
+                          std::uint64_t already_attached = 0)
+      TIRM_EXCLUDES(entry->mutex_);
 
   /// KPT estimation over `entry`'s sampling streams, cached: the geometric
   /// width sampling runs once per (options, s) and later calls reuse the
@@ -229,26 +249,28 @@ class RrSampleStore {
   /// whether sampling was skipped.
   const KptEstimator& EnsureKpt(AdPool* entry,
                                 const KptEstimator::Options& options,
-                                std::uint64_t s, bool* cache_hit = nullptr);
+                                std::uint64_t s, bool* cache_hit = nullptr)
+      TIRM_EXCLUDES(entry->mutex_);
 
   const Graph* graph() const { return graph_; }
   const Options& options() const { return options_; }
 
-  std::size_t NumEntries() const;
+  std::size_t NumEntries() const TIRM_EXCLUDES(mutex_);
   /// Exact bytes across every pooled entry. Safe to call concurrently
   /// with top-ups (takes each entry's mutex), so metrics pollers may read
   /// from any thread.
-  std::size_t TotalArenaBytes() const;
+  std::size_t TotalArenaBytes() const TIRM_EXCLUDES(mutex_);
   /// Store-lifetime counters (reused/sampled/top-ups/KPT hits). Same
   /// thread-safety as TotalArenaBytes.
-  SampleCacheStats LifetimeStats() const;
+  SampleCacheStats LifetimeStats() const TIRM_EXCLUDES(mutex_);
 
  private:
   const Graph* graph_;
   Options options_;
 
-  mutable std::mutex mutex_;  // guards entries_
-  std::unordered_map<std::uint64_t, std::unique_ptr<AdPool>> entries_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<AdPool>> entries_
+      TIRM_GUARDED_BY(mutex_);
 
   std::atomic<std::uint64_t> reused_sets_{0};
   std::atomic<std::uint64_t> sampled_sets_{0};

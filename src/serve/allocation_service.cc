@@ -49,7 +49,7 @@ AllocationService::AllocationService(InstanceFactory factory, Options options)
 AllocationService::~AllocationService() { Stop(); }
 
 void AllocationService::Start() {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   if (started_ || stopped_) return;
   started_ = true;
   // Build the per-worker engines sequentially: the factory need not be
@@ -68,13 +68,19 @@ void AllocationService::Start() {
 }
 
 void AllocationService::Stop() {
+  // Claim the worker threads under the lock, then close and join without
+  // it: joining must not hold lifecycle_mutex_ (workers briefly take it to
+  // resolve their engine), and handing the vector out of the guarded state
+  // keeps the capability analysis exact about who may touch threads_.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     if (stopped_) return;
     stopped_ = true;
+    workers.swap(threads_);
   }
   queue_.Close();
-  for (std::thread& t : threads_) {
+  for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
   // Anything still queued was admitted but never dequeued (the service was
@@ -94,7 +100,7 @@ void AllocationService::Stop() {
 }
 
 bool AllocationService::started() const {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   return started_;
 }
 
@@ -156,7 +162,7 @@ std::vector<AllocationResponse> AllocationService::SubmitSweep(
 
 SampleCacheStats AllocationService::StoreStats() const {
   SampleCacheStats total;
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   for (const std::unique_ptr<AdAllocEngine>& engine : engines_) {
     const RrSampleStore* store = engine->sample_store();
     if (store == nullptr) continue;
@@ -174,14 +180,22 @@ SampleCacheStats AllocationService::StoreStats() const {
 }
 
 const AdAllocEngine& AllocationService::engine(int w) const {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   TIRM_CHECK(w >= 0 && static_cast<std::size_t>(w) < engines_.size())
       << "engine(" << w << "): service not started or index out of range";
   return *engines_[static_cast<std::size_t>(w)];
 }
 
 void AllocationService::WorkerLoop(int worker_index) {
-  AdAllocEngine& engine = *engines_[static_cast<std::size_t>(worker_index)];
+  // Resolve this worker's engine under the lifecycle lock; the pointee is
+  // stable for the service's lifetime (engines_ is append-only in Start()
+  // and never shrunk), so the loop below runs lock-free on it.
+  AdAllocEngine* engine_ptr = nullptr;
+  {
+    MutexLock lock(lifecycle_mutex_);
+    engine_ptr = engines_[static_cast<std::size_t>(worker_index)].get();
+  }
+  AdAllocEngine& engine = *engine_ptr;
   while (std::optional<Job> job = queue_.Pop()) {
     const double waited =
         std::chrono::duration<double>(Clock::now() - job->admitted_at).count();

@@ -49,6 +49,8 @@
 
 #include "api/ad_alloc_engine.h"
 #include "api/allocator_config.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "datasets/dataset.h"
 #include "serve/request_queue.h"
 #include "serve/service_metrics.h"
@@ -133,12 +135,12 @@ class AllocationService {
 
   /// Builds the worker engines (sequentially, one factory call each) and
   /// launches the workers. Idempotent.
-  void Start();
+  void Start() TIRM_EXCLUDES(lifecycle_mutex_);
 
   /// Graceful shutdown: closes admission, serves everything already
   /// queued, joins the workers. Requests never dequeued (service stopped
   /// without Start()) are answered Unavailable in-band. Idempotent.
-  void Stop();
+  void Stop() TIRM_EXCLUDES(lifecycle_mutex_);
 
   /// Non-blocking admission: Unavailable when the queue is full or the
   /// service is stopping — the typed reject IS the admission control.
@@ -164,14 +166,14 @@ class AllocationService {
 
   /// Resolved worker count.
   int num_workers() const { return num_workers_; }
-  bool started() const;
+  bool started() const TIRM_EXCLUDES(lifecycle_mutex_);
 
   /// Aggregated lifetime sample-cache stats over every worker engine's
   /// store (arena bytes summed across the per-worker copies).
-  SampleCacheStats StoreStats() const;
+  SampleCacheStats StoreStats() const TIRM_EXCLUDES(lifecycle_mutex_);
 
   /// Worker `w`'s engine (for goldens and stats; valid after Start()).
-  const AdAllocEngine& engine(int w) const;
+  const AdAllocEngine& engine(int w) const TIRM_EXCLUDES(lifecycle_mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -184,7 +186,7 @@ class AllocationService {
 
   Job MakeJob(AllocationRequest request,
               std::future<AllocationResponse>* future);
-  void WorkerLoop(int worker_index);
+  void WorkerLoop(int worker_index) TIRM_EXCLUDES(lifecycle_mutex_);
 
   InstanceFactory factory_;
   Options options_;
@@ -192,11 +194,12 @@ class AllocationService {
   BoundedQueue<Job> queue_;
   ServiceMetrics metrics_;
 
-  mutable std::mutex lifecycle_mutex_;  // guards started_/stopped_/threads_
-  bool started_ = false;
-  bool stopped_ = false;
-  std::vector<std::unique_ptr<AdAllocEngine>> engines_;
-  std::vector<std::thread> threads_;
+  mutable Mutex lifecycle_mutex_;
+  bool started_ TIRM_GUARDED_BY(lifecycle_mutex_) = false;
+  bool stopped_ TIRM_GUARDED_BY(lifecycle_mutex_) = false;
+  std::vector<std::unique_ptr<AdAllocEngine>> engines_
+      TIRM_GUARDED_BY(lifecycle_mutex_);
+  std::vector<std::thread> threads_ TIRM_GUARDED_BY(lifecycle_mutex_);
 };
 
 }  // namespace serve

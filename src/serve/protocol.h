@@ -47,8 +47,8 @@ namespace serve {
 /// Parses one request line on top of `defaults` (the server's baseline
 /// config/query/timeout; request fields override). Strict: malformed JSON,
 /// unknown keys anywhere, bad numerics, and failed validation all error.
-Result<AllocationRequest> ParseRequest(std::string_view line,
-                                       const AllocationRequest& defaults);
+[[nodiscard]] Result<AllocationRequest> ParseRequest(
+    std::string_view line, const AllocationRequest& defaults);
 
 /// Best-effort id recovery from a line ParseRequest rejected: the string
 /// "id" member if the line is a JSON object carrying one, else "". Lets
@@ -76,7 +76,7 @@ std::string FormatErrorResponse(const std::string& id, const Status& status);
 
 /// Inverts FormatResponse's serialized subset. Fields not on the wire
 /// (per-ad stats, internal revenue vectors) come back default-initialized.
-Result<AllocationResponse> ParseResponse(std::string_view line);
+[[nodiscard]] Result<AllocationResponse> ParseResponse(std::string_view line);
 
 }  // namespace serve
 }  // namespace tirm

@@ -14,15 +14,15 @@
 #ifndef TIRM_SERVE_REQUEST_QUEUE_H_
 #define TIRM_SERVE_REQUEST_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace tirm {
 namespace serve {
@@ -37,15 +37,15 @@ class BoundedQueue {
 
   std::size_t capacity() const { return capacity_; }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const TIRM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   /// Non-blocking admission: Unavailable when the queue is full or closed.
-  Status TryPush(T item) {
+  Status TryPush(T item) TIRM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return Closed();
       if (items_.size() >= capacity_) {
         return Status::Unavailable("request queue full (capacity " +
@@ -54,52 +54,50 @@ class BoundedQueue {
       }
       items_.push_back(std::move(item));
     }
-    consumer_cv_.notify_one();
+    consumer_cv_.NotifyOne();
     return Status::OK();
   }
 
   /// Blocking admission: waits for space; Unavailable only when closed.
-  Status PushWait(T item) {
+  Status PushWait(T item) TIRM_EXCLUDES(mutex_) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      producer_cv_.wait(lock, [this] {
-        return closed_ || items_.size() < capacity_;
-      });
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.size() >= capacity_) producer_cv_.Wait(mutex_);
       if (closed_) return Closed();
       items_.push_back(std::move(item));
     }
-    consumer_cv_.notify_one();
+    consumer_cv_.NotifyOne();
     return Status::OK();
   }
 
   /// Blocks until an item is available or the queue is closed and empty
   /// (then nullopt — the consumer's signal to exit).
-  std::optional<T> Pop() {
+  std::optional<T> Pop() TIRM_EXCLUDES(mutex_) {
     std::optional<T> item;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      consumer_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) consumer_cv_.Wait(mutex_);
       if (items_.empty()) return std::nullopt;  // closed and drained
       item.emplace(std::move(items_.front()));
       items_.pop_front();
     }
-    producer_cv_.notify_one();
+    producer_cv_.NotifyOne();
     return item;
   }
 
   /// Stops admission and wakes every waiter. Admitted items remain
   /// poppable (graceful drain). Idempotent.
-  void Close() {
+  void Close() TIRM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    consumer_cv_.notify_all();
-    producer_cv_.notify_all();
+    consumer_cv_.NotifyAll();
+    producer_cv_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const TIRM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
@@ -109,11 +107,11 @@ class BoundedQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable consumer_cv_;
-  std::condition_variable producer_cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar consumer_cv_;
+  CondVar producer_cv_;
+  std::deque<T> items_ TIRM_GUARDED_BY(mutex_);
+  bool closed_ TIRM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace serve

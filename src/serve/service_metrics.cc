@@ -5,13 +5,13 @@ namespace serve {
 
 void ServiceMetrics::RecordExpired(double queue_seconds) {
   expired_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   queue_latency_.Record(queue_seconds);
 }
 
 void ServiceMetrics::RecordDropped(double queue_seconds) {
   failed_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   queue_latency_.Record(queue_seconds);
 }
 
@@ -22,7 +22,7 @@ void ServiceMetrics::Reset() {
   served_ok_.store(0, std::memory_order_relaxed);
   failed_.store(0, std::memory_order_relaxed);
   expired_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   queue_latency_ = LatencyHistogram();
   serve_latency_ = LatencyHistogram();
 }
@@ -30,7 +30,7 @@ void ServiceMetrics::Reset() {
 void ServiceMetrics::RecordServed(double queue_seconds, double serve_seconds,
                                   bool ok) {
   (ok ? served_ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   queue_latency_.Record(queue_seconds);
   serve_latency_.Record(serve_seconds);
 }
@@ -43,7 +43,7 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.served_ok = served_ok_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   s.queue_count = queue_latency_.count();
   s.queue_mean = queue_latency_.mean();
   s.queue_p50 = queue_latency_.Quantile(0.50);

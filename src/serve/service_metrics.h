@@ -12,9 +12,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tirm {
 namespace serve {
@@ -54,21 +55,22 @@ class ServiceMetrics {
   }
   /// A request whose deadline passed at dequeue; `queue_seconds` still
   /// feeds the queue histogram (expiries are queue-latency signal).
-  void RecordExpired(double queue_seconds);
+  void RecordExpired(double queue_seconds) TIRM_EXCLUDES(mutex_);
   /// A dequeued request that ran; `ok` separates OK responses from in-band
   /// errors (unknown allocator, invalid config, engine failure).
-  void RecordServed(double queue_seconds, double serve_seconds, bool ok);
+  void RecordServed(double queue_seconds, double serve_seconds, bool ok)
+      TIRM_EXCLUDES(mutex_);
   /// A request admitted but never dequeued (service stopped first): counts
   /// toward `failed` but feeds only the queue histogram — the serve
   /// histogram covers requests that actually ran.
-  void RecordDropped(double queue_seconds);
+  void RecordDropped(double queue_seconds) TIRM_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const TIRM_EXCLUDES(mutex_);
 
   /// Zeroes every counter and histogram. For measurement harnesses that
   /// exclude warm-up traffic; call only while the service is idle (no
   /// requests in flight), or the counter identities will not hold.
-  void Reset();
+  void Reset() TIRM_EXCLUDES(mutex_);
 
  private:
   std::atomic<std::uint64_t> received_{0};
@@ -78,9 +80,9 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> expired_{0};
 
-  mutable std::mutex mutex_;  // guards the histograms
-  LatencyHistogram queue_latency_;
-  LatencyHistogram serve_latency_;
+  mutable Mutex mutex_;
+  LatencyHistogram queue_latency_ TIRM_GUARDED_BY(mutex_);
+  LatencyHistogram serve_latency_ TIRM_GUARDED_BY(mutex_);
 };
 
 }  // namespace serve

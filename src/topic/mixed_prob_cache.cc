@@ -11,22 +11,27 @@ MixedProbCache::MixedProbCache(std::size_t num_slots) {
   }
 }
 
+void MixedProbCache::Fill(Slot& slot,
+                          const std::function<std::vector<float>()>& fill) {
+  MutexLock lock(slot.mutex);
+  if (slot.ready.load(std::memory_order_relaxed)) return;  // lost the race
+  slot.probs = fill();
+  slot.ready.store(true, std::memory_order_release);
+}
+
 const std::vector<float>& MixedProbCache::Get(
     std::size_t slot, const std::function<std::vector<float>()>& fill) {
   TIRM_CHECK(slot < slots_.size());
   Slot& s = *slots_[slot];
-  std::call_once(s.once, [&s, &fill] {
-    s.probs = fill();
-    s.ready.store(true, std::memory_order_release);
-  });
-  return s.probs;
+  if (!s.ready.load(std::memory_order_acquire)) Fill(s, fill);
+  return PublishedProbs(s);
 }
 
 std::size_t MixedProbCache::MemoryBytes() const {
   std::size_t total = 0;
   for (const auto& s : slots_) {
     if (s->ready.load(std::memory_order_acquire)) {
-      total += s->probs.capacity() * sizeof(float);
+      total += PublishedProbs(*s).capacity() * sizeof(float);
     }
   }
   return total;

@@ -2,9 +2,11 @@
 //
 // ProblemInstance materializes each ad's Eq. 1 probabilities on first use.
 // The fill must be safe under concurrent first touch (ParallelRrBuilder
-// workers can hit a cold ad simultaneously), so each slot is guarded by a
-// std::once_flag: exactly one thread computes the mix, everyone else
-// blocks until it is visible. Slots never move after construction.
+// workers can hit a cold ad simultaneously): each slot carries its own
+// mutex and a release/acquire `ready` flag — exactly one thread computes
+// the mix under the slot mutex, late arrivals block on that mutex until
+// it is published, and every subsequent read takes the lock-free fast
+// path. Slots never move after construction.
 //
 // The cache is shared (std::shared_ptr) between derived ProblemInstance
 // views — lambda/kappa/beta/budget sweeps over one graph reuse the same
@@ -19,13 +21,15 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tirm {
 
 /// Fixed-slot, fill-once, read-many cache. Noncopyable and nonmovable
-/// (std::once_flag pins the slots); share it via std::shared_ptr.
+/// (the per-slot mutexes pin the slots); share it via std::shared_ptr.
 class MixedProbCache {
  public:
   explicit MixedProbCache(std::size_t num_slots);
@@ -47,10 +51,28 @@ class MixedProbCache {
 
  private:
   struct Slot {
-    std::once_flag once;
-    std::vector<float> probs;
+    Mutex mutex;
+    /// Publication flag: set with release order after `probs` is written
+    /// under `mutex`; an acquire load observing true therefore orders the
+    /// written contents before any lock-free read.
     std::atomic<bool> ready{false};
+    std::vector<float> probs TIRM_GUARDED_BY(mutex);
   };
+
+  /// Slow path: fills the slot under its mutex (double-checks `ready` —
+  /// the caller's unlocked test may have raced a concurrent fill).
+  static void Fill(Slot& slot,
+                   const std::function<std::vector<float>()>& fill)
+      TIRM_EXCLUDES(slot.mutex);
+
+  /// The one deliberate capability-analysis hole: reading a published
+  /// slot without its mutex. Sound because `probs` is written exactly
+  /// once, strictly before the release-store of `ready`, and callers only
+  /// get here after an acquire-load of `ready` observed true (see Fill).
+  static const std::vector<float>& PublishedProbs(const Slot& slot)
+      TIRM_NO_THREAD_SAFETY_ANALYSIS {
+    return slot.probs;
+  }
 
   // unique_ptr per slot: Slot is immovable, and vector must not relocate.
   std::vector<std::unique_ptr<Slot>> slots_;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -429,8 +431,14 @@ TEST_F(BundleCorruptionTest, TableDrivenCorruptionsAreTypedErrors) {
        "foreign byte order"},
       {"unsupported version",
        [](std::vector<char>& b) { b[12] = 99; }, "unsupported"},
+      // min() keeps the new size provably <= size(): GCC 12's
+      // -Wstringop-overflow otherwise sees `size() - 64` as possibly
+      // wrapping under the sanitizer configs and rejects the build.
       {"truncated body",
-       [](std::vector<char>& b) { b.resize(b.size() - 64); }, "truncated"},
+       [](std::vector<char>& b) {
+         b.resize(b.size() - std::min<std::size_t>(b.size(), 64));
+       },
+       "truncated"},
       {"trailing garbage",
        [](std::vector<char>& b) { b.insert(b.end(), 100, 'x'); },
        "truncated"},
@@ -560,8 +568,11 @@ TEST_F(BinaryGraphCorruptionTest, TableDrivenCorruptionsAreTypedErrors) {
        "not a tirm binary graph"},
       {"truncated header",
        [](std::vector<char>& b) { b.resize(12); }, "truncated header"},
+      // min(): see the "truncated body" case above.
       {"truncated edges",
-       [](std::vector<char>& b) { b.resize(b.size() - 4); },
+       [](std::vector<char>& b) {
+         b.resize(b.size() - std::min<std::size_t>(b.size(), 4));
+       },
        "size mismatches"},
       {"trailing garbage",
        [](std::vector<char>& b) { b.push_back('x'); }, "size mismatches"},

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <limits>
 #include <set>
+#include <type_traits>
 #include <vector>
 
 #include "common/flags.h"
@@ -81,6 +82,28 @@ TEST(ResultTest, MoveValueTransfersOwnership) {
   Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
   std::vector<int> v = r.MoveValue();
   EXPECT_EQ(v.size(), 3u);
+}
+
+// Status and Result are declared [[nodiscard]] at class level, so EVERY
+// function returning them warns on a discarded call — the compile-time
+// contract behind TIRM_RETURN_NOT_OK. "Discarding fails the build" is not
+// expressible as a static_assert (an attribute is not introspectable);
+// the negative-compile harness (tests/thread_safety_compile_cases.cc,
+// ctest targets thread_safety_nc_discard_*) asserts exactly that. What IS
+// expressible statically is pinned here.
+TEST(StatusContractTest, NodiscardContract) {
+  static_assert(__has_cpp_attribute(nodiscard) >= 201603L,
+                "[[nodiscard]] must be available: Status/Result rely on it");
+  // Error information must never be lost by value semantics either: both
+  // types stay copyable AND movable, so consuming a Status/Result is
+  // always possible without casts.
+  static_assert(std::is_copy_constructible_v<Status>);
+  static_assert(std::is_move_constructible_v<Status>);
+  static_assert(std::is_copy_constructible_v<Result<int>>);
+  static_assert(std::is_move_constructible_v<Result<int>>);
+  // The sanctioned explicit-discard spelling compiles (and is greppable).
+  auto make = [] { return Status::InvalidArgument("discarded on purpose"); };
+  (void)make();
 }
 
 // -------------------------------------------------------------------- Rng

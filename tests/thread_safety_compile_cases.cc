@@ -1,0 +1,91 @@
+// Negative-compile cases for the concurrency contracts.
+//
+// This TU is compiled several times by tests/CMakeLists.txt:
+//
+//   * with no case macro, as part of the default build — the positive
+//     control proving the correct idioms compile cleanly (under Clang's
+//     -Wthread-safety -Werror=thread-safety when TIRM_WERROR_THREAD_SAFETY
+//     is on);
+//   * once per TIRM_NC_* macro below, as an EXCLUDE_FROM_ALL target whose
+//     build is expected to FAIL (ctest WILL_FAIL) — each case is a
+//     contract violation the toolchain must reject at compile time.
+//
+// The TIRM_NC_DISCARD_* cases fail under ANY compiler with -Werror (the
+// [[nodiscard]] on Status/Result is a standard attribute); the
+// TIRM_NC_GUARDED_* / TIRM_NC_REQUIRES_* cases need Clang's capability
+// analysis and are only registered as tests on that toolchain.
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace tirm {
+namespace nc {
+
+/// The miniature locking surface every case below exercises.
+struct Counter {
+  mutable Mutex mutex;
+  long value TIRM_GUARDED_BY(mutex) = 0;
+};
+
+/// Correct lock-then-touch helper; also the callee for the
+/// requires-unheld violation case.
+long LockedIncrement(Counter& c) TIRM_REQUIRES(c.mutex) { return ++c.value; }
+
+Status ProduceStatus() { return Status::OK(); }
+Result<long> ProduceResult() { return 42L; }
+
+#if defined(TIRM_NC_GUARDED_ACCESS)
+
+// VIOLATION: reads a TIRM_GUARDED_BY member with no lock held.
+// Expected Clang diagnostic: "reading variable 'value' requires holding
+// mutex 'c.mutex'".
+long UnlockedRead(const Counter& c) { return c.value; }
+
+#elif defined(TIRM_NC_REQUIRES_UNHELD)
+
+// VIOLATION: calls a TIRM_REQUIRES function without its capability.
+// Expected Clang diagnostic: "calling function 'LockedIncrement' requires
+// holding mutex 'c.mutex' exclusively".
+long CallWithoutLock(Counter& c) { return LockedIncrement(c); }
+
+#elif defined(TIRM_NC_DISCARD_STATUS)
+
+// VIOLATION: drops a Status on the floor. [[nodiscard]] on the class
+// makes this -Wunused-result, promoted by -Werror on every compiler.
+void DiscardStatus() { ProduceStatus(); }
+
+#elif defined(TIRM_NC_DISCARD_RESULT)
+
+// VIOLATION: same for Result<T> — losing the error and the value.
+void DiscardResult() { ProduceResult(); }
+
+#else
+
+// Positive control: the idioms the contracts are meant to permit.
+
+long ReadWithLock(const Counter& c) TIRM_EXCLUDES(c.mutex) {
+  MutexLock lock(c.mutex);
+  return c.value;
+}
+
+long IncrementWithLock(Counter& c) TIRM_EXCLUDES(c.mutex) {
+  MutexLock lock(c.mutex);
+  return LockedIncrement(c);
+}
+
+Status ConsumeStatus() {
+  Status s = ProduceStatus();
+  TIRM_RETURN_NOT_OK(s);
+  return Status::OK();
+}
+
+long ConsumeResult() {
+  Result<long> r = ProduceResult();
+  return r.ok() ? r.value() : 0L;
+}
+
+#endif
+
+}  // namespace nc
+}  // namespace tirm
