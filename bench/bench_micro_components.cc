@@ -17,9 +17,11 @@
 #include "diffusion/possible_world.h"
 #include "graph/generators.h"
 #include "rrset/coverage_bitmap.h"
+#include "rrset/parallel_rr_builder.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 #include "rrset/sample_store.h"
+#include "rrset/sampler_kernel.h"
 
 namespace {
 
@@ -260,6 +262,216 @@ void BM_CoverageKernelSpeedup(benchmark::State& state) {
   state.SetLabel(std::string("simd tier: ") + ActiveCoverageOps().name);
 }
 BENCHMARK(BM_CoverageKernelSpeedup)->Arg(80000)->Iterations(1);
+
+// ------------------------------------------------- sampling-kernel section
+// Compares the two reverse-BFS inner loops of rrset/sampler_kernel.h and
+// the two pool-write paths of rrset/sample_store.h. Every benchmark here
+// starts with BM_Sampling so CI's --benchmark_filter='BM_Sampling' emits
+// exactly this section into BENCH_sampling.json.
+
+// Denser weighted-cascade instance than Fixture: the skip kernel's win
+// scales with 1/p = indeg, so the sampling gate measures at a mean in-degree
+// (~39, mean p ~ 0.026) representative of the paper's social graphs rather
+// than the sparse coverage fixture.
+struct SamplingFixture {
+  Graph graph;
+  std::vector<float> probs;
+
+  static const SamplingFixture& Get() {
+    static const SamplingFixture* f = [] {
+      auto* fx = new SamplingFixture();
+      Rng rng(43);
+      fx->graph = RMatGraph(12, 160000, rng);  // 4096 nodes
+      EdgeProbabilities ep = EdgeProbabilities::WeightedCascade(fx->graph);
+      fx->probs.resize(fx->graph.num_edges());
+      for (EdgeId e = 0; e < fx->graph.num_edges(); ++e) {
+        fx->probs[e] = ep.Prob(e, 0);
+      }
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+SamplerKernel SamplerKernelArg(const benchmark::State& state) {
+  return state.range(0) == 0 ? SamplerKernel::kClassic : SamplerKernel::kSkip;
+}
+
+void BM_SamplingKernel(benchmark::State& state) {
+  const SamplingFixture& f = SamplingFixture::Get();
+  RrSampler sampler(f.graph, f.probs, SamplerKernelArg(state));
+  Rng rng(1);
+  std::vector<NodeId> set;
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    sampler.SampleInto(rng, set);
+    edges += sampler.last_width();
+    benchmark::DoNotOptimize(set.data());
+  }
+  // items/sec == sets/sec; the counter reports the edge-examination rate
+  // (widths are kernel-invariant in expectation, so this is comparable).
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(edges), benchmark::Counter::kIsRate);
+  state.SetLabel(SamplerKernelName(sampler.kernel()));
+}
+BENCHMARK(BM_SamplingKernel)->Arg(0)->Arg(1);
+
+// Wall-clock milliseconds to sample `num_sets` RR sets with `kernel`,
+// accumulating the examined-edge count into `edges`.
+double SampleSetsMs(SamplerKernel kernel, int num_sets, std::uint64_t* edges) {
+  const SamplingFixture& f = SamplingFixture::Get();
+  RrSampler sampler(f.graph, f.probs, kernel);
+  Rng rng(9);
+  std::vector<NodeId> set;
+  *edges = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < num_sets; ++i) {
+    sampler.SampleInto(rng, set);
+    *edges += sampler.last_width();
+    benchmark::DoNotOptimize(set.data());
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+// Headline summary for BENCH_sampling.json: best-of-5 sampling time per
+// kernel at bench θ, sets/sec and ns/edge per kernel, and the speedup (the
+// tentpole's >= 2x acceptance gate reads the "speedup" counter).
+void BM_SamplingKernelSpeedup(benchmark::State& state) {
+  const int num_sets = static_cast<int>(state.range(0));
+  double classic_ms = 0.0, skip_ms = 0.0;
+  std::uint64_t classic_edges = 0, skip_edges = 0;
+  for (auto _ : state) {
+    for (int rep = 0; rep < 5; ++rep) {
+      std::uint64_t edges = 0;
+      const double c = SampleSetsMs(SamplerKernel::kClassic, num_sets, &edges);
+      if (rep == 0 || c < classic_ms) {
+        classic_ms = c;
+        classic_edges = edges;
+      }
+      const double s = SampleSetsMs(SamplerKernel::kSkip, num_sets, &edges);
+      if (rep == 0 || s < skip_ms) {
+        skip_ms = s;
+        skip_edges = edges;
+      }
+    }
+  }
+  const double sets = static_cast<double>(num_sets);
+  state.counters["classic_ms"] = classic_ms;
+  state.counters["skip_ms"] = skip_ms;
+  state.counters["speedup"] = skip_ms > 0.0 ? classic_ms / skip_ms : 0.0;
+  state.counters["classic_sets_per_sec"] = sets / (classic_ms * 1e-3);
+  state.counters["skip_sets_per_sec"] = sets / (skip_ms * 1e-3);
+  state.counters["classic_ns_per_edge"] =
+      classic_ms * 1e6 / static_cast<double>(classic_edges);
+  state.counters["skip_ns_per_edge"] =
+      skip_ms * 1e6 / static_cast<double>(skip_edges);
+}
+BENCHMARK(BM_SamplingKernelSpeedup)->Arg(20000)->Iterations(1);
+
+// --------------------------------------------------- pool-write data path
+// Legacy append (worker parts -> merged batch copy -> per-set AddSet copy)
+// vs arena-direct adoption (worker parts moved wholesale into the pool,
+// index built batched). Sampling itself is excluded: the parts are drawn
+// once and the write paths replayed from them.
+
+const std::vector<ParallelRrBuilder::Batch>& SharedSampledParts(int num_sets) {
+  static std::map<int, std::vector<ParallelRrBuilder::Batch>>* cache =
+      new std::map<int, std::vector<ParallelRrBuilder::Batch>>();
+  auto it = cache->find(num_sets);
+  if (it == cache->end()) {
+    const SamplingFixture& f = SamplingFixture::Get();
+    ParallelRrBuilder builder(f.graph, f.probs, {.num_threads = 4});
+    Rng master(11);
+    it = cache
+             ->emplace(num_sets, builder.SampleChunks(
+                                     static_cast<std::uint64_t>(num_sets),
+                                     master))
+             .first;
+  }
+  return it->second;
+}
+
+double LegacyWriteMs(const std::vector<ParallelRrBuilder::Batch>& parts,
+                     NodeId num_nodes) {
+  const auto start = std::chrono::steady_clock::now();
+  // The pre-arena merge: concatenate worker parts into one flat batch...
+  ParallelRrBuilder::Batch merged;
+  merged.offsets.push_back(0);
+  for (const auto& p : parts) {
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      const auto set = p.Set(k);
+      merged.nodes.insert(merged.nodes.end(), set.begin(), set.end());
+      merged.offsets.push_back(merged.nodes.size());
+    }
+  }
+  // ...then append set by set into the pool (the second copy).
+  RrSetPool pool(num_nodes);
+  for (std::size_t k = 0; k < merged.size(); ++k) pool.AddSet(merged.Set(k));
+  benchmark::DoNotOptimize(pool.NumSets());
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+double ArenaWriteMs(std::vector<ParallelRrBuilder::Batch> parts,
+                    NodeId num_nodes) {
+  // `parts` is a by-value clone (made outside the timed region by the
+  // caller); adoption consumes the buffers.
+  const auto start = std::chrono::steady_clock::now();
+  RrSetPool pool(num_nodes);
+  for (auto& p : parts) pool.AdoptChunk(std::move(p.nodes), p.offsets);
+  benchmark::DoNotOptimize(pool.NumSets());
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+void BM_SamplingStoreWrite(benchmark::State& state) {
+  const SamplingFixture& f = SamplingFixture::Get();
+  const int num_sets = static_cast<int>(state.range(0));
+  const auto& parts = SharedSampledParts(num_sets);
+  const bool arena = state.range(1) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ParallelRrBuilder::Batch> clone = parts;
+    state.ResumeTiming();
+    if (arena) {
+      RrSetPool pool(f.graph.num_nodes());
+      for (auto& p : clone) pool.AdoptChunk(std::move(p.nodes), p.offsets);
+      benchmark::DoNotOptimize(pool.NumSets());
+    } else {
+      benchmark::DoNotOptimize(LegacyWriteMs(parts, f.graph.num_nodes()));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          num_sets);
+  state.SetLabel(arena ? "arena-direct adopt" : "legacy merge+append");
+}
+BENCHMARK(BM_SamplingStoreWrite)->Args({40000, 0})->Args({40000, 1});
+
+// Best-of-5 summary: the arena-direct acceptance gate reads "speedup".
+void BM_SamplingStoreWriteSpeedup(benchmark::State& state) {
+  const SamplingFixture& f = SamplingFixture::Get();
+  const int num_sets = static_cast<int>(state.range(0));
+  const auto& parts = SharedSampledParts(num_sets);
+  double legacy_ms = 0.0, arena_ms = 0.0;
+  for (auto _ : state) {
+    for (int rep = 0; rep < 5; ++rep) {
+      const double l = LegacyWriteMs(parts, f.graph.num_nodes());
+      if (rep == 0 || l < legacy_ms) legacy_ms = l;
+      std::vector<ParallelRrBuilder::Batch> clone = parts;
+      const double a = ArenaWriteMs(std::move(clone), f.graph.num_nodes());
+      if (rep == 0 || a < arena_ms) arena_ms = a;
+    }
+  }
+  const double sets = static_cast<double>(num_sets);
+  state.counters["legacy_ms"] = legacy_ms;
+  state.counters["arena_ms"] = arena_ms;
+  state.counters["speedup"] = arena_ms > 0.0 ? legacy_ms / arena_ms : 0.0;
+  state.counters["legacy_sets_per_sec"] = sets / (legacy_ms * 1e-3);
+  state.counters["arena_sets_per_sec"] = sets / (arena_ms * 1e-3);
+}
+BENCHMARK(BM_SamplingStoreWriteSpeedup)->Arg(40000)->Iterations(1);
 
 void BM_IrieRankIteration(benchmark::State& state) {
   const Fixture& f = Fixture::Get();

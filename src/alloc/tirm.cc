@@ -168,8 +168,10 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     std::uint64_t store_seed = options.sample_store_seed;
     if (store_seed == 0) store_seed = rng.Fork(0x5707).NextUInt64();
     local_store.emplace(
-        &graph, RrSampleStore::Options{.seed = store_seed,
-                                       .num_threads = options.num_threads});
+        &graph,
+        RrSampleStore::Options{.seed = store_seed,
+                               .num_threads = options.num_threads,
+                               .sampler_kernel = options.sampler_kernel});
     store = &*local_store;
   } else {
     TIRM_CHECK(store->graph() == &graph)
@@ -202,6 +204,8 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
         store->EnsureSets(st->entry, st->theta);
     result.cache.sampled_sets += ensured.sampled;
     result.cache.reused_sets += ensured.reused;
+    result.cache.max_traversal =
+        std::max(result.cache.max_traversal, ensured.max_traversal);
     if (ensured.sampled > 0) ++result.cache.top_ups;
 
     if (options.ctp_aware_coverage) {
@@ -372,6 +376,8 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
                               st.theta);
         result.cache.sampled_sets += ensured.sampled;
         result.cache.reused_sets += ensured.reused;
+        result.cache.max_traversal =
+            std::max(result.cache.max_traversal, ensured.max_traversal);
         if (ensured.sampled > 0) ++result.cache.top_ups;
         const std::uint64_t old_theta = st.theta;
         st.theta = new_theta;

@@ -120,6 +120,13 @@ struct TirmOptions {
   /// postings-scan reference implementation. Selections are bit-identical
   /// across kernels (golden-gated), so this is a pure performance switch.
   CoverageKernel coverage_kernel = CoverageKernel::kAuto;
+  /// RR-sampling kernel (rrset/sampler_kernel.h): kAuto resolves to the
+  /// classic per-edge reference; kSkip replaces per-edge coins with
+  /// geometric jumps on uniform-probability rows — deterministic per seed
+  /// but on a different random stream, so allocations are statistically
+  /// equivalent (gated), not bit-identical. Applies to the private store
+  /// only; a shared `sample_store` keeps its own configured kernel.
+  SamplerKernel sampler_kernel = SamplerKernel::kAuto;
 };
 
 /// Runs TIRM on `instance`. Deterministic given `rng`'s seed.

@@ -41,6 +41,7 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "alloc/allocator.h"
 #include "common/mutex.h"
@@ -169,13 +170,13 @@ class AdAllocEngine {
   /// heap-held) so the capability analysis can name it statically; the
   /// explicit move constructor above is what keeps the engine movable.
   mutable Mutex store_mutex_;
-  /// One store per *resolved* sampling worker count, created lazily: pool
-  /// contents are deterministic per fixed thread count, so runs with
-  /// different --threads must not share pools or the reuse-on/off
-  /// bit-identical contract would break. In practice an engine serves one
-  /// thread count and this holds a single store.
-  std::map<int, std::unique_ptr<RrSampleStore>> stores_
-      TIRM_GUARDED_BY(store_mutex_);
+  /// One store per (resolved sampling worker count, resolved sampler
+  /// kernel), created lazily: pool contents are deterministic per fixed
+  /// thread count and kernel, so runs differing in either must not share
+  /// pools or the reuse-on/off bit-identical contract would break. In
+  /// practice an engine serves one combination and this holds one store.
+  std::map<std::pair<int, SamplerKernel>, std::unique_ptr<RrSampleStore>>
+      stores_ TIRM_GUARDED_BY(store_mutex_);
   const RrSampleStore* last_store_ TIRM_GUARDED_BY(store_mutex_) = nullptr;
 };
 

@@ -102,6 +102,7 @@ Result<AllocatorConfig> AllocatorConfig::FromFlags(const Flags& flags,
       boolean("exact_selection_fallback", c.exact_selection_fallback);
   c.ctp_aware_coverage = boolean("ctp_aware_coverage", c.ctp_aware_coverage);
   c.coverage_kernel = flags.GetString("coverage_kernel", c.coverage_kernel);
+  c.sampler_kernel = flags.GetString("sampler_kernel", c.sampler_kernel);
   c.irie_alpha = num("irie_alpha", c.irie_alpha);
   c.irie_rank_iterations = static_cast<int>(
       bounded("irie_rank_iterations", c.irie_rank_iterations, 1, 1000000));
@@ -153,6 +154,7 @@ Status AllocatorConfig::Validate() const {
     return Status::InvalidArgument("mc_sims must be >= 1");
   }
   TIRM_RETURN_NOT_OK(ParseCoverageKernel(coverage_kernel).status());
+  TIRM_RETURN_NOT_OK(ParseSamplerKernel(sampler_kernel).status());
   return Status::OK();
 }
 
@@ -173,6 +175,8 @@ TirmOptions AllocatorConfig::MakeTirmOptions() const {
   // mutated after validation) falls back to kAuto.
   Result<CoverageKernel> kernel = ParseCoverageKernel(coverage_kernel);
   o.coverage_kernel = kernel.ok() ? kernel.value() : CoverageKernel::kAuto;
+  Result<SamplerKernel> sampling = ParseSamplerKernel(sampler_kernel);
+  o.sampler_kernel = sampling.ok() ? sampling.value() : SamplerKernel::kAuto;
   o.sample_store = sample_store;
   o.sample_store_seed = sample_store_seed;
   return o;

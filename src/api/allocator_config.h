@@ -49,6 +49,11 @@ struct AllocatorConfig {
   /// "bitmap", or "scalar" (postings-scan reference). Pure performance
   /// switch — selections are bit-identical across kernels.
   std::string coverage_kernel = "auto";
+  /// RR-sampling kernel: "auto" (classic per-edge coins, the bit-stable
+  /// golden reference), "classic", or "skip" (geometric jumps on uniform-
+  /// probability rows — statistically equivalent, different random stream;
+  /// see rrset/sampler_kernel.h).
+  std::string sampler_kernel = "auto";
 
   // -- GREEDY-IRIE knobs.
   double irie_alpha = 0.8;          ///< damping (paper-tuned quality value)

@@ -14,8 +14,12 @@ ParallelRrBuilder::ParallelRrBuilder(const Graph& graph,
     : graph_(graph),
       edge_probs_(edge_probs),
       num_threads_(ResolveThreadCount(options.num_threads)),
-      min_parallel_batch_(options.min_parallel_batch) {
+      min_parallel_batch_(options.min_parallel_batch),
+      sampler_kernel_(ResolveSamplerKernel(options.sampler_kernel)) {
   TIRM_CHECK_EQ(edge_probs_.size(), graph_.num_edges());
+  if (sampler_kernel_ == SamplerKernel::kSkip) {
+    rows_ = std::make_unique<SamplerRowClass>(graph_, edge_probs_);
+  }
   samplers_.resize(static_cast<std::size_t>(num_threads_));
 }
 
@@ -28,9 +32,13 @@ ParallelRrBuilder::ParallelRrBuilder(const Graph& graph,
       node_ctps_(node_ctps),
       with_ctp_(true),
       num_threads_(ResolveThreadCount(options.num_threads)),
-      min_parallel_batch_(options.min_parallel_batch) {
+      min_parallel_batch_(options.min_parallel_batch),
+      sampler_kernel_(ResolveSamplerKernel(options.sampler_kernel)) {
   TIRM_CHECK_EQ(edge_probs_.size(), graph_.num_edges());
   TIRM_CHECK_EQ(node_ctps_.size(), graph_.num_nodes());
+  if (sampler_kernel_ == SamplerKernel::kSkip) {
+    rows_ = std::make_unique<SamplerRowClass>(graph_, edge_probs_);
+  }
   samplers_.resize(static_cast<std::size_t>(num_threads_));
 }
 
@@ -38,8 +46,10 @@ RrSampler& ParallelRrBuilder::SamplerFor(int worker) {
   auto& slot = samplers_[static_cast<std::size_t>(worker)];
   if (slot == nullptr) {
     slot = with_ctp_
-               ? std::make_unique<RrSampler>(graph_, edge_probs_, node_ctps_)
-               : std::make_unique<RrSampler>(graph_, edge_probs_);
+               ? std::make_unique<RrSampler>(graph_, edge_probs_, node_ctps_,
+                                             sampler_kernel_, rows_.get())
+               : std::make_unique<RrSampler>(graph_, edge_probs_,
+                                             sampler_kernel_, rows_.get());
   }
   return *slot;
 }
@@ -60,17 +70,9 @@ ParallelRrBuilder::Batch ParallelRrBuilder::SampleSetsOnly(std::uint64_t count,
   return SampleImpl(count, master, /*keep_sets=*/true, /*keep_stats=*/false);
 }
 
-void ParallelRrBuilder::SampleSetsInto(
-    std::uint64_t count, Rng& master,
-    const std::function<void(std::span<const NodeId>)>& sink) {
-  const std::vector<Batch> parts =
-      SampleParts(count, master, /*keep_sets=*/true, /*keep_stats=*/false);
-  std::uint64_t emitted = 0;
-  for (const Batch& p : parts) {
-    for (std::size_t k = 0; k < p.size(); ++k) sink(p.Set(k));
-    emitted += p.size();
-  }
-  TIRM_CHECK_EQ(emitted, count);
+std::vector<ParallelRrBuilder::Batch> ParallelRrBuilder::SampleChunks(
+    std::uint64_t count, Rng& master) {
+  return SampleParts(count, master, /*keep_sets=*/true, /*keep_stats=*/false);
 }
 
 std::vector<ParallelRrBuilder::Batch> ParallelRrBuilder::SampleParts(
@@ -97,6 +99,9 @@ std::vector<ParallelRrBuilder::Batch> ParallelRrBuilder::SampleParts(
     const std::uint64_t quota =
         base + (static_cast<std::uint64_t>(w) < rem ? 1 : 0);
     RrSampler& sampler = SamplerFor(w);
+    // Samplers are reused across batches; drop any coins buffered from a
+    // previous batch's stream so this part is a pure function of `rng`.
+    sampler.ResetStreamState();
     Rng& rng = streams[static_cast<std::size_t>(w)];
     Batch& part = parts[static_cast<std::size_t>(w)];
     if (keep_sets) {
@@ -110,6 +115,8 @@ std::vector<ParallelRrBuilder::Batch> ParallelRrBuilder::SampleParts(
     std::vector<NodeId> scratch;
     for (std::uint64_t t = 0; t < quota; ++t) {
       const NodeId root = sampler.SampleInto(rng, scratch);
+      part.max_traversal = std::max(part.max_traversal,
+                                    sampler.last_traversal());
       if (keep_sets) {
         part.nodes.insert(part.nodes.end(), scratch.begin(), scratch.end());
         part.offsets.push_back(part.nodes.size());
@@ -146,6 +153,9 @@ ParallelRrBuilder::Batch ParallelRrBuilder::SampleImpl(std::uint64_t count,
       SampleParts(count, master, keep_sets, keep_stats);
   // Concatenate in worker order — deterministic regardless of scheduling.
   Batch out;
+  for (const Batch& p : parts) {
+    out.max_traversal = std::max(out.max_traversal, p.max_traversal);
+  }
   if (!keep_sets) {
     std::size_t total_sets = 0;
     for (const Batch& p : parts) total_sets += p.widths.size();

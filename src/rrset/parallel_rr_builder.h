@@ -3,25 +3,37 @@
 // RrSampler is deliberately "not thread-safe; create one per thread" — this
 // builder does exactly that: it owns one RrSampler per worker slot and fans a
 // requested batch of `count` sets out across N threads. Determinism is
-// preserved for a fixed (master RNG state, count, thread count):
+// preserved for a fixed (master RNG state, count, thread count, kernel):
 //
 //  * the master Rng forks one child stream per worker, sequentially, on the
 //    calling thread (Rng::Fork is deterministic in state and salt);
 //  * worker i samples a fixed contiguous chunk of the batch with its own
 //    sampler and its own stream, writing into worker-local storage;
-//  * chunks are concatenated in worker order, so the resulting Batch is
+//  * chunks are concatenated (or adopted) in worker order, so the result is
 //    byte-identical no matter how the OS schedules the threads.
 //
 // The produced Batch carries the flattened sets, their roots, and the TIM
 // widths w(R) (sum of in-degrees over the traversal), so both KPT estimation
 // and θ-driven collection growth can consume the same output without
 // resampling.
+//
+// Arena-direct consumption: SampleChunks exposes the worker-local parts
+// *before* the concatenation copy, still in deterministic worker order.
+// RrSetPool::AdoptChunk moves each part's flattened node buffer into the
+// pool arena wholesale, which removes both copies of the legacy path
+// (worker part -> merged Batch -> pool arena). SampleSetsInto streams
+// per-set spans over the same parts for sinks that genuinely need per-set
+// granularity.
+//
+// The sampler kernel (Options::sampler_kernel, rrset/sampler_kernel.h)
+// switches every worker between the classic per-edge loop and the
+// geometric-skip loop; the builder precomputes one shared SamplerRowClass
+// for all workers when skip is selected.
 
 #ifndef TIRM_RRSET_PARALLEL_RR_BUILDER_H_
 #define TIRM_RRSET_PARALLEL_RR_BUILDER_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -29,12 +41,13 @@
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "rrset/rr_sampler.h"
+#include "rrset/sampler_kernel.h"
 
 namespace tirm {
 
 /// Fans RR/RRC-set sampling out over worker threads; deterministic in
-/// (master seed, batch size, thread count). Reusable across batches; not
-/// itself thread-safe (one builder per orchestrating thread).
+/// (master seed, batch size, thread count, sampler kernel). Reusable across
+/// batches; not itself thread-safe (one builder per orchestrating thread).
 class ParallelRrBuilder {
  public:
   struct Options {
@@ -43,6 +56,9 @@ class ParallelRrBuilder {
     /// Batches smaller than this run inline on the calling thread — thread
     /// spawn overhead dwarfs the sampling work below it.
     std::uint64_t min_parallel_batch = 256;
+    /// Reverse-BFS inner-loop kernel (kAuto resolves to kClassic — see
+    /// rrset/sampler_kernel.h for the determinism contract).
+    SamplerKernel sampler_kernel = SamplerKernel::kAuto;
   };
 
   /// One sampled batch, chunks concatenated in worker order. Set k occupies
@@ -53,6 +69,9 @@ class ParallelRrBuilder {
     std::vector<NodeId> nodes;          // flattened members
     std::vector<NodeId> roots;          // per set
     std::vector<std::uint64_t> widths;  // per set, TIM w(R)
+    /// Largest reverse-BFS traversal (visited nodes) over the batch's sets;
+    /// kept under every keep_* mode (it is a byproduct of sampling).
+    std::uint64_t max_traversal = 0;
 
     std::size_t size() const {
       return offsets.empty() ? widths.size() : offsets.size() - 1;
@@ -91,16 +110,35 @@ class ParallelRrBuilder {
   /// read.
   Batch SampleSetsOnly(std::uint64_t count, Rng& master);
 
-  /// Streaming variant of SampleSetsOnly: invokes `sink` once per set, in
-  /// the same deterministic worker order, straight from the worker-local
-  /// buffers — no concatenation copy. The hot path for feeding coverage
-  /// collections.
-  void SampleSetsInto(std::uint64_t count, Rng& master,
-                      const std::function<void(std::span<const NodeId>)>& sink);
+  /// Sets-only sampling returned as the worker-local parts in deterministic
+  /// worker order, WITHOUT the concatenation copy. Identical streams and
+  /// set contents to SampleSetsOnly — concatenating the parts reproduces it
+  /// byte for byte. The arena-direct hot path: callers move each part's
+  /// `nodes` buffer straight into RrSetPool::AdoptChunk.
+  std::vector<Batch> SampleChunks(std::uint64_t count, Rng& master);
+
+  /// Streaming variant of SampleChunks: invokes `sink(std::span<const
+  /// NodeId>)` once per set, in the same deterministic worker order,
+  /// straight from the worker-local buffers. Statically dispatched — the
+  /// sink is a template parameter, not a std::function — so per-set calls
+  /// inline into the consumer loop.
+  template <typename Sink>
+  void SampleSetsInto(std::uint64_t count, Rng& master, Sink&& sink) {
+    const std::vector<Batch> parts = SampleChunks(count, master);
+    std::uint64_t emitted = 0;
+    for (const Batch& p : parts) {
+      for (std::size_t k = 0; k < p.size(); ++k) sink(p.Set(k));
+      emitted += p.size();
+    }
+    TIRM_CHECK_EQ(emitted, count);
+  }
 
   /// Resolved worker count (>= 1, clamped to kMaxSamplingThreads —
   /// see common/threading.h).
   int num_threads() const { return num_threads_; }
+
+  /// Resolved sampler kernel (never kAuto).
+  SamplerKernel sampler_kernel() const { return sampler_kernel_; }
 
   const Graph& graph() const { return graph_; }
 
@@ -118,6 +156,10 @@ class ParallelRrBuilder {
   bool with_ctp_ = false;
   int num_threads_;
   std::uint64_t min_parallel_batch_;
+  SamplerKernel sampler_kernel_;
+  /// Row classification shared read-only by every worker's sampler
+  /// (immutable after construction); only built for the skip kernel.
+  std::unique_ptr<SamplerRowClass> rows_;
   // Lazily created so a builder configured for N threads but only ever used
   // for tiny inline batches allocates a single sampler.
   std::vector<std::unique_ptr<RrSampler>> samplers_;

@@ -13,7 +13,17 @@ namespace tirm {
 
 // ------------------------------------------------------------------ RrSetPool
 
-RrSetPool::RrSetPool(NodeId num_nodes) : num_nodes_(num_nodes) {
+namespace {
+// Open-chunk sizing for the per-set AddSet path: geometric growth bounds
+// the chunk count (spans stay stable — growth allocates a NEW chunk, it
+// never relocates an old one) while the cap keeps the worst-case reserved-
+// but-unused tail modest.
+constexpr std::size_t kMinChunkNodes = std::size_t{1} << 12;
+constexpr std::size_t kMaxChunkNodes = std::size_t{1} << 22;
+}  // namespace
+
+RrSetPool::RrSetPool(NodeId num_nodes)
+    : num_nodes_(num_nodes), next_chunk_nodes_(kMinChunkNodes) {
   set_offsets_.push_back(0);
   index_.resize(num_nodes);
 }
@@ -22,13 +32,64 @@ RrSetPool::~RrSetPool() = default;
 
 std::uint32_t RrSetPool::AddSet(std::span<const NodeId> nodes) {
   const auto id = static_cast<std::uint32_t>(NumSets());
+  if (nodes.empty()) {
+    set_begin_.push_back(nullptr);
+    set_offsets_.push_back(set_offsets_.back());
+    return id;
+  }
+  if (nodes.size() > open_capacity_) {
+    const std::size_t cap = std::max(nodes.size(), next_chunk_nodes_);
+    next_chunk_nodes_ = std::min(cap * 2, kMaxChunkNodes);
+    chunks_.emplace_back().reserve(cap);
+    open_capacity_ = cap;
+  }
+  std::vector<NodeId>& chunk = chunks_.back();
+  // push_back stays within the reserved capacity, so data() cannot move and
+  // previously handed-out member spans stay valid.
+  const NodeId* const begin = chunk.data() + chunk.size();
   for (const NodeId v : nodes) {
     TIRM_DCHECK(v < num_nodes_);
-    set_nodes_.push_back(v);
+    chunk.push_back(v);
     index_[v].push_back(id);
   }
-  set_offsets_.push_back(set_nodes_.size());
+  open_capacity_ -= nodes.size();
+  set_begin_.push_back(begin);
+  set_offsets_.push_back(set_offsets_.back() + nodes.size());
   return id;
+}
+
+std::uint32_t RrSetPool::AdoptChunk(std::vector<NodeId>&& nodes,
+                                    std::span<const std::size_t> offsets) {
+  TIRM_CHECK(!offsets.empty());
+  TIRM_CHECK_EQ(offsets.front(), 0u);
+  TIRM_CHECK_EQ(offsets.back(), nodes.size());
+  const auto first = static_cast<std::uint32_t>(NumSets());
+  const std::size_t num_sets = offsets.size() - 1;
+  if (num_sets == 0) return first;
+  // Seal whatever AddSet capacity was open: sets never span chunks, and an
+  // adopted buffer is immutable wholesale.
+  open_capacity_ = 0;
+  chunks_.push_back(std::move(nodes));
+  const std::vector<NodeId>& chunk = chunks_.back();
+  const std::size_t base = set_offsets_.back();
+  set_begin_.reserve(set_begin_.size() + num_sets);
+  set_offsets_.reserve(set_offsets_.size() + num_sets);
+  for (std::size_t k = 0; k < num_sets; ++k) {
+    set_begin_.push_back(chunk.data() + offsets[k]);
+    set_offsets_.push_back(base + offsets[k + 1]);
+  }
+  // Batched inverted-index build over the adopted chunk. Ids are appended
+  // in increasing k, so each node's postings stay ascending — identical to
+  // per-set AddSet appends.
+  for (std::size_t k = 0; k < num_sets; ++k) {
+    const auto id = first + static_cast<std::uint32_t>(k);
+    for (std::size_t i = offsets[k]; i < offsets[k + 1]; ++i) {
+      const NodeId v = chunk[i];
+      TIRM_DCHECK(v < num_nodes_);
+      index_[v].push_back(id);
+    }
+  }
+  return first;
 }
 
 const CoverageTranspose& RrSetPool::EnsureTranspose(std::uint32_t up_to) const {
@@ -47,8 +108,12 @@ std::size_t RrSetPool::TransposeBytes() const {
 
 std::size_t RrSetPool::MemoryBytes() const {
   std::size_t bytes = set_offsets_.capacity() * sizeof(std::size_t) +
-                      set_nodes_.capacity() * sizeof(NodeId) +
+                      set_begin_.capacity() * sizeof(const NodeId*) +
+                      chunks_.capacity() * sizeof(std::vector<NodeId>) +
                       index_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const auto& chunk : chunks_) {
+    bytes += chunk.capacity() * sizeof(NodeId);
+  }
   for (const auto& postings : index_) {
     bytes += postings.capacity() * sizeof(std::uint32_t);
   }
@@ -59,13 +124,14 @@ std::size_t RrSetPool::MemoryBytes() const {
 
 RrSampleStore::AdPool::AdPool(const Graph& graph, std::uint64_t base_seed,
                               std::span<const float> edge_probs,
-                              int num_threads)
+                              int num_threads, SamplerKernel sampler_kernel)
     : pool_(graph.num_nodes()),
       base_seed_(base_seed),
       edge_probs_(edge_probs),
       builder_(std::make_unique<ParallelRrBuilder>(
           graph, edge_probs,
-          ParallelRrBuilder::Options{.num_threads = num_threads})) {}
+          ParallelRrBuilder::Options{.num_threads = num_threads,
+                                     .sampler_kernel = sampler_kernel})) {}
 
 RrSampleStore::AdPool::~AdPool() = default;
 
@@ -109,7 +175,7 @@ RrSampleStore::AdPool* RrSampleStore::Acquire(
     // members (edge_probs_, builder_) therefore need no capability guard.
     auto entry = std::unique_ptr<AdPool>(
         new AdPool(*graph_, MixHash(options_.seed, signature), edge_probs,
-                   options_.num_threads));
+                   options_.num_threads, options_.sampler_kernel));
     it = entries_.emplace(signature, std::move(entry)).first;
   } else {
     // A warm acquire must describe the same probabilities the pool was
@@ -137,24 +203,35 @@ RrSampleStore::EnsureResult RrSampleStore::EnsureSets(
 
   const std::uint64_t chunk = options_.chunk_sets;
   const std::uint64_t target_chunks = (min_sets + chunk - 1) / chunk;
-  // The append callback runs synchronously under the entry mutex held
-  // above; it captures the pool pointer (resolved here, with the lock
-  // provably held) because a lambda body is opaque to the capability
-  // analysis.
-  RrSetPool* const pool = &entry->pool_;
   for (std::uint64_t c = entry->chunks_sampled_; c < target_chunks; ++c) {
     // One independent substream per chunk index: the pool prefix is a pure
-    // function of (seed, signature, chunk_sets, thread count), never of how
-    // θ growth was split across EnsureSets calls.
+    // function of (seed, signature, chunk_sets, thread count, kernel),
+    // never of how θ growth was split across EnsureSets calls.
     Rng master(MixHash(entry->base_seed_, 0x2000 + c));
-    entry->builder_->SampleSetsInto(
-        chunk, master,
-        [pool](std::span<const NodeId> set) { pool->AddSet(set); });
+    // Arena-direct top-up: adopt each worker's flattened buffer wholesale,
+    // in deterministic worker order (see the file comment) — set ids and
+    // contents match the legacy per-set AddSet loop bit for bit, without
+    // the merge-and-copy passes.
+    std::vector<ParallelRrBuilder::Batch> parts =
+        entry->builder_->SampleChunks(chunk, master);
+    std::uint64_t emitted = 0;
+    for (ParallelRrBuilder::Batch& part : parts) {
+      emitted += part.size();
+      result.max_traversal = std::max(result.max_traversal,
+                                      part.max_traversal);
+      entry->pool_.AdoptChunk(std::move(part.nodes), part.offsets);
+    }
+    TIRM_CHECK_EQ(emitted, chunk);
   }
   entry->chunks_sampled_ = target_chunks;
   result.sampled = entry->pool_.NumSets() - result.had_before;
   sampled_sets_.fetch_add(result.sampled, std::memory_order_relaxed);
   top_ups_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_traversal_.load(std::memory_order_relaxed);
+  while (result.max_traversal > seen &&
+         !max_traversal_.compare_exchange_weak(seen, result.max_traversal,
+                                               std::memory_order_relaxed)) {
+  }
   return result;
 }
 
@@ -213,6 +290,7 @@ SampleCacheStats RrSampleStore::LifetimeStats() const {
   stats.top_ups = top_ups_.load(std::memory_order_relaxed);
   stats.kpt_cache_hits = kpt_cache_hits_.load(std::memory_order_relaxed);
   stats.kpt_estimations = kpt_estimations_.load(std::memory_order_relaxed);
+  stats.max_traversal = max_traversal_.load(std::memory_order_relaxed);
   stats.arena_bytes = TotalArenaBytes();
   return stats;
 }

@@ -15,7 +15,7 @@
 // several therefore yields bit-identical pools (top-up granularity is the
 // chunk), and a run served from a warm pool is bit-identical to a run that
 // sampled the pool fresh. As with ParallelRrBuilder, pool contents are
-// deterministic for a fixed worker-thread count.
+// deterministic for a fixed worker-thread count and sampler kernel.
 //
 // Thread safety. Entry creation and top-up are internally synchronized
 // (store mutex for the key map, one mutex per entry for sampling), so
@@ -23,7 +23,16 @@
 // safe. Reading a pool prefix returned by a completed EnsureSets call from
 // the same thread, or from a thread synchronized with it, is safe; do not
 // read a pool *while* another thread may be topping up the same entry
-// (std::vector growth relocates the arena).
+// (member spans are stable — the arena is chunked, never relocated — but
+// the per-set bookkeeping and the inverted index still grow).
+//
+// Arena-direct top-up. EnsureSets consumes ParallelRrBuilder::SampleChunks:
+// each worker's flattened node buffer is *adopted* by the pool wholesale
+// (RrSetPool::AdoptChunk — a move, no per-set copy), in deterministic
+// worker order, with the inverted index built batched over the adopted
+// chunk. Set ids, member order, and postings are byte-identical to the
+// legacy per-set append path (AddSet), which remains for single-set
+// producers like RunTim.
 //
 // Memory accounting is byte-accurate from container capacities (arena +
 // inverted index + bookkeeping), not process RSS — this is what the
@@ -46,6 +55,7 @@
 #include "common/types.h"
 #include "graph/graph.h"
 #include "rrset/kpt_estimator.h"
+#include "rrset/sampler_kernel.h"
 
 namespace tirm {
 
@@ -67,14 +77,23 @@ class RrSetPool {
   /// Appends one set; returns its id (ids are dense, in append order).
   std::uint32_t AddSet(std::span<const NodeId> nodes);
 
+  /// Adopts a flattened multi-set buffer (ParallelRrBuilder chunk layout:
+  /// set k occupies nodes[offsets[k] .. offsets[k+1]), offsets.front() == 0,
+  /// offsets.back() == nodes.size()) as one arena chunk — a move, no per-set
+  /// copy — and indexes the new sets batched. Ids, member order, and
+  /// postings are exactly as if each set had been AddSet in order. Returns
+  /// the id of the first adopted set.
+  std::uint32_t AdoptChunk(std::vector<NodeId>&& nodes,
+                           std::span<const std::size_t> offsets);
+
   std::size_t NumSets() const { return set_offsets_.size() - 1; }
   NodeId num_nodes() const { return num_nodes_; }
 
-  /// Members of set `id`. Valid until the next AddSet (the arena may grow).
+  /// Members of set `id`. The span is stable for the pool's lifetime: the
+  /// arena is chunked and chunks never relocate once written.
   std::span<const NodeId> SetMembers(std::uint32_t id) const {
     TIRM_DCHECK(id < NumSets());
-    return {set_nodes_.data() + set_offsets_[id],
-            set_offsets_[id + 1] - set_offsets_[id]};
+    return {set_begin_[id], set_offsets_[id + 1] - set_offsets_[id]};
   }
 
   /// Ids of the sets containing `v`, ascending.
@@ -106,8 +125,15 @@ class RrSetPool {
   // serializes top-ups) and read by coverage views under the documented
   // "no reads during a top-up" discipline (see the file comment) — an
   // external contract the analysis cannot see from here.
-  std::vector<std::size_t> set_offsets_;  // size #sets+1
-  std::vector<NodeId> set_nodes_;         // flattened members (the arena)
+  std::vector<std::size_t> set_offsets_;    // size #sets+1, global node count
+  std::vector<const NodeId*> set_begin_;    // per set, into a chunk buffer
+  // The arena: adopted worker buffers plus reserved open chunks for AddSet.
+  // A chunk's data() never moves once sets point into it (AddSet only
+  // push_backs within reserved capacity; adopted chunks are immutable), so
+  // SetMembers spans are stable across growth.
+  std::vector<std::vector<NodeId>> chunks_;
+  std::size_t open_capacity_ = 0;     // spare reserved nodes in chunks_.back()
+  std::size_t next_chunk_nodes_ = 0;  // geometric open-chunk sizing
   std::vector<std::vector<std::uint32_t>> index_;  // node -> set ids
   // Lazy packed transpose for the bitmap coverage kernel — logically const
   // derived state, hence buildable through const accessors.
@@ -135,6 +161,11 @@ struct SampleCacheStats {
   std::size_t view_bytes = 0;
   /// True when the run borrowed an engine-owned (cross-run) store.
   bool shared_store = false;
+  /// Largest reverse-BFS traversal (visited nodes) over every batch this
+  /// run (or store lifetime) sampled; 0 when nothing was sampled. A tail
+  /// indicator for θ sizing: sets are small on sparse instances, but one
+  /// giant traversal dominates a batch's latency.
+  std::uint64_t max_traversal = 0;
 };
 
 /// See file comment.
@@ -142,7 +173,7 @@ class RrSampleStore {
  public:
   struct Options {
     /// Sampling seed. Pool contents are a pure function of
-    /// (seed, signature, chunk_sets, worker thread count).
+    /// (seed, signature, chunk_sets, worker thread count, sampler kernel).
     std::uint64_t seed = 0x5EEDD00DULL;
     /// Worker threads for top-up sampling (ParallelRrBuilder semantics:
     /// 0 = hardware concurrency; deterministic per fixed count).
@@ -157,6 +188,10 @@ class RrSampleStore {
     /// pool (the paper's per-ad R_j), and sharing happens across runs,
     /// sweep points, and allocators instead.
     bool share_across_ads = false;
+    /// Sampling kernel for top-ups (rrset/sampler_kernel.h). Pool contents
+    /// are additionally a function of the resolved kernel — kAuto resolves
+    /// to the classic golden reference.
+    SamplerKernel sampler_kernel = SamplerKernel::kAuto;
   };
 
   /// One pooled ad: sets + sampling state + cached KPT widths. Opaque
@@ -176,7 +211,8 @@ class RrSampleStore {
    private:
     friend class RrSampleStore;
     AdPool(const Graph& graph, std::uint64_t base_seed,
-           std::span<const float> edge_probs, int num_threads);
+           std::span<const float> edge_probs, int num_threads,
+           SamplerKernel sampler_kernel);
 
     Mutex mutex_;
     RrSetPool pool_ TIRM_GUARDED_BY(mutex_);
@@ -206,6 +242,9 @@ class RrSampleStore {
     /// Pooled sets newly served to the caller without sampling:
     /// min(min_sets, had_before) minus the caller's prior watermark.
     std::uint64_t reused = 0;
+    /// Largest traversal over the batches this call sampled (0 on a pure
+    /// reuse hit).
+    std::uint64_t max_traversal = 0;
   };
 
   /// The store serves exactly one graph; `graph` must outlive it.
@@ -277,6 +316,7 @@ class RrSampleStore {
   std::atomic<std::uint64_t> top_ups_{0};
   std::atomic<std::uint64_t> kpt_cache_hits_{0};
   std::atomic<std::uint64_t> kpt_estimations_{0};
+  std::atomic<std::uint64_t> max_traversal_{0};
 };
 
 }  // namespace tirm

@@ -1,0 +1,67 @@
+#include "rrset/sampler_kernel.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace tirm {
+
+Result<SamplerKernel> ParseSamplerKernel(std::string_view name) {
+  if (name == "auto") return SamplerKernel::kAuto;
+  if (name == "classic") return SamplerKernel::kClassic;
+  if (name == "skip") return SamplerKernel::kSkip;
+  return Status::InvalidArgument(
+      "sampler_kernel must be \"auto\", \"classic\", or \"skip\", got \"" +
+      std::string(name) + "\"");
+}
+
+const char* SamplerKernelName(SamplerKernel kernel) {
+  switch (kernel) {
+    case SamplerKernel::kAuto:
+      return "auto";
+    case SamplerKernel::kClassic:
+      return "classic";
+    case SamplerKernel::kSkip:
+      return "skip";
+  }
+  return "auto";
+}
+
+SamplerRowClass::SamplerRowClass(const Graph& graph,
+                                 std::span<const float> edge_probs) {
+  TIRM_CHECK_EQ(edge_probs.size(), graph.num_edges());
+  const NodeId n = graph.num_nodes();
+  kinds_.resize(n, RowKind::kBlocked);
+  uniform_p_.assign(n, 0.0f);
+  inv_log1m_p_.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto edge_ids = graph.InEdgeIds(v);
+    if (edge_ids.empty()) continue;  // kBlocked: nothing to reach v through
+    const float p = edge_probs[edge_ids[0]];
+    bool uniform = true;
+    for (std::size_t j = 1; j < edge_ids.size(); ++j) {
+      if (edge_probs[edge_ids[j]] != p) {
+        uniform = false;
+        break;
+      }
+    }
+    if (!uniform) {
+      kinds_[v] = RowKind::kMixed;
+      ++mixed_rows_;
+      continue;
+    }
+    uniform_p_[v] = p;
+    if (p <= 0.0f) {
+      kinds_[v] = RowKind::kBlocked;
+    } else if (p >= 1.0f) {
+      kinds_[v] = RowKind::kAlways;
+    } else {
+      kinds_[v] = RowKind::kGeometric;
+      inv_log1m_p_[v] = 1.0 / std::log1p(-static_cast<double>(p));
+      ++geometric_rows_;
+    }
+  }
+}
+
+}  // namespace tirm

@@ -16,7 +16,8 @@ TimResult RunTim(const Graph& graph, std::span<const float> edge_probs,
   TIRM_CHECK_LE(k, graph.num_nodes());
   TimResult result;
 
-  RrSampler sampler(graph, edge_probs);
+  RrSampler sampler(graph, edge_probs,
+                    ResolveSamplerKernel(options.sampler_kernel));
 
   // Phase 1: KPT* lower bound on OPT_k.
   KptEstimator kpt(&sampler, graph.num_edges(),

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "rrset/coverage_bitmap.h"
+#include "rrset/sampler_kernel.h"
 #include "rrset/theta.h"
 
 namespace tirm {
@@ -41,6 +42,10 @@ struct TimOptions {
   /// Coverage data path for the greedy Max k-Cover phase (kAuto resolves
   /// to the packed bitmap kernel; selections are kernel-invariant).
   CoverageKernel coverage_kernel = CoverageKernel::kAuto;
+  /// RR-sampling kernel for phases 1 and 2 (kAuto resolves to the classic
+  /// per-edge reference; skip is statistically equivalent but consumes the
+  /// random stream differently — see rrset/sampler_kernel.h).
+  SamplerKernel sampler_kernel = SamplerKernel::kAuto;
 };
 
 /// Runs TIM for seed-set size `k` on `graph` with per-edge probabilities

@@ -33,8 +33,8 @@ const std::set<std::string>& RequestConfigKeys() {
       "max_total_seeds", "min_drop", "eps", "ell", "theta_cap", "theta_min",
       "kpt_max_samples", "threads", "weight_by_ctp",
       "exact_selection_fallback", "ctp_aware_coverage", "coverage_kernel",
-      "irie_alpha", "irie_rank_iterations", "irie_ap_truncation",
-      "irie_max_push_hops", "mc_sims"};
+      "sampler_kernel", "irie_alpha", "irie_rank_iterations",
+      "irie_ap_truncation", "irie_max_push_hops", "mc_sims"};
   return kKeys;
 }
 
@@ -104,6 +104,7 @@ void WriteConfig(JsonWriter& w, const AllocatorConfig& c) {
   w.Field("exact_selection_fallback", c.exact_selection_fallback);
   w.Field("ctp_aware_coverage", c.ctp_aware_coverage);
   w.Field("coverage_kernel", c.coverage_kernel);
+  w.Field("sampler_kernel", c.sampler_kernel);
   w.Field("irie_alpha", c.irie_alpha);
   w.Field("irie_rank_iterations", c.irie_rank_iterations);
   w.Field("irie_ap_truncation", c.irie_ap_truncation);
@@ -296,6 +297,7 @@ std::string FormatResponse(const AllocationResponse& response) {
   w.Field("arena_bytes", cache.arena_bytes);
   w.Field("view_bytes", cache.view_bytes);
   w.Field("shared_store", cache.shared_store);
+  w.Field("max_traversal", std::uint64_t{cache.max_traversal});
   w.EndObject();
 
   w.EndObject();
@@ -458,6 +460,9 @@ Result<AllocationResponse> ParseResponse(std::string_view line) {
     n = MemberInt(*cache, "view_bytes", 0);
     if (!n.ok()) return n.status();
     c.view_bytes = static_cast<std::size_t>(*n);
+    n = MemberInt(*cache, "max_traversal", 0);
+    if (!n.ok()) return n.status();
+    c.max_traversal = static_cast<std::uint64_t>(*n);
     const JsonValue* shared = cache->Find("shared_store");
     if (shared != nullptr) {
       Result<bool> b = shared->AsBool();

@@ -16,6 +16,7 @@
 #include "graph/generators.h"
 #include "rrset/parallel_rr_builder.h"
 #include "rrset/rr_sampler.h"
+#include "tirm_test_util.h"
 #include "topic/instance.h"
 
 namespace tirm {
@@ -164,46 +165,8 @@ TEST(ParallelRrBuilderTest, RrcModeAppliesCtpCoins) {
 }
 
 // ----------------------------------------------------- TIRM end-to-end
-
-struct TestInstance {
-  Graph graph;
-  std::unique_ptr<EdgeProbabilities> probs;
-  std::unique_ptr<ClickProbabilities> ctps;
-  std::vector<Advertiser> ads;
-
-  ProblemInstance Make(int kappa, double lambda) {
-    return ProblemInstance::WithUniformAttention(&graph, probs.get(),
-                                                 ctps.get(), ads, kappa,
-                                                 lambda);
-  }
-};
-
-TestInstance MakeRMatInstance(int num_ads, double budget) {
-  TestInstance s;
-  Rng rng(500);
-  s.graph = RMatGraph(9, 2500, rng);
-  s.probs = std::make_unique<EdgeProbabilities>(
-      EdgeProbabilities::WeightedCascade(s.graph));
-  s.ctps = std::make_unique<ClickProbabilities>(
-      ClickProbabilities::Constant(s.graph.num_nodes(), num_ads, 1.0));
-  s.ads.resize(static_cast<std::size_t>(num_ads));
-  for (auto& a : s.ads) {
-    a.gamma = TopicDistribution::Uniform(1);
-    a.budget = budget;
-    a.cpe = 1.0;
-  }
-  return s;
-}
-
-TirmOptions FastOptions(int threads) {
-  TirmOptions o;
-  o.theta.epsilon = 0.2;
-  o.theta.theta_min = 4096;
-  o.theta.theta_cap = 1 << 16;
-  o.kpt_max_samples = 1 << 14;
-  o.num_threads = threads;
-  return o;
-}
+// TestInstance / MakeRMatInstance / FastOptions live in tirm_test_util.h,
+// shared with sampler_kernel_test.cc.
 
 TEST(ParallelTirmTest, DeterministicForFixedThreadCount) {
   TestInstance s = MakeRMatInstance(2, 30.0);

@@ -1,0 +1,70 @@
+// Shared test fixtures for the sampling / allocation statistical tests.
+//
+// Extracted from parallel_rr_test.cc so every suite that compares two
+// equally-valid sampling configurations (serial vs parallel threads,
+// classic vs skip sampler kernel) builds the same weighted-cascade RMat
+// instance, runs TIRM with the same fast options, and applies the same
+// evaluator-based tolerance discipline: evaluate both allocations under an
+// IDENTICAL Monte-Carlo stream and compare ground-truth revenue / regret,
+// never the (legitimately different) seed picks themselves.
+
+#ifndef TIRM_TESTS_TIRM_TEST_UTIL_H_
+#define TIRM_TESTS_TIRM_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "alloc/tirm.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+struct TestInstance {
+  Graph graph;
+  std::unique_ptr<EdgeProbabilities> probs;
+  std::unique_ptr<ClickProbabilities> ctps;
+  std::vector<Advertiser> ads;
+
+  ProblemInstance Make(int kappa, double lambda) {
+    return ProblemInstance::WithUniformAttention(&graph, probs.get(),
+                                                 ctps.get(), ads, kappa,
+                                                 lambda);
+  }
+};
+
+/// 512-node RMat graph with weighted-cascade probabilities (every in-edge
+/// row uniform at p = 1/indeg, so the skip kernel applies wholesale) and
+/// `num_ads` identical unit-CPE advertisers.
+inline TestInstance MakeRMatInstance(int num_ads, double budget) {
+  TestInstance s;
+  Rng rng(500);
+  s.graph = RMatGraph(9, 2500, rng);
+  s.probs = std::make_unique<EdgeProbabilities>(
+      EdgeProbabilities::WeightedCascade(s.graph));
+  s.ctps = std::make_unique<ClickProbabilities>(
+      ClickProbabilities::Constant(s.graph.num_nodes(), num_ads, 1.0));
+  s.ads.resize(static_cast<std::size_t>(num_ads));
+  for (auto& a : s.ads) {
+    a.gamma = TopicDistribution::Uniform(1);
+    a.budget = budget;
+    a.cpe = 1.0;
+  }
+  return s;
+}
+
+/// TIRM options tuned for test runtime: looser ε, capped θ and KPT budget.
+inline TirmOptions FastOptions(int threads) {
+  TirmOptions o;
+  o.theta.epsilon = 0.2;
+  o.theta.theta_min = 4096;
+  o.theta.theta_cap = 1 << 16;
+  o.kpt_max_samples = 1 << 14;
+  o.num_threads = threads;
+  return o;
+}
+
+}  // namespace tirm
+
+#endif  // TIRM_TESTS_TIRM_TEST_UTIL_H_
