@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/trace.h"
 #include "rrset/parallel_rr_builder.h"
 
 namespace {
@@ -214,6 +215,11 @@ int main(int argc, char** argv) {
   JsonReport report("bench_fig6_scalability", config);
   JsonValue panels = JsonValue::Array();
   WallTimer bench_timer;
+  // Record the whole bench with the flight recorder; the per-stage
+  // aggregate lands in the report's "profile" section. Span cost is tens
+  // of nanoseconds at batch granularity — invisible next to the seconds-
+  // scale rows measured here.
+  obs::TraceRecorder::Global().Enable();
 
   // Thread-count sweep of the parallel RR-set engine (beyond the paper,
   // which is single-threaded). Override the sweep via --threads to add a
@@ -252,6 +258,24 @@ int main(int argc, char** argv) {
       "h=20 TIRM ~5 h, 4649 seeds.\n");
   report.Set("panels", std::move(panels));
   report.Set("wall_seconds", JsonValue::Number(bench_timer.Seconds()));
+
+  obs::TraceRecorder::Global().Disable();
+  std::printf("\n--- pipeline profile (whole bench, by total wall time) ---\n");
+  TablePrinter pt({"stage", "count", "total (ms)"});
+  JsonValue profile = JsonValue::Array();
+  for (const obs::StageStats& stage : obs::TraceRecorder::Global().Summary()) {
+    pt.AddRow({stage.name,
+               TablePrinter::Int(static_cast<long long>(stage.count)),
+               TablePrinter::Num(stage.total_ms, 2)});
+    JsonValue p = JsonValue::Object();
+    p.Set("name", JsonValue::String(stage.name));
+    p.Set("count", JsonValue::Number(static_cast<double>(stage.count)));
+    p.Set("total_ms", JsonValue::Number(stage.total_ms));
+    profile.Append(std::move(p));
+  }
+  pt.Print();
+  report.Set("profile", std::move(profile));
+
   report.Write();
   return 0;
 }

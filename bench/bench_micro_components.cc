@@ -16,6 +16,7 @@
 #include "diffusion/monte_carlo.h"
 #include "diffusion/possible_world.h"
 #include "graph/generators.h"
+#include "obs/trace.h"
 #include "rrset/coverage_bitmap.h"
 #include "rrset/parallel_rr_builder.h"
 #include "rrset/rr_collection.h"
@@ -472,6 +473,91 @@ void BM_SamplingStoreWriteSpeedup(benchmark::State& state) {
   state.counters["arena_sets_per_sec"] = sets / (arena_ms * 1e-3);
 }
 BENCHMARK(BM_SamplingStoreWriteSpeedup)->Arg(40000)->Iterations(1);
+
+// ---------------------------------------------- flight-recorder section
+// Cost of an obs::TraceSpan on the disabled fast path (one relaxed atomic
+// load + branch in the constructor and destructor) and while recording.
+// The observability acceptance gate reads "overhead_pct" from
+// BM_TraceDisabledOverhead: the disabled instrumentation cost as a
+// percentage of real work at per-RR-set granularity — far finer than any
+// production span (those wrap whole batches), so the deployed overhead is
+// smaller still.
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::TraceRecorder::Global().Disable();
+  for (auto _ : state) {
+    obs::TraceSpan span("bench_disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::TraceRecorder::Global().Clear();
+  obs::TraceRecorder::Global().Enable();
+  for (auto _ : state) {
+    obs::TraceSpan span("bench_enabled");
+    span.Counter("i", 1.0);
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::TraceRecorder::Global().Disable();
+  obs::TraceRecorder::Global().Clear();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+// Fixed iteration count: every iteration appends one event, and staying
+// well under the per-thread buffer cap keeps the drop path out of the
+// measurement.
+BENCHMARK(BM_TraceSpanEnabled)->Iterations(500000);
+
+// A subtractive A/B of whole instrumented-vs-plain loops cannot resolve a
+// sub-1% effect (code-layout jitter alone is a few percent either way),
+// so the gate reads the ratio of two directly measured costs: a disabled
+// span (tight span-only loop) over one RR-set sample — the finest
+// granularity any production span sits at.
+void BM_TraceDisabledOverhead(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  obs::TraceRecorder::Global().Disable();
+  const int num_sets = 4000;
+  const int span_iters = 1000000;
+  double sample_ms = 0.0, span_only_ms = 0.0;
+  for (auto _ : state) {
+    for (int rep = 0; rep < 5; ++rep) {
+      {
+        RrSampler sampler(f.graph, f.probs);
+        std::vector<NodeId> set;
+        Rng rng(21);
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < num_sets; ++i) {
+          sampler.SampleInto(rng, set);
+          benchmark::DoNotOptimize(set.data());
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        const double p =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (rep == 0 || p < sample_ms) sample_ms = p;
+      }
+      {
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < span_iters; ++i) {
+          obs::TraceSpan span("bench_disabled_unit");
+          benchmark::DoNotOptimize(&span);
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        const double s =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (rep == 0 || s < span_only_ms) span_only_ms = s;
+      }
+    }
+  }
+  const double ns_per_set = sample_ms * 1e6 / num_sets;
+  const double ns_per_span = span_only_ms * 1e6 / span_iters;
+  state.counters["set_ns"] = ns_per_set;
+  state.counters["span_ns"] = ns_per_span;
+  state.counters["overhead_pct"] =
+      ns_per_set > 0.0 ? 100.0 * ns_per_span / ns_per_set : 0.0;
+}
+BENCHMARK(BM_TraceDisabledOverhead)->Iterations(1);
 
 void BM_IrieRankIteration(benchmark::State& state) {
   const Fixture& f = Fixture::Get();

@@ -11,6 +11,13 @@
 //   3. Determinism spot-check: every response of a concurrent pass equals
 //      the direct single-threaded engine.Run golden for that request
 //      (aborts on mismatch — the bench doubles as a correctness gate).
+//      The direct runs execute under the obs::TraceRecorder; their
+//      per-stage aggregate lands in the report's "profile" section.
+//
+// --deadline_ms=<ms> (default 0 = none) attaches a per-request deadline
+// to the worker-scaling section; expired responses are then tolerated and
+// each worker-count row records its deadline-miss rate (misses are
+// load-dependent, so CI keeps the default of no deadline).
 //
 // Evaluation (MC regret) is off by default here — it costs the same cold
 // or warm and would dilute the serving signal; --serve_eval=true turns it
@@ -23,6 +30,7 @@
 
 #include "bench/bench_common.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "serve/allocation_service.h"
 
 namespace {
@@ -71,6 +79,7 @@ int main(int argc, char** argv) {
   const int max_workers = flags.GetThreads(/*default_value=*/4);
   const int passes =
       std::max(1, static_cast<int>(flags.GetInt("passes", 3)));
+  const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
 
   serve::AllocationService::Options service_options;
   service_options.engine.seed = config.seed;
@@ -109,10 +118,12 @@ int main(int argc, char** argv) {
     double warm_seconds = 0.0;
     for (int pass = 0; pass < std::max(2, passes); ++pass) {
       const SampleCacheStats before = service.StoreStats();
-      WallTimer timer;
-      std::vector<serve::AllocationResponse> responses =
-          service.SubmitSweep(workload);
-      const double seconds = timer.Seconds();
+      double seconds = 0.0;
+      std::vector<serve::AllocationResponse> responses;
+      {
+        ScopedTimer timer(seconds);
+        responses = service.SubmitSweep(workload);
+      }
       const SampleCacheStats after = service.StoreStats();
       for (const serve::AllocationResponse& r : responses) {
         TIRM_CHECK(r.status.ok()) << r.id << ": " << r.status.ToString();
@@ -177,9 +188,14 @@ int main(int argc, char** argv) {
 
     std::printf("--- sustained QPS vs workers (%d passes each, warm) ---\n",
                 passes);
+    // With --deadline_ms set the sweep carries a per-request deadline:
+    // expired responses are tolerated (that is the point — measure the
+    // miss rate under load) instead of aborting the bench.
+    serve::SweepRequest scaling_workload = workload;
+    scaling_workload.timeout_ms = deadline_ms;
     TablePrinter t({"workers", "startup (s)", "seconds", "qps", "speedup",
                     "serve p50 (ms)", "serve p95 (ms)", "serve p99 (ms)",
-                    "queue p95 (ms)"});
+                    "queue p95 (ms)", "miss %"});
     JsonValue rows = JsonValue::Array();
     double base_qps = 0.0;
     for (const int workers : worker_counts) {
@@ -187,24 +203,37 @@ int main(int argc, char** argv) {
       options.num_workers = workers;
       options.autostart = false;
       serve::AllocationService service(factory, options);
-      WallTimer startup_timer;
-      service.Start();  // builds one engine per worker
-      const double startup_seconds = startup_timer.Seconds();
+      double startup_seconds = 0.0;
+      {
+        ScopedTimer startup_timer(startup_seconds);
+        service.Start();  // builds one engine per worker
+      }
       service.SubmitSweep(workload);  // warm-up pass, not measured
       service.ResetMetrics();  // keep warm-up out of the latency quantiles
-      WallTimer timer;
-      for (int pass = 0; pass < passes; ++pass) {
-        std::vector<serve::AllocationResponse> responses =
-            service.SubmitSweep(workload);
-        for (const serve::AllocationResponse& r : responses) {
-          TIRM_CHECK(r.status.ok()) << r.id << ": " << r.status.ToString();
+      double seconds = 0.0;
+      {
+        ScopedTimer timer(seconds);
+        for (int pass = 0; pass < passes; ++pass) {
+          std::vector<serve::AllocationResponse> responses =
+              service.SubmitSweep(scaling_workload);
+          for (const serve::AllocationResponse& r : responses) {
+            TIRM_CHECK(r.status.ok() ||
+                       (deadline_ms > 0.0 &&
+                        r.status.code() == StatusCode::kDeadlineExceeded))
+                << r.id << ": " << r.status.ToString();
+          }
         }
       }
-      const double seconds = timer.Seconds();
       const double qps =
           static_cast<double>(grid_size) * passes / seconds;
       if (workers == worker_counts.front()) base_qps = qps;
       const serve::MetricsSnapshot m = service.Metrics();
+      // Miss rate over the measured passes only (metrics were reset after
+      // warm-up); always recorded — it is identically 0 without a deadline.
+      const double miss_rate =
+          m.received > 0
+              ? static_cast<double>(m.expired) / static_cast<double>(m.received)
+              : 0.0;
       t.AddRow({TablePrinter::Int(workers),
                 TablePrinter::Num(startup_seconds, 2),
                 TablePrinter::Num(seconds, 3), TablePrinter::Num(qps, 1),
@@ -212,13 +241,18 @@ int main(int argc, char** argv) {
                 TablePrinter::Num(m.serve_p50 * 1e3, 2),
                 TablePrinter::Num(m.serve_p95 * 1e3, 2),
                 TablePrinter::Num(m.serve_p99 * 1e3, 2),
-                TablePrinter::Num(m.queue_p95 * 1e3, 2)});
+                TablePrinter::Num(m.queue_p95 * 1e3, 2),
+                TablePrinter::Num(100.0 * miss_rate, 1)});
       JsonValue row = JsonValue::Object();
       row.Set("workers", JsonValue::Number(workers));
       row.Set("startup_seconds", JsonValue::Number(startup_seconds));
       row.Set("seconds", JsonValue::Number(seconds));
       row.Set("qps", JsonValue::Number(qps));
       row.Set("speedup_vs_1", JsonValue::Number(qps / base_qps));
+      row.Set("deadline_ms", JsonValue::Number(deadline_ms));
+      row.Set("deadline_misses",
+              JsonValue::Number(static_cast<double>(m.expired)));
+      row.Set("deadline_miss_rate", JsonValue::Number(miss_rate));
       row.Set("latency", LatencyJson(m));
       rows.Append(std::move(row));
     }
@@ -235,6 +269,10 @@ int main(int argc, char** argv) {
     AdAllocEngine engine(factory(), service_options.engine);
     std::size_t checked = 0;
     const std::vector<serve::AllocationRequest> grid = workload.Grid();
+    // The direct runs double as the trace sample: record them with the
+    // flight recorder and report the per-stage aggregate below. (Tracing
+    // never perturbs allocations, so the determinism check still holds.)
+    obs::TraceRecorder::Global().Enable();
     // Every 5th request keeps this section cheap; passes 1..N already
     // cross-checked warm==cold above.
     for (std::size_t i = 0; i < grid.size(); i += 5) {
@@ -246,11 +284,30 @@ int main(int argc, char** argv) {
           << grid[i].id;
       ++checked;
     }
+    obs::TraceRecorder::Global().Disable();
     std::printf("checked %zu served responses against direct engine runs: "
-                "all identical\n",
+                "all identical\n\n",
                 checked);
     report.Set("determinism_checked",
                JsonValue::Number(static_cast<double>(checked)));
+
+    std::printf("--- pipeline profile (direct runs, by total wall time) ---\n");
+    TablePrinter pt({"stage", "count", "total (ms)"});
+    JsonValue profile = JsonValue::Array();
+    for (const obs::StageStats& stage :
+         obs::TraceRecorder::Global().Summary()) {
+      pt.AddRow({stage.name,
+                 TablePrinter::Int(static_cast<long long>(stage.count)),
+                 TablePrinter::Num(stage.total_ms, 2)});
+      JsonValue p = JsonValue::Object();
+      p.Set("name", JsonValue::String(stage.name));
+      p.Set("count", JsonValue::Number(static_cast<double>(stage.count)));
+      p.Set("total_ms", JsonValue::Number(stage.total_ms));
+      profile.Append(std::move(p));
+    }
+    pt.Print();
+    report.Set("profile", std::move(profile));
+    obs::TraceRecorder::Global().Clear();
   }
 
   report.Write();

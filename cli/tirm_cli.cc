@@ -14,6 +14,10 @@
 //        --seed= --sweep_lambda=a,b,c --reuse_samples={true,false} plus
 //        every AllocatorConfig flag
 //        (--eps, --theta_cap, --threads, --irie_alpha, --mc_sims, ...).
+// Observability: --trace_out=<path> records the whole run with the
+// obs::TraceRecorder and writes a Chrome trace-event JSON file (load it
+// in Perfetto or chrome://tracing); --print_profile prints the per-stage
+// aggregate (count / total ms per span name) to stdout.
 // All knobs also read TIRM_* environment variables. Malformed numeric
 // values are rejected with an error (strict parsing), not defaulted.
 
@@ -29,6 +33,7 @@
 #include "common/table_printer.h"
 #include "datasets/dataset.h"
 #include "graph/graph_stats.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -63,7 +68,7 @@ bool IsKnownFlag(const std::string& key) {
   static const std::set<std::string> kKnown = {
       // CLI
       "list", "allocator", "dataset", "bundle", "scale", "seed", "eval_sims",
-      "sweep_lambda", "reuse_samples",
+      "sweep_lambda", "reuse_samples", "trace_out", "print_profile",
       // EngineQuery
       "kappa", "lambda", "beta", "budget_scale",
       // AllocatorConfig
@@ -125,6 +130,13 @@ int main(int argc, char** argv) {
   // sweeps).
   Result<bool> reuse_samples = flags.GetBoolStrict("reuse_samples", true);
   if (!reuse_samples.ok()) return Fail(reuse_samples.status());
+
+  const std::string trace_out = flags.GetString("trace_out", "");
+  Result<bool> print_profile = flags.GetBoolStrict("print_profile", false);
+  if (!print_profile.ok()) return Fail(print_profile.status());
+  if (!trace_out.empty() || *print_profile) {
+    obs::TraceRecorder::Global().Enable();
+  }
 
   Result<EngineQuery> parsed_query = EngineQuery::FromFlags(flags);
   if (!parsed_query.ok()) return Fail(parsed_query.status());
@@ -225,6 +237,26 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.sampled_sets),
         static_cast<unsigned long long>(stats.reused_sets),
         stats.arena_bytes);
+  }
+  if (*print_profile) {
+    std::printf("\npipeline profile (by total wall time):\n");
+    TablePrinter profile({"stage", "count", "total (ms)"});
+    for (const obs::StageStats& stage :
+         obs::TraceRecorder::Global().Summary()) {
+      profile.AddRow({stage.name,
+                      TablePrinter::Int(static_cast<long long>(stage.count)),
+                      TablePrinter::Num(stage.total_ms, 2)});
+    }
+    profile.Print();
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Global().Disable();
+    if (Status s = obs::TraceRecorder::Global().WriteChromeTrace(trace_out);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("\ntrace written to %s (load in Perfetto)\n",
+                trace_out.c_str());
   }
   return 0;
 }

@@ -21,6 +21,11 @@
 //        set the *defaults* a request starts from; request fields override
 //        them per query. All knobs also read TIRM_* environment variables.
 //
+// Observability: a '{"id":"s1","stats":true}' line is an admin request
+// answered immediately (never enqueued) with the service metrics, store
+// stats, and the process-wide metrics registry; '"profile":true' on a
+// normal request attaches a stage-timing breakdown to its response.
+//
 // Responses appear in request order (per stream); diagnostics go to
 // stderr, stdout carries protocol lines only. Malformed lines and unknown
 // allocators are answered with in-band {"ok":false,...} responses — the
@@ -96,6 +101,11 @@ class StreamSession {
       // Keep the error correlatable when the line was JSON with an id.
       pending_.emplace_back(serve::FormatErrorResponse(
           serve::RecoverRequestId(line), request.status()));
+    } else if (request->stats) {
+      // Admin request: answered directly (never enqueued), but through the
+      // same ordered deque so stats lines interleave in request order.
+      pending_.emplace_back(
+          serve::FormatStatsResponse(request->id, *service_));
     } else {
       Result<std::future<serve::AllocationResponse>> submitted =
           service_->SubmitWait(*request);

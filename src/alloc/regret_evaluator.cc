@@ -1,6 +1,7 @@
 #include "alloc/regret_evaluator.h"
 
 #include "diffusion/monte_carlo.h"
+#include "obs/trace.h"
 
 namespace tirm {
 
@@ -20,6 +21,9 @@ double RegretEvaluator::EvaluateSpread(AdId i, const std::vector<NodeId>& seeds,
 RegretReport RegretEvaluator::Evaluate(const Allocation& allocation,
                                        Rng& rng) const {
   TIRM_CHECK_EQ(allocation.num_ads(), instance_->num_ads());
+  obs::TraceSpan span("regret_eval");
+  span.Counter("ads", instance_->num_ads());
+  span.Counter("sims", options_.num_sims);
   std::vector<double> spreads(allocation.seeds.size(), 0.0);
   for (int i = 0; i < instance_->num_ads(); ++i) {
     Rng ad_rng = rng.Fork(static_cast<std::uint64_t>(i) + 1);

@@ -8,6 +8,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "rrset/kpt_estimator.h"
 #include "rrset/rr_collection.h"
 #include "rrset/sample_store.h"
@@ -154,6 +156,9 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
   const NodeId n = graph.num_nodes();
   const int h = instance.num_ads();
   const double dn = static_cast<double>(n);
+  obs::TraceSpan run_span("tirm_run");
+  run_span.Counter("ads", h);
+  run_span.Counter("nodes", static_cast<double>(n));
 
   TirmResult result;
 
@@ -185,6 +190,8 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
   std::vector<std::unique_ptr<AdState>> ads;
   ads.reserve(static_cast<std::size_t>(h));
   for (AdId j = 0; j < h; ++j) {
+    obs::TraceSpan init_span("tirm_init");
+    init_span.Counter("ad", j);
     auto st = std::make_unique<AdState>();
     st->entry = store->Acquire(store->SignatureForAd(instance, j),
                                instance.EdgeProbsForAd(j));
@@ -302,8 +309,14 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
 
   result.ad_stats.resize(static_cast<std::size_t>(h));
 
+  static obs::Counter& rounds_counter =
+      obs::MetricsRegistry::Global().GetCounter("tirm.selection_rounds");
+  static obs::Counter& expansion_counter =
+      obs::MetricsRegistry::Global().GetCounter("tirm.theta_expansions");
+
   // ------------------------------------------------------- main loop (line 4)
   while (result.iterations < max_seeds) {
+    obs::TraceSpan round_span("tirm_select_round");
     AdId best_ad = kInvalidAd;
     double best_drop = options.min_drop;
     double best_marginal = 0.0;
@@ -344,6 +357,9 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     (void)covered;
     st.cand_valid = false;
     ++result.iterations;
+    rounds_counter.Increment();
+    round_span.Counter("ad", best_ad);
+    round_span.Counter("drop", best_drop);
 
     // Lines 14-19: iterative seed-set-size estimation and θ growth.
     if (st.seeds.size() >= st.s) {
@@ -368,6 +384,11 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
           std::max(ComputeTheta(n, st.s, opt_lb, options.theta), st.theta);
       if (new_theta > st.theta) {
         ++st.expansions;
+        expansion_counter.Increment();
+        obs::TraceSpan expand_span("theta_expand");
+        expand_span.Counter("ad", best_ad);
+        expand_span.Counter("old_theta", static_cast<double>(st.theta));
+        expand_span.Counter("new_theta", static_cast<double>(new_theta));
         const auto first_new = static_cast<std::uint32_t>(st.theta);
         // θ growth is a store top-up, not a resample: warm pools serve it
         // from already-sampled chunks.

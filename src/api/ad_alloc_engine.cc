@@ -6,6 +6,9 @@
 
 #include "common/hashing.h"
 #include "common/threading.h"
+#include "common/timer.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace tirm {
 namespace {
@@ -134,6 +137,14 @@ Status AdAllocEngine::ValidateQuery(const EngineQuery& query) {
 Result<EngineRun> AdAllocEngine::Run(const AllocatorConfig& config,
                                      const EngineQuery& query) {
   TIRM_RETURN_NOT_OK(ValidateQuery(query));
+  obs::TraceSpan span("engine_run");
+  span.Label("allocator", config.allocator);
+  static obs::Counter& runs_counter =
+      obs::MetricsRegistry::Global().GetCounter("engine.runs");
+  static obs::Histogram& run_histogram =
+      obs::MetricsRegistry::Global().GetHistogram("engine.run_seconds");
+  runs_counter.Increment();
+  ScopedTimer run_timer([](double s) { run_histogram.Record(s); });
   AllocatorConfig run_config = config;
   // Sample reuse: hand sampling allocators the engine's store (created on
   // first use) so sweep points share warm pools. With reuse off, the same

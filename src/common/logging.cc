@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/threading.h"
+#include "common/timer.h"
 
 namespace tirm {
 namespace {
@@ -26,10 +30,18 @@ void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
 
 void Logf(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) > static_cast<int>(CurrentLogLevel())) return;
-  const char* prefix = level == LogLevel::kError  ? "[error] "
-                       : level == LogLevel::kInfo ? "[info] "
-                                                  : "[debug] ";
-  std::fputs(prefix, stderr);
+  const char* tag = level == LogLevel::kError  ? "error"
+                    : level == LogLevel::kInfo ? "info"
+                                               : "debug";
+  // Monotonic seconds since ProcessEpoch() plus the dense thread index —
+  // the same clock base and thread ids as obs/trace spans, so log lines
+  // line up with trace events.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ProcessEpoch())
+          .count();
+  std::fprintf(stderr, "[%12.6f] [T%d] [%s] ", elapsed, CurrentThreadIndex(),
+               tag);
   va_list args;
   va_start(args, fmt);
   std::vfprintf(stderr, fmt, args);

@@ -1,6 +1,7 @@
 #include "common/threading.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 namespace tirm {
@@ -11,6 +12,12 @@ int ResolveThreadCount(int requested) {
     requested = hw == 0 ? 1 : static_cast<int>(hw);
   }
   return std::clamp(requested, 1, kMaxSamplingThreads);
+}
+
+int CurrentThreadIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
 }
 
 }  // namespace tirm

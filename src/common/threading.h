@@ -19,6 +19,13 @@ inline constexpr int kMaxSamplingThreads = 256;
 /// always in [1, kMaxSamplingThreads].
 int ResolveThreadCount(int requested);
 
+/// Dense process-unique index of the calling thread, assigned in
+/// first-call order (the main thread is usually 0). Stable for the
+/// thread's lifetime; indexes are never reused. Log-line prefixes
+/// (common/logging) and trace events (obs/trace) share these ids so the
+/// two streams correlate.
+int CurrentThreadIndex();
+
 }  // namespace tirm
 
 #endif  // TIRM_COMMON_THREADING_H_

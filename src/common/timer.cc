@@ -1,0 +1,12 @@
+#include "common/timer.h"
+
+namespace tirm {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  // Captured once, on first use from any thread (magic-static init).
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace tirm

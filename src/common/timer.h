@@ -1,11 +1,19 @@
-// Monotonic wall-clock timer for runtime measurements (Fig. 6).
+// Monotonic wall-clock timers for runtime measurements (Fig. 6) and the
+// shared process epoch that log lines and trace spans timestamp against.
 
 #ifndef TIRM_COMMON_TIMER_H_
 #define TIRM_COMMON_TIMER_H_
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace tirm {
+
+/// Steady-clock instant captured the first time anything asks for it.
+/// common/logging timestamps and obs/trace span timestamps are both
+/// relative to this one epoch, so log lines and trace events correlate.
+std::chrono::steady_clock::time_point ProcessEpoch();
 
 /// Measures elapsed wall time. Starts running on construction.
 class WallTimer {
@@ -26,6 +34,41 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII elapsed-seconds reporter: on destruction, writes the scope's wall
+/// time into a bound double (overwrite) or hands it to a callback.
+/// Replaces the hand-rolled WallTimer start/stop pairs around phase
+/// scopes:
+///
+///   double build_seconds = 0.0;
+///   {
+///     ScopedTimer timer(build_seconds);
+///     BuildThing();
+///   }
+///
+///   ScopedTimer timer([&](double s) { row.Set("seconds", s); });
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& out) : out_(&out) {}
+  explicit ScopedTimer(std::function<void(double)> callback)
+      : callback_(std::move(callback)) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const double seconds = timer_.Seconds();
+    if (out_ != nullptr) *out_ = seconds;
+    if (callback_) callback_(seconds);
+  }
+
+  /// Elapsed so far (the destructor still reports the final value).
+  double Seconds() const { return timer_.Seconds(); }
+
+ private:
+  WallTimer timer_;
+  double* out_ = nullptr;
+  std::function<void(double)> callback_;
 };
 
 }  // namespace tirm

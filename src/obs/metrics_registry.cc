@@ -1,0 +1,140 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tirm {
+namespace obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  MutexLock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  MutexLock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  MutexLock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::ProviderHandle MetricsRegistry::RegisterProvider(
+    std::string name, Provider provider) {
+  MutexLock lock(mutex_);
+  const std::uint64_t id = next_provider_id_++;
+  providers_.push_back(ProviderEntry{id, std::move(name), std::move(provider)});
+  return ProviderHandle(this, id);
+}
+
+void MetricsRegistry::Unregister(std::uint64_t id) {
+  // The erased std::function must be destroyed outside the lock: its
+  // captures may own objects whose destructors touch the registry.
+  ProviderEntry removed;
+  {
+    MutexLock lock(mutex_);
+    auto it = std::find_if(
+        providers_.begin(), providers_.end(),
+        [id](const ProviderEntry& e) { return e.id == id; });
+    if (it == providers_.end()) return;
+    removed = std::move(*it);
+    providers_.erase(it);
+  }
+}
+
+MetricsRegistry::ProviderHandle& MetricsRegistry::ProviderHandle::operator=(
+    ProviderHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+  }
+  return *this;
+}
+
+void MetricsRegistry::ProviderHandle::Release() {
+  if (registry_ != nullptr) {
+    registry_->Unregister(id_);
+    registry_ = nullptr;
+  }
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  std::vector<std::pair<std::string, Provider>> providers;
+  {
+    MutexLock lock(mutex_);
+    JsonValue counters = JsonValue::Object();
+    for (const auto& kv : counters_) {
+      counters.Set(kv.first,
+                   JsonValue::Number(static_cast<double>(kv.second->value())));
+    }
+    root.Set("counters", std::move(counters));
+    JsonValue gauges = JsonValue::Object();
+    for (const auto& kv : gauges_) {
+      gauges.Set(kv.first, JsonValue::Number(kv.second->value()));
+    }
+    root.Set("gauges", std::move(gauges));
+    JsonValue histograms = JsonValue::Object();
+    for (const auto& kv : histograms_) {
+      const LatencyHistogram h = kv.second->Snapshot();
+      JsonValue section = JsonValue::Object();
+      section.Set("count",
+                  JsonValue::Number(static_cast<double>(h.count())));
+      section.Set("mean", JsonValue::Number(h.mean()));
+      section.Set("p50", JsonValue::Number(h.Quantile(0.50)));
+      section.Set("p95", JsonValue::Number(h.Quantile(0.95)));
+      section.Set("p99", JsonValue::Number(h.Quantile(0.99)));
+      section.Set("max", JsonValue::Number(h.max()));
+      histograms.Set(kv.first, std::move(section));
+    }
+    root.Set("histograms", std::move(histograms));
+    providers.reserve(providers_.size());
+    for (const ProviderEntry& e : providers_) {
+      providers.emplace_back(e.name, e.provider);
+    }
+  }
+  // Invoke providers lock-free: a callback may call back into the
+  // registry (e.g. to read counters).
+  JsonValue sections = JsonValue::Array();
+  for (const auto& [name, provider] : providers) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(name));
+    entry.Set("value", provider());
+    sections.Append(std::move(entry));
+  }
+  root.Set("providers", std::move(sections));
+  return root;
+}
+
+void MetricsRegistry::Reset() {
+  MutexLock lock(mutex_);
+  for (const auto& kv : counters_) kv.second->Reset();
+  for (const auto& kv : gauges_) kv.second->Reset();
+  for (const auto& kv : histograms_) kv.second->Reset();
+}
+
+}  // namespace obs
+}  // namespace tirm

@@ -1,0 +1,177 @@
+// Process-wide registry of named counters, gauges, and latency
+// histograms — the one dumpable metrics surface.
+//
+// Naming scheme: lowercase dotted "<subsystem>.<metric>", e.g.
+// "store.sampled_sets", "tirm.selection_rounds", "serve.deadline_misses".
+// Instruments are created on first use and live for the process lifetime,
+// so hot call sites bind a reference once:
+//
+//   static obs::Counter& rounds =
+//       obs::MetricsRegistry::Global().GetCounter("tirm.selection_rounds");
+//   rounds.Increment();
+//
+// Counters are relaxed atomics (PR 7 discipline: no lock on any hot
+// path); histograms wrap common/histogram's LatencyHistogram behind a
+// Mutex, same as ServiceMetrics. Per-instance metric surfaces that cannot
+// be process-global counters — a ServiceMetrics snapshot, a store's cache
+// stats — join the registry as *providers*: named callbacks returning a
+// JsonValue section, registered for the instance's lifetime via an RAII
+// handle. ToJson() is the whole surface (counters + gauges + histograms +
+// provider sections); the serve protocol's `stats` admin request and the
+// bench reports dump exactly that.
+
+#ifndef TIRM_OBS_METRICS_REGISTRY_H_
+#define TIRM_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/json.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace tirm {
+namespace obs {
+
+/// Monotonic event counter (relaxed atomic; safe from any thread).
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, arena bytes, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Mutex-guarded latency histogram (seconds). Record once per event —
+/// request/run granularity, off the sampling and selection hot paths.
+class Histogram {
+ public:
+  void Record(double seconds) TIRM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    histogram_.Record(seconds);
+  }
+  LatencyHistogram Snapshot() const TIRM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return histogram_;
+  }
+  void Reset() TIRM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    histogram_ = LatencyHistogram();
+  }
+
+ private:
+  mutable Mutex mutex_;
+  LatencyHistogram histogram_ TIRM_GUARDED_BY(mutex_);
+};
+
+/// See file comment. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  /// A provider's JSON section builder. Must be safe to invoke from any
+  /// thread for as long as its ProviderHandle is alive.
+  using Provider = std::function<JsonValue()>;
+
+  /// RAII registration: unregisters on destruction. Destroy the handle
+  /// before anything the provider callback captures.
+  class ProviderHandle {
+   public:
+    ProviderHandle() = default;
+    ProviderHandle(ProviderHandle&& other) noexcept
+        : registry_(other.registry_), id_(other.id_) {
+      other.registry_ = nullptr;
+    }
+    ProviderHandle& operator=(ProviderHandle&& other) noexcept;
+    ~ProviderHandle() { Release(); }
+    ProviderHandle(const ProviderHandle&) = delete;
+    ProviderHandle& operator=(const ProviderHandle&) = delete;
+
+    /// Unregisters now (idempotent).
+    void Release();
+
+   private:
+    friend class MetricsRegistry;
+    ProviderHandle(MetricsRegistry* registry, std::uint64_t id)
+        : registry_(registry), id_(id) {}
+
+    MetricsRegistry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The named instrument, created on first use. References stay valid
+  /// for the registry's lifetime (the Global() registry never dies).
+  Counter& GetCounter(std::string_view name) TIRM_EXCLUDES(mutex_);
+  Gauge& GetGauge(std::string_view name) TIRM_EXCLUDES(mutex_);
+  Histogram& GetHistogram(std::string_view name) TIRM_EXCLUDES(mutex_);
+
+  /// Adds a named JSON section to every ToJson() dump for the handle's
+  /// lifetime. Names need not be unique (two services may both register
+  /// "serve.service"; the dump keeps both, in registration order).
+  [[nodiscard]] ProviderHandle RegisterProvider(std::string name,
+                                                Provider provider)
+      TIRM_EXCLUDES(mutex_);
+
+  /// The whole surface:
+  ///   {"counters":{name:value,...},"gauges":{...},
+  ///    "histograms":{name:{count,mean,p50,p95,p99,max},...},
+  ///    "providers":[{"name":...,"value":{...}},...]}
+  /// Provider callbacks run without the registry lock held (they may
+  /// re-enter the registry).
+  JsonValue ToJson() const TIRM_EXCLUDES(mutex_);
+
+  /// Zeroes every counter, gauge, and histogram (providers are untouched
+  /// — they snapshot their owner's state). For measurement harnesses;
+  /// call only while instrumented work is quiescent.
+  void Reset() TIRM_EXCLUDES(mutex_);
+
+ private:
+  void Unregister(std::uint64_t id) TIRM_EXCLUDES(mutex_);
+
+  struct ProviderEntry {
+    std::uint64_t id = 0;
+    std::string name;
+    Provider provider;
+  };
+
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TIRM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TIRM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TIRM_GUARDED_BY(mutex_);
+  std::uint64_t next_provider_id_ TIRM_GUARDED_BY(mutex_) = 1;
+  std::vector<ProviderEntry> providers_ TIRM_GUARDED_BY(mutex_);
+};
+
+}  // namespace obs
+}  // namespace tirm
+
+#endif  // TIRM_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,286 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/json.h"
+#include "common/threading.h"
+#include "common/timer.h"
+
+namespace tirm {
+namespace obs {
+
+namespace trace_internal {
+std::atomic<std::uint32_t> g_active{0};
+thread_local StageProfile* tl_profile_sink = nullptr;
+}  // namespace trace_internal
+
+// ------------------------------------------------------------- TraceRecorder
+
+TraceRecorder::TraceRecorder() : epoch_(ProcessEpoch()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+TraceRecorder::ThreadLog::~ThreadLog() {
+  for (std::atomic<TraceEvent*>& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
+void TraceRecorder::ThreadLog::Append(const TraceEvent& event) {
+  // Single writer (the owning thread); readers synchronize on count_.
+  const std::uint64_t index = count_.load(std::memory_order_relaxed);
+  const std::size_t c = static_cast<std::size_t>(index >> kChunkShift);
+  if (c >= kMaxChunks) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new TraceEvent[kChunkSize];
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  chunk[index & (kChunkSize - 1)] = event;
+  // The release publishes the event write (and the chunk pointer) to any
+  // reader that acquire-loads count_ >= index + 1.
+  count_.store(index + 1, std::memory_order_release);
+}
+
+TraceRecorder::ThreadLog& TraceRecorder::LocalLog() {
+  thread_local ThreadLog* log = nullptr;
+  if (log == nullptr) {
+    auto owned = std::make_unique<ThreadLog>(CurrentThreadIndex());
+    log = owned.get();
+    MutexLock lock(mutex_);
+    logs_.push_back(std::move(owned));
+  }
+  return *log;
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  // Snapshot the log list under the lock; the logs themselves are read
+  // through the per-log publication protocol (no lock on the append path).
+  std::vector<ThreadLog*> logs;
+  {
+    MutexLock lock(mutex_);
+    logs.reserve(logs_.size());
+    for (const std::unique_ptr<ThreadLog>& log : logs_) {
+      logs.push_back(log.get());
+    }
+  }
+  std::sort(logs.begin(), logs.end(), [](const ThreadLog* a, const ThreadLog* b) {
+    return a->tid() < b->tid();
+  });
+  std::vector<TraceEvent> events;
+  for (const ThreadLog* log : logs) {
+    const std::uint64_t n = log->count_.load(std::memory_order_acquire);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const TraceEvent* chunk =
+          log->chunks_[static_cast<std::size_t>(i >> ThreadLog::kChunkShift)]
+              .load(std::memory_order_acquire);
+      events.push_back(chunk[i & (ThreadLog::kChunkSize - 1)]);
+    }
+  }
+  return events;
+}
+
+void TraceRecorder::Clear() {
+  MutexLock lock(mutex_);
+  for (const std::unique_ptr<ThreadLog>& log : logs_) {
+    log->count_.store(0, std::memory_order_release);
+    log->dropped_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  MutexLock lock(mutex_);
+  for (const std::unique_ptr<ThreadLog>& log : logs_) {
+    total += log->dropped_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<StageStats> TraceRecorder::Summary() const {
+  return AggregateStages(Collect());
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Field("name", e.name == nullptr ? "" : e.name);
+    w.Field("ph", "X");
+    w.Field("pid", 1);
+    w.Field("tid", std::int64_t{e.tid});
+    w.Field("ts", static_cast<double>(e.start_ns) * 1e-3);   // microseconds
+    w.Field("dur", static_cast<double>(e.dur_ns) * 1e-3);
+    w.Key("args");
+    w.BeginObject();
+    if (e.span_id != 0) {
+      w.Field("span_id", std::uint64_t{e.span_id});
+      w.Field("parent_id", std::uint64_t{e.parent_id});
+    }
+    if (e.label_key != nullptr) {
+      w.Field(e.label_key, std::string_view(e.label.data()));
+    }
+    for (int i = 0; i < e.num_counters; ++i) {
+      const TraceCounter& c = e.counters[static_cast<std::size_t>(i)];
+      w.Field(c.key, c.value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.MoveStr();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file \"" + path + "\"");
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool newline_ok = std::fputc('\n', f) != EOF;
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !newline_ok || !close_ok) {
+    return Status::IOError("short write to trace file \"" + path + "\"");
+  }
+  return Status::OK();
+}
+
+std::vector<StageStats> AggregateStages(const std::vector<TraceEvent>& events) {
+  // Keyed by name *content*: identical literals from different TUs may
+  // live at different addresses.
+  std::map<std::string, StageStats> by_name;
+  for (const TraceEvent& e : events) {
+    if (e.name == nullptr) continue;
+    StageStats& s = by_name[e.name];
+    if (s.name.empty()) s.name = e.name;
+    ++s.count;
+    s.total_ms += static_cast<double>(e.dur_ns) * 1e-6;
+  }
+  std::vector<StageStats> stages;
+  stages.reserve(by_name.size());
+  for (auto& kv : by_name) stages.push_back(std::move(kv.second));
+  std::sort(stages.begin(), stages.end(),
+            [](const StageStats& a, const StageStats& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              return a.name < b.name;
+            });
+  return stages;
+}
+
+// ---------------------------------------------------------------- TraceSpan
+
+void TraceSpan::Open(const char* name) {
+  const std::uint32_t active =
+      trace_internal::g_active.load(std::memory_order_relaxed);
+  StageProfile* sink = trace_internal::tl_profile_sink;
+  if ((active & 1u) != 0) mode_ |= kRecord;
+  if (sink != nullptr) mode_ |= kProfile;
+  if (mode_ == 0) return;  // a ProfileScope elsewhere raised the fast gate
+  event_.name = name;
+  if ((mode_ & kRecord) != 0) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    log_ = &recorder.LocalLog();
+    event_.tid = log_->tid();
+    event_.parent_id = log_->CurrentParent();
+    event_.span_id = log_->NextSpanId();
+    log_->PushSpan(event_.span_id);
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+void TraceSpan::Close() {
+  const auto end = std::chrono::steady_clock::now();
+  const auto dur_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count());
+  if ((mode_ & kProfile) != 0) {
+    // The sink installed at destruction time: a span may legitimately
+    // outlive the scope that was active when it opened.
+    if (StageProfile* sink = trace_internal::tl_profile_sink) {
+      sink->Add(event_.name, dur_ns);
+    }
+  }
+  if ((mode_ & kRecord) != 0) {
+    log_->PopSpan(event_.span_id);
+    event_.start_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start_ - TraceRecorder::Global().epoch())
+            .count());
+    event_.dur_ns = dur_ns;
+    log_->Append(event_);
+  }
+}
+
+void EmitEvent(const char* name, std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end,
+               std::initializer_list<TraceCounter> counters) {
+  if (!TraceRecorder::enabled()) return;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceRecorder::ThreadLog& log = recorder.LocalLog();
+  TraceEvent event;
+  event.name = name;
+  event.tid = log.tid();
+  event.parent_id = log.CurrentParent();
+  event.span_id = log.NextSpanId();
+  event.start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                           recorder.epoch())
+          .count());
+  event.dur_ns = end <= start
+                     ? 0
+                     : static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               end - start)
+                               .count());
+  for (const TraceCounter& c : counters) {
+    if (event.num_counters >= TraceEvent::kMaxCounters) break;
+    event.counters[static_cast<std::size_t>(event.num_counters++)] = c;
+  }
+  log.Append(event);
+}
+
+// ------------------------------------------------------------- StageProfile
+
+void StageProfile::Add(const char* name, std::uint64_t dur_ns) {
+  for (Stage& stage : stages_) {
+    // Pointer equality first (same literal), content second (duplicate
+    // literals across TUs).
+    if (stage.name == name ||
+        (name != nullptr && std::strcmp(stage.name, name) == 0)) {
+      ++stage.count;
+      stage.total_ns += dur_ns;
+      return;
+    }
+  }
+  stages_.push_back(Stage{name, 1, dur_ns});
+}
+
+ProfileScope::ProfileScope(StageProfile* profile)
+    : previous_(trace_internal::tl_profile_sink) {
+  trace_internal::tl_profile_sink = profile;
+  trace_internal::g_active.fetch_add(2u, std::memory_order_relaxed);
+}
+
+ProfileScope::~ProfileScope() {
+  trace_internal::g_active.fetch_sub(2u, std::memory_order_relaxed);
+  trace_internal::tl_profile_sink = previous_;
+}
+
+}  // namespace obs
+}  // namespace tirm

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "rrset/parallel_rr_builder.h"
 
 namespace tirm {
@@ -53,26 +54,35 @@ double KptEstimator::MeanKappa(std::uint64_t s) const {
 
 double KptEstimator::Estimate(std::uint64_t s, Rng& rng) {
   TIRM_CHECK_GE(s, 1u);
+  obs::TraceSpan span("kpt_estimate");
+  span.Counter("s", static_cast<double>(s));
   widths_.clear();
   if (num_edges_ == 0) return 1.0;
   const double n = static_cast<double>(num_nodes_);
   const double log2n = std::log2(n);
   const int max_iter = std::max(1, static_cast<int>(log2n) - 1);
   for (int i = 1; i <= max_iter; ++i) {
+    obs::TraceSpan iter_span("kpt_iteration");
     const double ci_d = (6.0 * options_.ell * std::log(n) +
                          6.0 * std::log(std::max(2.0, log2n))) *
                         std::pow(2.0, i);
     const std::uint64_t ci = std::min<std::uint64_t>(
         options_.max_samples, static_cast<std::uint64_t>(ci_d) + 1);
     SampleWidths(ci, rng);
+    iter_span.Counter("iteration", i);
+    iter_span.Counter("samples", static_cast<double>(widths_.size()));
     const double c = MeanKappa(s);
     if (c > 1.0 / std::pow(2.0, i)) {
+      span.Counter("iterations", i);
+      span.Counter("samples", static_cast<double>(widths_.size()));
       return std::max(1.0, n * c / 2.0);
     }
     if (widths_.size() >= options_.max_samples) break;  // safety valve
   }
   // TIM falls back to KPT* = 1 when the graph is so sparse that even the
   // largest sample keeps the mean below threshold.
+  span.Counter("iterations", max_iter);
+  span.Counter("samples", static_cast<double>(widths_.size()));
   return std::max(1.0, n * MeanKappa(s) / 2.0);
 }
 

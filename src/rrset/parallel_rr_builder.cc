@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/threading.h"
+#include "obs/trace.h"
 
 namespace tirm {
 
@@ -98,6 +99,11 @@ std::vector<ParallelRrBuilder::Batch> ParallelRrBuilder::SampleParts(
   auto run_worker = [&](int w) {
     const std::uint64_t quota =
         base + (static_cast<std::uint64_t>(w) < rem ? 1 : 0);
+    // Per-worker sampling batch: spans land in the worker thread's own
+    // buffer, so the fan-out shows up as parallel lanes in the trace.
+    obs::TraceSpan span("rr_sample_batch");
+    span.Counter("worker", w);
+    span.Counter("quota", static_cast<double>(quota));
     RrSampler& sampler = SamplerFor(w);
     // Samplers are reused across batches; drop any coins buffered from a
     // previous batch's stream so this part is a pure function of `rng`.
@@ -126,6 +132,7 @@ std::vector<ParallelRrBuilder::Batch> ParallelRrBuilder::SampleParts(
         part.widths.push_back(sampler.last_width());
       }
     }
+    span.Counter("max_traversal", static_cast<double>(part.max_traversal));
   };
 
   if (workers <= 1) {

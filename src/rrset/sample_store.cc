@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/hashing.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "rrset/coverage_bitmap.h"
 #include "rrset/parallel_rr_builder.h"
 #include "topic/edge_probabilities.h"
@@ -66,6 +68,9 @@ std::uint32_t RrSetPool::AdoptChunk(std::vector<NodeId>&& nodes,
   const auto first = static_cast<std::uint32_t>(NumSets());
   const std::size_t num_sets = offsets.size() - 1;
   if (num_sets == 0) return first;
+  obs::TraceSpan span("adopt_chunk");
+  span.Counter("sets", static_cast<double>(num_sets));
+  span.Counter("nodes", static_cast<double>(nodes.size()));
   // Seal whatever AddSet capacity was open: sets never span chunks, and an
   // adopted buffer is immutable wholesale.
   open_capacity_ = 0;
@@ -94,6 +99,8 @@ std::uint32_t RrSetPool::AdoptChunk(std::vector<NodeId>&& nodes,
 
 const CoverageTranspose& RrSetPool::EnsureTranspose(std::uint32_t up_to) const {
   MutexLock lock(transpose_mutex_);
+  obs::TraceSpan span("transpose_build");
+  span.Counter("up_to", static_cast<double>(up_to));
   if (transpose_ == nullptr) {
     transpose_ = std::make_unique<CoverageTranspose>(num_nodes_);
   }
@@ -201,8 +208,11 @@ RrSampleStore::EnsureResult RrSampleStore::EnsureSets(
   reused_sets_.fetch_add(result.reused, std::memory_order_relaxed);
   if (min_sets <= result.had_before) return result;
 
+  obs::TraceSpan span("store_top_up");
   const std::uint64_t chunk = options_.chunk_sets;
   const std::uint64_t target_chunks = (min_sets + chunk - 1) / chunk;
+  span.Counter("chunks",
+               static_cast<double>(target_chunks - entry->chunks_sampled_));
   for (std::uint64_t c = entry->chunks_sampled_; c < target_chunks; ++c) {
     // One independent substream per chunk index: the pool prefix is a pure
     // function of (seed, signature, chunk_sets, thread count, kernel),
@@ -227,6 +237,16 @@ RrSampleStore::EnsureResult RrSampleStore::EnsureSets(
   result.sampled = entry->pool_.NumSets() - result.had_before;
   sampled_sets_.fetch_add(result.sampled, std::memory_order_relaxed);
   top_ups_.fetch_add(1, std::memory_order_relaxed);
+  span.Counter("sampled", static_cast<double>(result.sampled));
+  span.Counter("reused", static_cast<double>(result.reused));
+  // Registry mirrors of the store's lifetime counters — batch granularity,
+  // never per set (PR 7 discipline: no extra work on the sampling loop).
+  static obs::Counter& sampled_counter =
+      obs::MetricsRegistry::Global().GetCounter("store.sampled_sets");
+  static obs::Counter& top_up_counter =
+      obs::MetricsRegistry::Global().GetCounter("store.top_ups");
+  sampled_counter.Increment(result.sampled);
+  top_up_counter.Increment();
   std::uint64_t seen = max_traversal_.load(std::memory_order_relaxed);
   while (result.max_traversal > seen &&
          !max_traversal_.compare_exchange_weak(seen, result.max_traversal,
@@ -249,6 +269,9 @@ const KptEstimator& RrSampleStore::EnsureKpt(
       return *slot.estimator;
     }
   }
+  static obs::Counter& miss_counter =
+      obs::MetricsRegistry::Global().GetCounter("store.kpt_misses");
+  miss_counter.Increment();
   // Miss: append a new estimator (never replace — references handed out
   // earlier must stay valid for the entry's lifetime).
   AdPool::KptSlot slot;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace tirm {
 namespace {
@@ -38,6 +39,8 @@ std::uint64_t ComputeTheta(std::uint64_t num_nodes, std::uint64_t s,
   TIRM_CHECK_GT(opt_lower_bound, 0.0);
   TIRM_CHECK_GT(params.epsilon, 0.0);
   TIRM_CHECK_GT(params.ell, 0.0);
+  obs::TraceSpan span("theta_compute");
+  span.Counter("s", static_cast<double>(s));
   const double n = static_cast<double>(num_nodes);
   const double numerator =
       (8.0 + 2.0 * params.epsilon) * n *
@@ -48,6 +51,7 @@ std::uint64_t ComputeTheta(std::uint64_t num_nodes, std::uint64_t s,
                                     : static_cast<std::uint64_t>(theta) + 1;
   out = std::max(out, params.theta_min);
   if (params.theta_cap > 0) out = std::min(out, params.theta_cap);
+  span.Counter("theta", static_cast<double>(out));
   return out;
 }
 

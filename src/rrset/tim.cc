@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/timer.h"
+#include "obs/trace.h"
 #include "rrset/kpt_estimator.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
@@ -20,10 +22,14 @@ TimResult RunTim(const Graph& graph, std::span<const float> edge_probs,
                     ResolveSamplerKernel(options.sampler_kernel));
 
   // Phase 1: KPT* lower bound on OPT_k.
-  KptEstimator kpt(&sampler, graph.num_edges(),
-                   {.ell = options.theta.ell,
-                    .max_samples = options.kpt_max_samples});
-  result.kpt = kpt.Estimate(k, rng);
+  {
+    ScopedTimer timer(result.kpt_seconds);
+    obs::TraceSpan span("tim_kpt");
+    KptEstimator kpt(&sampler, graph.num_edges(),
+                     {.ell = options.theta.ell,
+                      .max_samples = options.kpt_max_samples});
+    result.kpt = kpt.Estimate(k, rng);
+  }
 
   // OPT_k >= max(KPT*, k): any k distinct seeds cover at least themselves.
   const double opt_lb = std::max(result.kpt, static_cast<double>(k));
@@ -35,21 +41,31 @@ TimResult RunTim(const Graph& graph, std::span<const float> edge_probs,
   // rrset/sample_store.h — the pool could equally come from a shared
   // RrSampleStore).
   RrSetPool pool(graph.num_nodes());
-  std::vector<NodeId> scratch;
-  for (std::uint64_t i = 0; i < result.theta; ++i) {
-    sampler.SampleInto(rng, scratch);
-    pool.AddSet(scratch);
+  {
+    ScopedTimer timer(result.sampling_seconds);
+    obs::TraceSpan span("tim_sampling");
+    span.Counter("theta", static_cast<double>(result.theta));
+    std::vector<NodeId> scratch;
+    for (std::uint64_t i = 0; i < result.theta; ++i) {
+      sampler.SampleInto(rng, scratch);
+      pool.AddSet(scratch);
+    }
   }
-  RrCollection collection(&pool, options.coverage_kernel);
-  collection.AttachUpTo(static_cast<std::uint32_t>(pool.NumSets()));
-
-  CoverageHeap heap(&collection);
   std::uint64_t covered = 0;
-  for (std::uint64_t i = 0; i < k; ++i) {
-    const NodeId best = heap.PopBest([](NodeId) { return true; });
-    if (best == kInvalidNode) break;  // every set covered already
-    covered += collection.CommitSeed(best);
-    result.seeds.push_back(best);
+  {
+    ScopedTimer timer(result.selection_seconds);
+    obs::TraceSpan span("tim_selection");
+    span.Counter("k", static_cast<double>(k));
+    RrCollection collection(&pool, options.coverage_kernel);
+    collection.AttachUpTo(static_cast<std::uint32_t>(pool.NumSets()));
+
+    CoverageHeap heap(&collection);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const NodeId best = heap.PopBest([](NodeId) { return true; });
+      if (best == kInvalidNode) break;  // every set covered already
+      covered += collection.CommitSeed(best);
+      result.seeds.push_back(best);
+    }
   }
   result.estimated_spread = static_cast<double>(graph.num_nodes()) *
                             static_cast<double>(covered) /

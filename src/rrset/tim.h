@@ -33,6 +33,10 @@ struct TimResult {
   std::uint64_t theta = 0;
   /// KPT* lower bound on OPT_k from phase 1.
   double kpt = 0.0;
+  /// Wall-clock phase breakdown (seconds).
+  double kpt_seconds = 0.0;       ///< phase 1: KPT* estimation
+  double sampling_seconds = 0.0;  ///< phase 2a: θ RR-set sampling
+  double selection_seconds = 0.0;  ///< phase 2b: greedy Max k-Cover
 };
 
 /// Options for TIM.

@@ -4,6 +4,7 @@
 
 #include "common/threading.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace tirm {
 namespace serve {
@@ -43,6 +44,8 @@ AllocationService::AllocationService(InstanceFactory factory, Options options)
       num_workers_(ResolveThreadCount(options.num_workers)),
       queue_(options.queue_capacity) {
   TIRM_CHECK(factory_ != nullptr) << "AllocationService: null factory";
+  registry_handle_ = obs::MetricsRegistry::Global().RegisterProvider(
+      "serve.service", [this] { return StatsJson(); });
   if (options_.autostart) Start();
 }
 
@@ -179,6 +182,31 @@ SampleCacheStats AllocationService::StoreStats() const {
   return total;
 }
 
+JsonValue AllocationService::StatsJson() const {
+  JsonValue root = JsonValue::Object();
+  root.Set("workers", JsonValue::Number(num_workers_));
+  root.Set("service", ToJson(Metrics()));
+  const SampleCacheStats s = StoreStats();
+  JsonValue store = JsonValue::Object();
+  store.Set("reused_sets",
+            JsonValue::Number(static_cast<double>(s.reused_sets)));
+  store.Set("sampled_sets",
+            JsonValue::Number(static_cast<double>(s.sampled_sets)));
+  store.Set("top_ups", JsonValue::Number(static_cast<double>(s.top_ups)));
+  store.Set("kpt_cache_hits",
+            JsonValue::Number(static_cast<double>(s.kpt_cache_hits)));
+  store.Set("kpt_estimations",
+            JsonValue::Number(static_cast<double>(s.kpt_estimations)));
+  store.Set("arena_bytes",
+            JsonValue::Number(static_cast<double>(s.arena_bytes)));
+  store.Set("view_bytes",
+            JsonValue::Number(static_cast<double>(s.view_bytes)));
+  store.Set("max_traversal",
+            JsonValue::Number(static_cast<double>(s.max_traversal)));
+  root.Set("store", std::move(store));
+  return root;
+}
+
 const AdAllocEngine& AllocationService::engine(int w) const {
   MutexLock lock(lifecycle_mutex_);
   TIRM_CHECK(w >= 0 && static_cast<std::size_t>(w) < engines_.size())
@@ -197,8 +225,14 @@ void AllocationService::WorkerLoop(int worker_index) {
   }
   AdAllocEngine& engine = *engine_ptr;
   while (std::optional<Job> job = queue_.Pop()) {
+    const Clock::time_point dequeued_at = Clock::now();
     const double waited =
-        std::chrono::duration<double>(Clock::now() - job->admitted_at).count();
+        std::chrono::duration<double>(dequeued_at - job->admitted_at).count();
+    // The queue wait is a cross-thread phase (admitted on the client
+    // thread, dequeued here), so it is emitted as an explicit event
+    // rather than an RAII span.
+    obs::EmitEvent("serve_queue", job->admitted_at, dequeued_at,
+                   {{"worker", static_cast<double>(worker_index)}});
     AllocationResponse response;
     response.id = job->request.id;
     response.queue_ms = waited * 1e3;
@@ -212,19 +246,37 @@ void AllocationService::WorkerLoop(int worker_index) {
           "deadline of " + std::to_string(timeout_ms) + " ms passed after " +
           std::to_string(waited * 1e3) + " ms in queue");
       metrics_.RecordExpired(waited);
+      static obs::Counter& miss_counter =
+          obs::MetricsRegistry::Global().GetCounter("serve.deadline_misses");
+      miss_counter.Increment();
       job->promise.set_value(std::move(response));
       continue;
     }
 
-    WallTimer serve_timer;
-    Result<EngineRun> run = engine.Run(job->request.config, job->request.query);
-    const double serve_seconds = serve_timer.Seconds();
+    double serve_seconds = 0.0;
+    std::optional<Result<EngineRun>> run;
+    obs::StageProfile stage_profile;
+    {
+      ScopedTimer serve_timer(serve_seconds);
+      obs::TraceSpan span("serve_run");
+      span.Counter("worker", worker_index);
+      // Opt-in stage breakdown: the ProfileScope routes this thread's
+      // spans into stage_profile for the duration of the engine run.
+      std::optional<obs::ProfileScope> profile_scope;
+      if (job->request.profile) profile_scope.emplace(&stage_profile);
+      run.emplace(engine.Run(job->request.config, job->request.query));
+    }
     response.serve_ms = serve_seconds * 1e3;
-    if (run.ok()) {
-      response.run = run.MoveValue();
+    if (run->ok()) {
+      response.run = run->MoveValue();
       response.status = Status::OK();
     } else {
-      response.status = run.status();
+      response.status = run->status();
+    }
+    for (const obs::StageProfile::Stage& stage : stage_profile.stages()) {
+      response.profile.push_back(
+          StageTiming{stage.name, stage.count,
+                      static_cast<double>(stage.total_ns) * 1e-6});
     }
     metrics_.RecordServed(waited, serve_seconds, response.status.ok());
     job->promise.set_value(std::move(response));

@@ -52,6 +52,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "datasets/dataset.h"
+#include "obs/metrics_registry.h"
 #include "serve/request_queue.h"
 #include "serve/service_metrics.h"
 
@@ -72,6 +73,21 @@ struct AllocationRequest {
   /// Deadline in milliseconds from submission, checked when a worker
   /// dequeues the request; 0 = no deadline.
   double timeout_ms = 0.0;
+  /// Opt-in per-request profiling: the serving worker runs the engine
+  /// under an obs::ProfileScope and attaches the stage-timing breakdown
+  /// to the response. Purely observational — the allocation is unchanged.
+  bool profile = false;
+  /// Admin request: answered directly by the front-end (tirm_server) with
+  /// the service/registry stats instead of entering the queue.
+  bool stats = false;
+};
+
+/// One aggregated pipeline stage of a profiled request (see
+/// AllocationRequest::profile): total wall time across `count` spans.
+struct StageTiming {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
 };
 
 /// Outcome of one request. `run` is meaningful iff `status.ok()`.
@@ -82,6 +98,8 @@ struct AllocationResponse {
   double queue_ms = 0.0;  ///< admission -> dequeue
   double serve_ms = 0.0;  ///< dequeue -> response
   int worker = -1;        ///< which worker served it (-1: never dequeued)
+  /// Stage-timing breakdown; non-empty iff the request set `profile`.
+  std::vector<StageTiming> profile;
 };
 
 /// A lambda/kappa/beta/budget grid to fan into the queue. Expansion order
@@ -172,6 +190,13 @@ class AllocationService {
   /// store (arena bytes summed across the per-worker copies).
   SampleCacheStats StoreStats() const TIRM_EXCLUDES(lifecycle_mutex_);
 
+  /// This service's stats section — worker count, the ServiceMetrics
+  /// snapshot (serve::ToJson shape), and the aggregated store stats. The
+  /// same payload the service publishes to obs::MetricsRegistry::Global()
+  /// as its "serve.service" provider, and the protocol's `stats` admin
+  /// request returns.
+  JsonValue StatsJson() const TIRM_EXCLUDES(lifecycle_mutex_);
+
   /// Worker `w`'s engine (for goldens and stats; valid after Start()).
   const AdAllocEngine& engine(int w) const TIRM_EXCLUDES(lifecycle_mutex_);
 
@@ -200,6 +225,10 @@ class AllocationService {
   std::vector<std::unique_ptr<AdAllocEngine>> engines_
       TIRM_GUARDED_BY(lifecycle_mutex_);
   std::vector<std::thread> threads_ TIRM_GUARDED_BY(lifecycle_mutex_);
+
+  // Last member: destroyed first, so the registry provider (which reads
+  // metrics_ and the engines) unregisters before anything it captures dies.
+  obs::MetricsRegistry::ProviderHandle registry_handle_;
 };
 
 }  // namespace serve

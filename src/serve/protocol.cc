@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "obs/metrics_registry.h"
 
 namespace tirm {
 namespace serve {
@@ -15,9 +16,21 @@ namespace {
 // the client must hear about, not a silently ignored field (same policy as
 // tirm_cli's flag set).
 const std::set<std::string>& RequestKeys() {
-  static const std::set<std::string> kKeys = {"id", "allocator", "config",
-                                              "query", "timeout_ms"};
+  static const std::set<std::string> kKeys = {
+      "id", "allocator", "config", "query", "timeout_ms", "profile", "stats"};
   return kKeys;
+}
+
+Result<bool> MemberBool(const JsonValue& obj, const std::string& key,
+                        bool def) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return def;
+  Result<bool> b = v->AsBool();
+  if (!b.ok()) {
+    return Status(b.status().code(),
+                  std::string("field \"") + key + "\": " + b.status().message());
+  }
+  return b;
 }
 
 }  // namespace
@@ -205,6 +218,13 @@ Result<AllocationRequest> ParseRequest(std::string_view line,
         "\"timeout_ms\" must be finite and non-negative");
   }
   request.timeout_ms = *timeout;
+
+  Result<bool> profile = MemberBool(root, "profile", defaults.profile);
+  if (!profile.ok()) return profile.status();
+  request.profile = *profile;
+  Result<bool> stats = MemberBool(root, "stats", defaults.stats);
+  if (!stats.ok()) return stats.status();
+  request.stats = *stats;
   return request;
 }
 
@@ -222,6 +242,10 @@ std::string FormatRequest(const AllocationRequest& request) {
   w.Field("id", request.id);
   w.Field("allocator", request.config.allocator);
   w.Field("timeout_ms", request.timeout_ms);
+  // Emitted only when set: the flags default to false on both ends, so
+  // omission round-trips and pre-existing goldens stay byte-stable.
+  if (request.profile) w.Field("profile", true);
+  if (request.stats) w.Field("stats", true);
   w.Key("query");
   WriteQuery(w, request.query);
   w.Key("config");
@@ -286,6 +310,19 @@ std::string FormatResponse(const AllocationResponse& response) {
     w.EndObject();
   }
 
+  if (!response.profile.empty()) {
+    w.Key("profile");
+    w.BeginArray();
+    for (const StageTiming& stage : response.profile) {
+      w.BeginObject();
+      w.Field("name", stage.name);
+      w.Field("count", stage.count);
+      w.Field("total_ms", stage.total_ms);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
   const SampleCacheStats& cache = result.cache;
   w.Key("cache");
   w.BeginObject();
@@ -311,6 +348,17 @@ std::string FormatErrorResponse(const std::string& id, const Status& status) {
                         ? Status::Internal("error response with OK status")
                         : status;
   return FormatResponse(response);
+}
+
+std::string FormatStatsResponse(const std::string& id,
+                                const AllocationService& service) {
+  JsonValue root = JsonValue::Object();
+  root.Set("id", JsonValue::String(id));
+  root.Set("ok", JsonValue::Bool(true));
+  JsonValue stats = service.StatsJson();
+  stats.Set("registry", obs::MetricsRegistry::Global().ToJson());
+  root.Set("stats", std::move(stats));
+  return root.Dump();
 }
 
 Result<AllocationResponse> ParseResponse(std::string_view line) {
@@ -432,6 +480,30 @@ Result<AllocationResponse> ParseResponse(std::string_view line) {
     n = MemberInt(*report, "distinct_targeted", 0);
     if (!n.ok()) return n.status();
     r.distinct_targeted = static_cast<std::size_t>(*n);
+  }
+
+  if (const JsonValue* profile = root.Find("profile")) {
+    if (!profile->is_array()) {
+      return Status::InvalidArgument("\"profile\" must be an array");
+    }
+    response.profile.reserve(profile->size());
+    for (std::size_t i = 0; i < profile->size(); ++i) {
+      const JsonValue& entry = (*profile)[i];
+      if (!entry.is_object()) {
+        return Status::InvalidArgument("profile entries must be objects");
+      }
+      StageTiming stage;
+      Result<std::string> name = MemberString(entry, "name", "");
+      if (!name.ok()) return name.status();
+      stage.name = *name;
+      Result<std::int64_t> count = MemberInt(entry, "count", 0);
+      if (!count.ok()) return count.status();
+      stage.count = static_cast<std::uint64_t>(*count);
+      Result<double> total_ms = MemberDouble(entry, "total_ms", 0.0);
+      if (!total_ms.ok()) return total_ms.status();
+      stage.total_ms = *total_ms;
+      response.profile.push_back(std::move(stage));
+    }
   }
 
   if (const JsonValue* cache = root.Find("cache")) {

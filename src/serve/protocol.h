@@ -15,6 +15,15 @@
 //    "config":{"eps":0.2,"theta_cap":262144,"threads":1},
 //    "timeout_ms":5000}
 //
+// Two observability extensions ride on the same line format:
+//   * "profile": true — the response additionally carries a
+//     "profile":[{"name":"tirm_run","count":1,"total_ms":52.1},...] stage
+//     breakdown of the engine run (obs::ProfileScope on the worker).
+//   * "stats": true — an admin request; the server answers immediately
+//     (never enqueued) with {"id":...,"ok":true,"stats":{...}} carrying
+//     the service snapshot, store stats, and the process-wide
+//     obs::MetricsRegistry dump. See FormatStatsResponse.
+//
 // `config` accepts exactly the AllocatorConfig flag names (eps, ell,
 // theta_cap, theta_min, kpt_max_samples, threads, mc_sims, irie_*, ...);
 // values go through the same strict parsers as the command line.
@@ -73,6 +82,16 @@ std::string FormatResponse(const AllocationResponse& response);
 /// Error response for a line that could not be parsed into a request at
 /// all (id is whatever could be recovered, often empty).
 std::string FormatErrorResponse(const std::string& id, const Status& status);
+
+/// Answer to a `"stats": true` admin request:
+///   {"id":...,"ok":true,"stats":{"workers":...,"service":{...},
+///    "store":{...},"registry":{...}}}
+/// where "service"/"store" come from `service.StatsJson()` and "registry"
+/// is the full obs::MetricsRegistry::Global() dump (which itself lists
+/// every live service again under "providers" — the direct sections are
+/// the one belonging to `service`).
+std::string FormatStatsResponse(const std::string& id,
+                                const AllocationService& service);
 
 /// Inverts FormatResponse's serialized subset. Fields not on the wire
 /// (per-ad stats, internal revenue vectors) come back default-initialized.

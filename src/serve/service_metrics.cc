@@ -1,7 +1,39 @@
 #include "serve/service_metrics.h"
 
+#include <utility>
+
 namespace tirm {
 namespace serve {
+namespace {
+
+JsonValue LatencyJson(std::uint64_t count, double mean, double p50, double p95,
+                      double p99, double max) {
+  JsonValue v = JsonValue::Object();
+  v.Set("count", JsonValue::Number(static_cast<double>(count)));
+  v.Set("mean", JsonValue::Number(mean));
+  v.Set("p50", JsonValue::Number(p50));
+  v.Set("p95", JsonValue::Number(p95));
+  v.Set("p99", JsonValue::Number(p99));
+  v.Set("max", JsonValue::Number(max));
+  return v;
+}
+
+}  // namespace
+
+JsonValue ToJson(const MetricsSnapshot& s) {
+  JsonValue root = JsonValue::Object();
+  root.Set("received", JsonValue::Number(static_cast<double>(s.received)));
+  root.Set("admitted", JsonValue::Number(static_cast<double>(s.admitted)));
+  root.Set("rejected", JsonValue::Number(static_cast<double>(s.rejected)));
+  root.Set("served_ok", JsonValue::Number(static_cast<double>(s.served_ok)));
+  root.Set("failed", JsonValue::Number(static_cast<double>(s.failed)));
+  root.Set("expired", JsonValue::Number(static_cast<double>(s.expired)));
+  root.Set("queue", LatencyJson(s.queue_count, s.queue_mean, s.queue_p50,
+                                s.queue_p95, s.queue_p99, s.queue_max));
+  root.Set("serve", LatencyJson(s.serve_count, s.serve_mean, s.serve_p50,
+                                s.serve_p95, s.serve_p99, s.serve_max));
+  return root;
+}
 
 void ServiceMetrics::RecordExpired(double queue_seconds) {
   expired_.fetch_add(1, std::memory_order_relaxed);

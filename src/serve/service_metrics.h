@@ -1,11 +1,21 @@
 // Service-level metrics for the AllocationService: admission/outcome
 // counters plus queue-wait and serve-time latency histograms.
 //
-// Counter identities (enforced by tests/serving_test.cc):
+// Counter identities (enforced by tests/serving_test.cc and
+// tests/obs_test.cc; they hold across Reset() — a reset service is
+// indistinguishable from a fresh one):
 //   received  = admitted + rejected
 //   completed = served_ok + failed + expired
 // and every admitted request eventually completes (after Stop()
 // drains, admitted == completed).
+//
+// This is a per-service surface, not a process-global one: every
+// AllocationService owns its own ServiceMetrics. Each service joins the
+// process-wide obs::MetricsRegistry as a "serve.service" *provider*
+// (a named JSON snapshot callback), so the `stats` admin request of the
+// NDJSON protocol and any registry dump see every live service without
+// the counters themselves being shared or double-counted. ToJson() below
+// is that provider's payload shape.
 
 #ifndef TIRM_SERVE_SERVICE_METRICS_H_
 #define TIRM_SERVE_SERVICE_METRICS_H_
@@ -14,6 +24,7 @@
 #include <cstdint>
 
 #include "common/histogram.h"
+#include "common/json.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -39,6 +50,10 @@ struct MetricsSnapshot {
   double serve_mean = 0.0, serve_p50 = 0.0, serve_p95 = 0.0, serve_p99 = 0.0;
   double serve_max = 0.0;
 };
+
+/// JSON section of a snapshot: counters at the top level plus "queue" /
+/// "serve" latency sub-objects (count, mean, p50, p95, p99, max; seconds).
+JsonValue ToJson(const MetricsSnapshot& snapshot);
 
 /// Shared-state metrics sink; every method is thread-safe. Counters are
 /// lock-free atomics; the histograms (one Record per request, off the hot

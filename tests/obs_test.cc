@@ -1,0 +1,639 @@
+// Tests for the observability layer (src/obs/): the trace recorder's span
+// hierarchy and Chrome trace-event export, per-request ProfileScope
+// capture, the process-wide MetricsRegistry, the LatencyHistogram merge
+// identities, the ServiceMetrics reset identities, and the serving
+// protocol's profile/stats extensions.
+//
+// The two acceptance gates live here: an end-to-end engine run must emit
+// at least six distinct pipeline stages whose JSON export round-trips the
+// strict parser, and allocations must be bit-identical with tracing on or
+// off for every registered allocator.
+//
+// Runs under ThreadSanitizer in CI alongside serving_test (the recorder's
+// collect-while-recording protocol is concurrency-sensitive).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/ad_alloc_engine.h"
+#include "common/histogram.h"
+#include "common/json.h"
+#include "datasets/dataset.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "serve/allocation_service.h"
+#include "serve/protocol.h"
+#include "serve/service_metrics.h"
+
+namespace tirm {
+namespace obs {
+namespace {
+
+// The recorder is process-global; every tracing test starts and ends from
+// the fully quiesced state so tests compose in any order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const std::string& name) {
+  for (const TraceEvent& e : events) {
+    if (e.name != nullptr && name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+// ----------------------------------------------------------- TraceRecorder
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    TraceSpan span("never_recorded");
+    EXPECT_FALSE(span.active());
+    span.Counter("ignored", 1.0);
+  }
+  EXPECT_TRUE(TraceRecorder::Global().Collect().empty());
+  EXPECT_FALSE(TraceRecorder::enabled());
+}
+
+TEST_F(TraceTest, SpansNestWithParentIds) {
+  TraceRecorder::Global().Enable();
+  {
+    TraceSpan outer("outer_stage");
+    {
+      TraceSpan inner("inner_stage");
+      EXPECT_TRUE(inner.active());
+    }
+  }
+  TraceRecorder::Global().Disable();
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = FindEvent(events, "outer_stage");
+  const TraceEvent* inner = FindEvent(events, "inner_stage");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);  // root
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_NE(inner->span_id, outer->span_id);
+  // Time containment: the inner span lies within the outer span.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, outer->start_ns + outer->dur_ns);
+}
+
+TEST_F(TraceTest, CountersAndLabelsAttachAndCap) {
+  TraceRecorder::Global().Enable();
+  {
+    TraceSpan span("annotated");
+    for (int i = 0; i < TraceEvent::kMaxCounters + 2; ++i) {
+      span.Counter("k", static_cast<double>(i));
+    }
+    span.Label("allocator",
+               "a-label-value-longer-than-the-thirty-two-byte-slot");
+  }
+  TraceRecorder::Global().Disable();
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& e = events[0];
+  // The per-span counter capacity is a hard cap, not a crash.
+  EXPECT_EQ(e.num_counters, TraceEvent::kMaxCounters);
+  EXPECT_DOUBLE_EQ(e.counters[0].value, 0.0);
+  ASSERT_NE(e.label_key, nullptr);
+  const std::string label(e.label.data());
+  EXPECT_EQ(label.size(), TraceEvent::kLabelSize - 1);  // truncated + NUL
+  EXPECT_EQ(label.substr(0, 7), "a-label");
+}
+
+TEST_F(TraceTest, EmitEventRecordsExplicitEndpoints) {
+  TraceRecorder::Global().Enable();
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = start + std::chrono::microseconds(1500);
+  EmitEvent("cross_thread_phase", start, end, {{"worker", 3.0}});
+  TraceRecorder::Global().Disable();
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  const TraceEvent* e = FindEvent(events, "cross_thread_phase");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->dur_ns, 1500000u);
+  ASSERT_EQ(e->num_counters, 1);
+  EXPECT_STREQ(e->counters[0].key, "worker");
+  EXPECT_DOUBLE_EQ(e->counters[0].value, 3.0);
+}
+
+TEST_F(TraceTest, SummaryAggregatesByNameDescendingTotal) {
+  std::vector<TraceEvent> events;
+  TraceEvent a;
+  a.name = "short_stage";
+  a.dur_ns = 1000000;  // 1 ms
+  events.push_back(a);
+  TraceEvent b;
+  b.name = "long_stage";
+  b.dur_ns = 5000000;  // 5 ms
+  events.push_back(b);
+  events.push_back(a);
+  const std::vector<StageStats> stats = AggregateStages(events);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "long_stage");
+  EXPECT_DOUBLE_EQ(stats[0].total_ms, 5.0);
+  EXPECT_EQ(stats[0].count, 1u);
+  EXPECT_EQ(stats[1].name, "short_stage");
+  EXPECT_EQ(stats[1].count, 2u);
+  EXPECT_DOUBLE_EQ(stats[1].total_ms, 2.0);
+}
+
+TEST_F(TraceTest, CollectSeesSpansFromMultipleThreads) {
+  TraceRecorder::Global().Enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        TraceSpan span("worker_stage");
+        span.Counter("i", static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  TraceRecorder::Global().Disable();
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  std::size_t worker_events = 0;
+  std::set<std::int32_t> tids;
+  for (const TraceEvent& e : events) {
+    if (std::string("worker_stage") == e.name) {
+      ++worker_events;
+      tids.insert(e.tid);
+    }
+  }
+  EXPECT_EQ(worker_events, 200u);
+  EXPECT_GE(tids.size(), 2u);  // distinct dense thread indices
+  EXPECT_EQ(TraceRecorder::Global().dropped(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonRoundTripsStrictParser) {
+  TraceRecorder::Global().Enable();
+  {
+    TraceSpan span("exported_stage");
+    span.Counter("theta", 81920.0);
+    span.Label("allocator", "tirm");
+  }
+  TraceRecorder::Global().Disable();
+  const std::string json = TraceRecorder::Global().ChromeTraceJson();
+  Result<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GE(events->size(), 1u);
+  const JsonValue& e = (*events)[0];
+  EXPECT_EQ(e.Find("name")->AsString().value(), "exported_stage");
+  EXPECT_EQ(e.Find("ph")->AsString().value(), "X");  // complete event
+  ASSERT_NE(e.Find("ts"), nullptr);
+  ASSERT_NE(e.Find("dur"), nullptr);
+  ASSERT_NE(e.Find("pid"), nullptr);
+  ASSERT_NE(e.Find("tid"), nullptr);
+  const JsonValue* args = e.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->Find("theta")->AsDouble().value(), 81920.0);
+  EXPECT_EQ(args->Find("allocator")->AsString().value(), "tirm");
+}
+
+// ------------------------------------------------------------ ProfileScope
+
+TEST_F(TraceTest, ProfileScopeCapturesWithoutGlobalRecording) {
+  StageProfile profile;
+  {
+    ProfileScope scope(&profile);
+    {
+      TraceSpan span("profiled_stage");
+      EXPECT_TRUE(span.active());
+    }
+    { TraceSpan span("profiled_stage"); }
+  }
+  // Spans outside the scope are invisible again.
+  { TraceSpan span("unprofiled_stage"); }
+  ASSERT_EQ(profile.stages().size(), 1u);
+  EXPECT_STREQ(profile.stages()[0].name, "profiled_stage");
+  EXPECT_EQ(profile.stages()[0].count, 2u);
+  EXPECT_GT(profile.stages()[0].total_ns, 0u);
+  // Profiling alone never feeds the global trace.
+  EXPECT_TRUE(TraceRecorder::Global().Collect().empty());
+}
+
+TEST_F(TraceTest, ProfileScopesNestAndRestore) {
+  StageProfile outer;
+  StageProfile inner;
+  {
+    ProfileScope outer_scope(&outer);
+    { TraceSpan span("outer_only"); }
+    {
+      ProfileScope inner_scope(&inner);
+      { TraceSpan span("inner_only"); }
+    }
+    { TraceSpan span("outer_again"); }
+  }
+  ASSERT_EQ(inner.stages().size(), 1u);
+  EXPECT_STREQ(inner.stages()[0].name, "inner_only");
+  ASSERT_EQ(outer.stages().size(), 2u);
+  EXPECT_STREQ(outer.stages()[0].name, "outer_only");
+  EXPECT_STREQ(outer.stages()[1].name, "outer_again");
+}
+
+// ------------------------------------------- end-to-end pipeline tracing
+
+AllocatorConfig TestConfig(const std::string& name) {
+  AllocatorConfig config;
+  config.allocator = name;
+  config.mc_sims = 100;  // greedy-mc stays cheap on the Fig. 1 gadget
+  return config;
+}
+
+EngineOptions TestEngineOptions() {
+  EngineOptions o;
+  o.eval_sims = 200;
+  o.seed = 2015;
+  return o;
+}
+
+TEST_F(TraceTest, EngineRunEmitsThePipelineStages) {
+  TraceRecorder::Global().Enable();
+  AdAllocEngine engine(BuildFigure1Instance(), TestEngineOptions());
+  Result<EngineRun> run = engine.Run(TestConfig("tirm"), EngineQuery{});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  TraceRecorder::Global().Disable();
+
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  std::set<std::string> names;
+  for (const TraceEvent& e : events) names.insert(e.name);
+  // The whole pipeline shows up: facade, TIRM driver, θ machinery, store,
+  // sampling, selection, and evaluation.
+  for (const char* expected :
+       {"engine_run", "tirm_run", "kpt_estimate", "theta_compute",
+        "store_top_up", "rr_sample_batch", "tirm_select_round",
+        "regret_eval"}) {
+    EXPECT_TRUE(names.count(expected) == 1)
+        << "missing pipeline stage: " << expected;
+  }
+  EXPECT_GE(names.size(), 6u);
+
+  // The full end-to-end trace survives the strict parser.
+  Result<JsonValue> doc = ParseJson(TraceRecorder::Global().ChromeTraceJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("traceEvents")->size(), events.size());
+}
+
+TEST_F(TraceTest, AllocationsBitIdenticalWithTracingOnOrOff) {
+  const std::vector<std::string> allocators = {
+      "myopic", "myopic+", "greedy-irie", "greedy-mc", "tirm"};
+  std::vector<std::vector<std::vector<NodeId>>> untraced_seeds;
+  {
+    AdAllocEngine engine(BuildFigure1Instance(), TestEngineOptions());
+    for (const std::string& name : allocators) {
+      Result<EngineRun> run = engine.Run(TestConfig(name), EngineQuery{});
+      ASSERT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+      untraced_seeds.push_back(run->result.allocation.seeds);
+    }
+  }
+  TraceRecorder::Global().Enable();
+  {
+    AdAllocEngine engine(BuildFigure1Instance(), TestEngineOptions());
+    for (std::size_t i = 0; i < allocators.size(); ++i) {
+      Result<EngineRun> run =
+          engine.Run(TestConfig(allocators[i]), EngineQuery{});
+      ASSERT_TRUE(run.ok()) << allocators[i] << ": "
+                            << run.status().ToString();
+      EXPECT_EQ(run->result.allocation.seeds, untraced_seeds[i])
+          << allocators[i] << ": tracing changed the allocation";
+    }
+  }
+  TraceRecorder::Global().Disable();
+  // The traced runs actually recorded something — the gate compared real
+  // tracing against real silence, not two disabled runs.
+  EXPECT_FALSE(TraceRecorder::Global().Collect().empty());
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, InstrumentsAreCreatedOnceAndShared) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("test.counter");
+  Counter& b = registry.GetCounter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  a.Increment(41);
+  EXPECT_EQ(b.value(), 42u);
+
+  Gauge& g = registry.GetGauge("test.gauge");
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("test.gauge").value(), 3.5);
+
+  Histogram& h = registry.GetHistogram("test.histogram");
+  h.Record(0.010);
+  h.Record(0.030);
+  const LatencyHistogram snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot.sum(), 0.040);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.c").Increment(7);
+  registry.GetGauge("test.g").Set(1.0);
+  registry.GetHistogram("test.h").Record(0.5);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("test.c").value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("test.g").value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("test.h").Snapshot().count(), 0u);
+}
+
+TEST(MetricsRegistryTest, ToJsonRoundTripsAndCarriesProviders) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.events").Increment(3);
+  registry.GetGauge("test.depth").Set(2.0);
+  registry.GetHistogram("test.latency").Record(0.001);
+  JsonValue dump;
+  {
+    MetricsRegistry::ProviderHandle handle = registry.RegisterProvider(
+        "test.section", [] {
+          JsonValue v = JsonValue::Object();
+          v.Set("answer", JsonValue::Number(42.0));
+          return v;
+        });
+    dump = registry.ToJson();
+  }
+  // Strict round-trip of the whole surface.
+  Result<JsonValue> parsed = ParseJson(dump.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(
+      parsed->Find("counters")->Find("test.events")->AsDouble().value(), 3.0);
+  EXPECT_DOUBLE_EQ(
+      parsed->Find("gauges")->Find("test.depth")->AsDouble().value(), 2.0);
+  const JsonValue* hist =
+      parsed->Find("histograms")->Find("test.latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->AsDouble().value(), 1.0);
+  const JsonValue* providers = parsed->Find("providers");
+  ASSERT_NE(providers, nullptr);
+  ASSERT_EQ(providers->size(), 1u);
+  EXPECT_EQ((*providers)[0].Find("name")->AsString().value(), "test.section");
+  EXPECT_DOUBLE_EQ(
+      (*providers)[0].Find("value")->Find("answer")->AsDouble().value(), 42.0);
+
+  // The RAII handle unregistered the provider at scope exit.
+  const JsonValue after = registry.ToJson();
+  EXPECT_EQ(after.Find("providers")->size(), 0u);
+}
+
+TEST(MetricsRegistryTest, ProviderHandleMoveTransfersOwnership) {
+  MetricsRegistry registry;
+  MetricsRegistry::ProviderHandle outer;
+  {
+    MetricsRegistry::ProviderHandle inner = registry.RegisterProvider(
+        "test.moved", [] { return JsonValue::Object(); });
+    outer = std::move(inner);
+  }
+  // `inner` died but ownership moved: the provider is still registered.
+  EXPECT_EQ(registry.ToJson().Find("providers")->size(), 1u);
+  outer.Release();
+  EXPECT_EQ(registry.ToJson().Find("providers")->size(), 0u);
+}
+
+// -------------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, MergeEqualsRecordingTheUnion) {
+  const std::vector<double> first = {0.001, 0.004, 0.050, 1.2};
+  const std::vector<double> second = {0.0005, 0.020, 0.020, 3.7, 0.000001};
+  LatencyHistogram a, b, direct;
+  for (const double s : first) {
+    a.Record(s);
+    direct.Record(s);
+  }
+  for (const double s : second) {
+    b.Record(s);
+    direct.Record(s);
+  }
+  LatencyHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_NEAR(merged.sum(), direct.sum(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), direct.min());
+  EXPECT_DOUBLE_EQ(merged.max(), direct.max());
+  // Quantiles are bucket-exact: merging adds integer bucket counts.
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), direct.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h;
+  h.Record(0.003);
+  h.Record(0.7);
+  const LatencyHistogram before = h;
+  LatencyHistogram empty;
+  h.Merge(empty);  // right identity
+  EXPECT_EQ(h.count(), before.count());
+  EXPECT_DOUBLE_EQ(h.sum(), before.sum());
+  EXPECT_DOUBLE_EQ(h.min(), before.min());
+  EXPECT_DOUBLE_EQ(h.max(), before.max());
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), before.Quantile(0.5));
+
+  LatencyHistogram left;
+  left.Merge(before);  // left identity
+  EXPECT_EQ(left.count(), before.count());
+  EXPECT_DOUBLE_EQ(left.sum(), before.sum());
+  EXPECT_DOUBLE_EQ(left.min(), before.min());
+  EXPECT_DOUBLE_EQ(left.max(), before.max());
+  EXPECT_DOUBLE_EQ(left.Quantile(0.95), before.Quantile(0.95));
+}
+
+// ---------------------------------------------------------- ServiceMetrics
+
+void RecordMixedTraffic(serve::ServiceMetrics& m) {
+  m.RecordAdmitted();
+  m.RecordServed(0.001, 0.010, /*ok=*/true);
+  m.RecordAdmitted();
+  m.RecordServed(0.002, 0.020, /*ok=*/false);
+  m.RecordAdmitted();
+  m.RecordExpired(0.500);
+  m.RecordAdmitted();
+  m.RecordDropped(0.100);
+  m.RecordRejected();
+}
+
+void ExpectIdentities(const serve::MetricsSnapshot& s) {
+  EXPECT_EQ(s.received, s.admitted + s.rejected);
+  // Every admitted request completed (served, failed/dropped, or expired).
+  EXPECT_EQ(s.admitted, s.served_ok + s.failed + s.expired);
+  // The serve histogram covers only requests that actually ran.
+  EXPECT_EQ(s.serve_count, s.served_ok + s.failed - 1);  // dropped: queue only
+}
+
+TEST(ServiceMetricsTest, ResetRestoresTheFreshState) {
+  serve::ServiceMetrics fresh;
+  RecordMixedTraffic(fresh);
+  const serve::MetricsSnapshot golden = fresh.Snapshot();
+  EXPECT_EQ(golden.received, 5u);
+  EXPECT_EQ(golden.admitted, 4u);
+  EXPECT_EQ(golden.rejected, 1u);
+  EXPECT_EQ(golden.served_ok, 1u);
+  EXPECT_EQ(golden.failed, 2u);  // in-band error + drop
+  EXPECT_EQ(golden.expired, 1u);
+  ExpectIdentities(golden);
+
+  serve::ServiceMetrics reused;
+  RecordMixedTraffic(reused);
+  reused.Reset();
+  const serve::MetricsSnapshot zero = reused.Snapshot();
+  EXPECT_EQ(zero.received, 0u);
+  EXPECT_EQ(zero.admitted, 0u);
+  EXPECT_EQ(zero.rejected, 0u);
+  EXPECT_EQ(zero.served_ok, 0u);
+  EXPECT_EQ(zero.failed, 0u);
+  EXPECT_EQ(zero.expired, 0u);
+  EXPECT_EQ(zero.queue_count, 0u);
+  EXPECT_EQ(zero.serve_count, 0u);
+  EXPECT_DOUBLE_EQ(zero.serve_mean, 0.0);
+
+  // A reset sink is indistinguishable from a fresh one under identical
+  // subsequent traffic.
+  RecordMixedTraffic(reused);
+  const serve::MetricsSnapshot after = reused.Snapshot();
+  EXPECT_EQ(after.received, golden.received);
+  EXPECT_EQ(after.admitted, golden.admitted);
+  EXPECT_EQ(after.served_ok, golden.served_ok);
+  EXPECT_EQ(after.failed, golden.failed);
+  EXPECT_EQ(after.expired, golden.expired);
+  EXPECT_EQ(after.queue_count, golden.queue_count);
+  EXPECT_EQ(after.serve_count, golden.serve_count);
+  EXPECT_DOUBLE_EQ(after.queue_mean, golden.queue_mean);
+  EXPECT_DOUBLE_EQ(after.serve_p95, golden.serve_p95);
+  ExpectIdentities(after);
+}
+
+TEST(ServiceMetricsTest, SnapshotToJsonShape) {
+  serve::ServiceMetrics m;
+  RecordMixedTraffic(m);
+  Result<JsonValue> parsed = ParseJson(serve::ToJson(m.Snapshot()).Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->Find("received")->AsDouble().value(), 5.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("expired")->AsDouble().value(), 1.0);
+  const JsonValue* queue = parsed->Find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_DOUBLE_EQ(queue->Find("count")->AsDouble().value(), 4.0);
+  ASSERT_NE(queue->Find("p99"), nullptr);
+  const JsonValue* servel = parsed->Find("serve");
+  ASSERT_NE(servel, nullptr);
+  EXPECT_DOUBLE_EQ(servel->Find("count")->AsDouble().value(), 2.0);
+}
+
+// --------------------------------------------- protocol profile/stats
+
+TEST(ProtocolObsTest, ProfileAndStatsFlagsRoundTrip) {
+  serve::AllocationRequest request;
+  request.id = "p1";
+  request.config.allocator = "tirm";
+  request.profile = true;
+  request.stats = true;
+  const std::string line = serve::FormatRequest(request);
+  Result<serve::AllocationRequest> parsed =
+      serve::ParseRequest(line, serve::AllocationRequest{});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->profile);
+  EXPECT_TRUE(parsed->stats);
+
+  // Unset flags stay off the wire, keeping pre-extension request lines
+  // byte-stable.
+  serve::AllocationRequest plain;
+  plain.config.allocator = "tirm";
+  const std::string plain_line = serve::FormatRequest(plain);
+  EXPECT_EQ(plain_line.find("profile"), std::string::npos);
+  EXPECT_EQ(plain_line.find("stats"), std::string::npos);
+  Result<serve::AllocationRequest> plain_parsed =
+      serve::ParseRequest(plain_line, serve::AllocationRequest{});
+  ASSERT_TRUE(plain_parsed.ok());
+  EXPECT_FALSE(plain_parsed->profile);
+  EXPECT_FALSE(plain_parsed->stats);
+}
+
+TEST(ProtocolObsTest, ResponseProfileRoundTrips) {
+  serve::AllocationResponse response;
+  response.id = "p2";
+  response.status = Status::OK();
+  response.worker = 1;
+  response.profile.push_back({"tirm_run", 1, 52.125});
+  response.profile.push_back({"rr_sample_batch", 8, 11.5});
+  const std::string line = serve::FormatResponse(response);
+  Result<serve::AllocationResponse> parsed = serve::ParseResponse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->profile.size(), 2u);
+  EXPECT_EQ(parsed->profile[0].name, "tirm_run");
+  EXPECT_EQ(parsed->profile[0].count, 1u);
+  EXPECT_DOUBLE_EQ(parsed->profile[0].total_ms, 52.125);
+  EXPECT_EQ(parsed->profile[1].name, "rr_sample_batch");
+  EXPECT_EQ(parsed->profile[1].count, 8u);
+
+  // Responses without profiling carry no "profile" member at all.
+  serve::AllocationResponse plain;
+  plain.id = "p3";
+  plain.status = Status::OK();
+  EXPECT_EQ(serve::FormatResponse(plain).find("\"profile\""),
+            std::string::npos);
+}
+
+TEST(ProtocolObsTest, ServedProfileAndStatsResponseEndToEnd) {
+  serve::AllocationService::Options options;
+  options.num_workers = 1;
+  options.engine = TestEngineOptions();
+  serve::AllocationService service([] { return BuildFigure1Instance(); },
+                                   options);
+  serve::AllocationRequest request;
+  request.id = "e2e";
+  request.config = TestConfig("tirm");
+  request.profile = true;
+  Result<std::future<serve::AllocationResponse>> pending =
+      service.Submit(std::move(request));
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  const serve::AllocationResponse response = pending->get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  // The profiled worker saw the whole pipeline, not just the facade span.
+  std::set<std::string> stages;
+  for (const serve::StageTiming& s : response.profile) stages.insert(s.name);
+  EXPECT_GE(stages.size(), 6u);
+  EXPECT_EQ(stages.count("engine_run"), 1u);
+  EXPECT_EQ(stages.count("tirm_run"), 1u);
+
+  // The stats admin answer is strict JSON carrying the service, store, and
+  // registry sections.
+  Result<JsonValue> stats =
+      ParseJson(serve::FormatStatsResponse("s1", service));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->Find("id")->AsString().value(), "s1");
+  EXPECT_TRUE(stats->Find("ok")->AsBool().value());
+  const JsonValue* body = stats->Find("stats");
+  ASSERT_NE(body, nullptr);
+  EXPECT_DOUBLE_EQ(body->Find("workers")->AsDouble().value(), 1.0);
+  ASSERT_NE(body->Find("store"), nullptr);
+  const JsonValue* svc = body->Find("service");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_DOUBLE_EQ(svc->Find("served_ok")->AsDouble().value(), 1.0);
+  const JsonValue* registry = body->Find("registry");
+  ASSERT_NE(registry, nullptr);
+  ASSERT_NE(registry->Find("counters"), nullptr);
+  // The engine instrumentation fed the process-wide registry during the
+  // served run.
+  const JsonValue* runs = registry->Find("counters")->Find("engine.runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_GE(runs->AsDouble().value(), 1.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tirm
