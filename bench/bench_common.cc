@@ -3,6 +3,27 @@
 namespace tirm {
 namespace bench {
 
+// CMake stamps the real CMAKE_BUILD_TYPE (lowercased); without it, fall
+// back to the NDEBUG probe — "release-like" vs "debug" is the distinction
+// that matters for whether a number is comparable across runs.
+const char* LibraryBuildType() {
+#if defined(TIRM_LIBRARY_BUILD_TYPE)
+  return TIRM_LIBRARY_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "release-like";
+#else
+  return "debug";
+#endif
+}
+
+bool IsReleaseLikeBuild() {
+#if defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
 const char* const kAllAlgorithms[4] = {"myopic", "myopic+", "greedy-irie",
                                        "tirm"};
 
@@ -44,6 +65,7 @@ JsonReport::JsonReport(const char* bench_name, const BenchConfig& config)
           JsonValue::Number(static_cast<double>(config.theta_cap)));
   cfg.Set("seed", JsonValue::Number(static_cast<double>(config.seed)));
   cfg.Set("threads", JsonValue::Number(config.threads));
+  cfg.Set("library_build_type", JsonValue::String(LibraryBuildType()));
   root_.Set("config", std::move(cfg));
 }
 
@@ -61,6 +83,18 @@ void BenchConfig::Print(const char* bench_name, bool supports_bundle) const {
   if (!bundle.empty()) {
     std::printf("bundle: %s (mmap'ed; replaces the generated dataset)\n",
                 bundle.c_str());
+  }
+  if (!IsReleaseLikeBuild()) {
+    std::printf(
+        "*** WARNING: the tirm library was built as \"%s\" (assertions on, "
+        "optimizations off).\n*** Timings from this binary are NOT "
+        "comparable across runs — rebuild with\n*** "
+        "-DCMAKE_BUILD_TYPE=Release before recording any BENCH_*.json.\n\n",
+        LibraryBuildType());
+    std::fprintf(stderr,
+                 "bench: WARNING: benchmarking a %s build of the tirm "
+                 "library\n",
+                 LibraryBuildType());
   }
   std::printf(
       "== %s ==\n"

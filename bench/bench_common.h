@@ -131,6 +131,16 @@ RegretReport EvaluateChecked(const ProblemInstance& instance,
                              const Allocation& allocation,
                              const BenchConfig& config, std::uint64_t salt);
 
+/// The build type the tirm library was compiled as ("release", "debug",
+/// ...): CMake's CMAKE_BUILD_TYPE lowercased, or an NDEBUG-derived
+/// "release-like"/"debug" when configured without one. Stamped into every
+/// BENCH_*.json so a report can never silently come from a Debug build.
+const char* LibraryBuildType();
+
+/// True when the library was built with optimizations (NDEBUG defined);
+/// benches warn loudly before recording timings otherwise.
+bool IsReleaseLikeBuild();
+
 /// Machine-readable run report. The root object is pre-stamped with the
 /// bench name and the shared config ("bench", "config": {scale, eval_sims,
 /// eps, theta_cap, seed, threads}); benches attach their own sections

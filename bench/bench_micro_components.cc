@@ -7,11 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "alloc/irie.h"
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "diffusion/monte_carlo.h"
 #include "diffusion/possible_world.h"
@@ -600,4 +602,24 @@ BENCHMARK(BM_Eq1Mixing);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): identical flow, plus the library build type
+// stamped into the JSON context (so a checked-in BENCH_micro.json can
+// never silently come from a Debug build) and a loud warning when it is
+// not release-like.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("library_build_type",
+                              tirm::bench::LibraryBuildType());
+  if (!tirm::bench::IsReleaseLikeBuild()) {
+    std::fprintf(stderr,
+                 "*** WARNING: benchmarking a \"%s\" build of the tirm "
+                 "library; timings are\n*** not comparable — rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release before recording\n*** "
+                 "BENCH_micro.json.\n",
+                 tirm::bench::LibraryBuildType());
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,25 @@
 //        set the *defaults* a request starts from; request fields override
 //        them per query. All knobs also read TIRM_* environment variables.
 //
+// Multi-process sharding (the GreeDIMM shape, serve/shard_protocol.h):
+//
+//   # K shard workers, each owning 1/K of every RR pool for ONE shared
+//   # read-only bundle (same file, mmap'ed independently by each process)
+//   tirm_server --mode=shard_worker --bundle=g.tirm --shard_index=0
+//               --num_shards=2 --port=7101
+//   tirm_server --mode=shard_worker --bundle=g.tirm --shard_index=1
+//               --num_shards=2 --port=7102
+//
+//   # the router serves the NORMAL allocation protocol, fanning every
+//   # tirm run's sampling/reduction sub-ops to the workers; allocations
+//   # are bit-identical to a single-process run at the same flags
+//   tirm_server --mode=router --bundle=g.tirm
+//               --shards=127.0.0.1:7101,127.0.0.1:7102
+//
+// A shard worker speaks the shard op line protocol (stdin or --port) and
+// serves ONE coordinator at a time; --mode=router forces --workers=1 for
+// the same reason (the shard connections are single-coordinator).
+//
 // Observability: a '{"id":"s1","stats":true}' line is an admin request
 // answered immediately (never enqueued) with the service metrics, store
 // stats, and the process-wide metrics registry; '"profile":true' on a
@@ -42,6 +61,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -58,6 +78,9 @@
 #include "io/mapped_file.h"
 #include "serve/allocation_service.h"
 #include "serve/protocol.h"
+#include "serve/shard_remote.h"
+#include "serve/shard_worker.h"
+#include "topic/instance.h"
 
 namespace {
 
@@ -75,7 +98,8 @@ bool IsKnownFlag(const std::string& key) {
   static const std::set<std::string> kServer = {
       "dataset", "bundle",   "scale",         "workers", "queue_capacity",
       "port",    "seed",     "eval_sims",     "evaluate",
-      "allocator", "reuse_samples", "timeout_ms"};
+      "allocator", "reuse_samples", "timeout_ms",
+      "mode",    "shard_index", "shards"};
   return kServer.count(key) > 0 ||
          serve::RequestConfigKeys().count(key) > 0 ||
          serve::RequestQueryKeys().count(key) > 0;
@@ -291,6 +315,136 @@ int ServeTcp(int port, serve::AllocationService* service,
   return 0;
 }
 
+// ---- Shard-worker serving: the shard op line protocol
+// (serve/shard_protocol.h), synchronous — one response line per request
+// line, in order. A worker serves ONE coordinator at a time (two sessions
+// must not drive one shard store concurrently), so the TCP variant
+// accepts connections sequentially; the shared context keeps pools warm
+// across connections and runs.
+
+template <typename WriteLine>
+void ServeShardFd(int fd, serve::ShardWorkerContext* context,
+                  const WriteLine& write_line) {
+  serve::ShardWorkerSession session(context);
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) write_line(session.HandleLine(line));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  if (!buffer.empty()) {
+    write_line(session.HandleLine(buffer));  // unterminated final line
+  }
+}
+
+void ServeShardStdin(serve::ShardWorkerContext* context) {
+  ServeShardFd(/*fd=*/0, context, [](const std::string& response) {
+    std::fwrite(response.data(), 1, response.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  });
+}
+
+int ServeShardTcp(int port, serve::ShardWorkerContext* context) {
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Fail(Status::IOError("socket() failed"));
+  const int one = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(listener);
+    return Fail(Status::IOError("cannot bind port " + std::to_string(port)));
+  }
+  if (listen(listener, 4) != 0) {
+    close(listener);
+    return Fail(Status::IOError("listen() failed"));
+  }
+  std::fprintf(stderr, "tirm_server: shard worker listening on port %d\n",
+               port);
+  while (true) {
+    const int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      std::fprintf(stderr, "tirm_server: accept failed: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    bool write_failed = false;
+    ServeShardFd(fd, context,
+                 [fd, &write_failed](const std::string& response) {
+                   if (write_failed) return;
+                   std::string out = response;
+                   out += '\n';
+                   std::size_t sent = 0;
+                   while (sent < out.size()) {
+                     const ssize_t n = send(fd, out.data() + sent,
+                                            out.size() - sent, MSG_NOSIGNAL);
+                     if (n <= 0) {
+                       write_failed = true;
+                       return;
+                     }
+                     sent += static_cast<std::size_t>(n);
+                   }
+                 });
+    close(fd);
+  }
+  close(listener);
+  return 0;
+}
+
+/// Parses "host:port,host:port,..." into endpoints; K = list size.
+Result<std::vector<std::pair<std::string, int>>> ParseShardEndpoints(
+    const std::string& shards) {
+  std::vector<std::pair<std::string, int>> endpoints;
+  std::size_t start = 0;
+  while (start <= shards.size()) {
+    std::size_t comma = shards.find(',', start);
+    if (comma == std::string::npos) comma = shards.size();
+    const std::string entry = shards.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) {
+      return Status::InvalidArgument("--shards has an empty entry");
+    }
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status::InvalidArgument("--shards entry \"" + entry +
+                                     "\" is not host:port");
+    }
+    int port = 0;
+    for (const char c : entry.substr(colon + 1)) {
+      if (c < '0' || c > '9' || port > 0xFFFF) {
+        return Status::InvalidArgument("--shards entry \"" + entry +
+                                       "\" has a bad port");
+      }
+      port = port * 10 + (c - '0');
+    }
+    if (port < 1 || port > 0xFFFF) {
+      return Status::InvalidArgument("--shards entry \"" + entry +
+                                     "\" has a bad port");
+    }
+    endpoints.emplace_back(entry.substr(0, colon), port);
+  }
+  if (endpoints.empty() || endpoints.size() > 64) {
+    return Status::InvalidArgument("--shards needs 1..64 host:port entries");
+  }
+  return endpoints;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,6 +507,29 @@ int main(int argc, char** argv) {
   if (!port.ok()) return Fail(port.status());
   if (*port < 0 || *port > 0xFFFF) {
     return Fail(Status::InvalidArgument("--port must be in [0, 65535]"));
+  }
+
+  const std::string mode = flags.GetString("mode", "serve");
+  if (mode != "serve" && mode != "router" && mode != "shard_worker") {
+    return Fail(Status::InvalidArgument(
+        "--mode must be serve, router, or shard_worker, got \"" + mode +
+        "\""));
+  }
+  Result<std::int64_t> shard_index = flags.GetIntStrict("shard_index", 0);
+  if (!shard_index.ok()) return Fail(shard_index.status());
+  const std::string shards_flag = flags.GetString("shards", "");
+  if (mode != "shard_worker" && flags.Has("shard_index")) {
+    return Fail(Status::InvalidArgument(
+        "--shard_index only applies to --mode=shard_worker"));
+  }
+  if (mode == "router" && shards_flag.empty()) {
+    return Fail(
+        Status::InvalidArgument("--mode=router requires --shards=host:port,"
+                                "host:port,..."));
+  }
+  if (mode != "router" && !shards_flag.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--shards only applies to --mode=router"));
   }
 
   std::string bundle_path = flags.GetString("bundle", "");
@@ -421,6 +598,68 @@ int main(int argc, char** argv) {
       return BuildNamedDataset(dataset, build_scale, build_rng).MoveValue();
     };
   }
+  if (mode == "shard_worker") {
+    const int num_shards = defaults.config.num_shards;
+    const int index = static_cast<int>(*shard_index);
+    if (index < 0 || index >= num_shards) {
+      return Fail(Status::InvalidArgument(
+          "--shard_index must be in [0, --num_shards), got " +
+          std::to_string(index) + " with num_shards=" +
+          std::to_string(num_shards)));
+    }
+    // One instance per worker process, built once; the context only ever
+    // reads query-independent data from it (signatures, edge probs).
+    const BuiltInstance built = build_instance();
+    const ProblemInstance base = built.MakeInstance(/*kappa=*/1,
+                                                    /*lambda=*/0.0);
+    serve::ShardWorkerContext context(&base, index, num_shards);
+    std::fprintf(stderr, "tirm_server: shard worker %d/%d dataset=%s\n",
+                 index, num_shards, source.c_str());
+    if (*port > 0) return ServeShardTcp(static_cast<int>(*port), &context);
+    ServeShardStdin(&context);
+    return 0;
+  }
+
+  // Router mode: connect the shard fan-out BEFORE the service spins up, so
+  // a missing worker fails startup instead of the first request. The
+  // clients ride into every request through the config defaults
+  // (ParseRequest copies them; request lines cannot override pointers).
+  std::vector<std::unique_ptr<serve::RemoteShardClient>> shard_clients;
+  if (mode == "router") {
+    Result<std::vector<std::pair<std::string, int>>> endpoints =
+        ParseShardEndpoints(shards_flag);
+    if (!endpoints.ok()) return Fail(endpoints.status());
+    const int num_shards = static_cast<int>(endpoints->size());
+    if (flags.Has("num_shards") && defaults.config.num_shards != num_shards) {
+      return Fail(Status::InvalidArgument(
+          "--num_shards disagrees with the --shards list (" +
+          std::to_string(defaults.config.num_shards) + " vs " +
+          std::to_string(num_shards) + " endpoints)"));
+    }
+    defaults.config.num_shards = num_shards;
+    if (Status valid = defaults.config.Validate(); !valid.ok()) {
+      return Fail(valid);
+    }
+    for (int k = 0; k < num_shards; ++k) {
+      const auto& [host, shard_port] = (*endpoints)[static_cast<std::size_t>(k)];
+      Result<std::unique_ptr<serve::TcpLineTransport>> transport =
+          serve::TcpLineTransport::Connect(host, shard_port);
+      if (!transport.ok()) return Fail(transport.status());
+      shard_clients.push_back(std::make_unique<serve::RemoteShardClient>(
+          transport.MoveValue(), k, num_shards));
+      defaults.config.shard_clients.push_back(shard_clients.back().get());
+    }
+    if (options.num_workers != 1) {
+      // The shard connections are single-coordinator: concurrent worker
+      // engines would interleave ops on one wire.
+      std::fprintf(stderr,
+                   "tirm_server: router mode forces --workers=1\n");
+      options.num_workers = 1;
+    }
+    std::fprintf(stderr, "tirm_server: routing to %d shard worker(s)\n",
+                 num_shards);
+  }
+
   serve::AllocationService service(build_instance, options);
 
   std::fprintf(stderr,

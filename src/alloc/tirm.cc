@@ -1,18 +1,23 @@
 #include "alloc/tirm.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/threading.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "rrset/kpt_estimator.h"
 #include "rrset/rr_collection.h"
 #include "rrset/sample_store.h"
+#include "rrset/shard_client.h"
+#include "rrset/sharded_store.h"
 #include "rrset/weighted_rr_collection.h"
 
 namespace tirm {
@@ -45,6 +50,11 @@ class CoverageBackend {
   /// Bytes of this run's mutable view (the shared pool is accounted
   /// separately, once per distinct pool).
   virtual std::size_t MemoryBytes() const = 0;
+  /// Fills `out[v]` with CoverageOf(v) for every node — the exact same
+  /// values, one dense pass. The linear-scan paths (weight_by_ctp, the
+  /// exact-selection fallback) go through this so the sharded backend can
+  /// answer them with one per-shard fan-out instead of n per-node fans.
+  virtual void SnapshotCoverage(std::vector<double>& out) const = 0;
 };
 
 class RemovalBackend : public CoverageBackend {
@@ -79,6 +89,11 @@ class RemovalBackend : public CoverageBackend {
     return static_cast<double>(collection_.NumCovered());
   }
   std::size_t MemoryBytes() const override { return collection_.MemoryBytes(); }
+  void SnapshotCoverage(std::vector<double>& out) const override {
+    std::vector<std::uint32_t> counts;
+    collection_.AccumulateCoverage(counts);
+    out.assign(counts.begin(), counts.end());
+  }
 
  private:
   RrCollection collection_;
@@ -117,10 +132,184 @@ class WeightedBackend : public CoverageBackend {
   }
   double CoveredMass() const override { return collection_.CoveredMass(); }
   std::size_t MemoryBytes() const override { return collection_.MemoryBytes(); }
+  void SnapshotCoverage(std::vector<double>& out) const override {
+    collection_.AccumulateCoverage(out);
+  }
 
  private:
   WeightedRrCollection collection_;
   std::unique_ptr<WeightedCoverageHeap> heap_;
+};
+
+// Distributed coverage plane (the GreeDIMM shape): the ad's RR sets live
+// chunk-interleaved across K shard stores, each shard owning a private
+// coverage view and CELF heap behind an RrShardClient. BestNode replaces
+// the global heap with a tree-reduced top-L summary protocol whose every
+// per-round sum is an exact integer, so the node it returns is the one the
+// single-store CoverageHeap would pop — bit-identical selections at any K.
+// Commits fan to every shard and replay the returned packed covered-word
+// deltas into a coordinator-global covered bitmap.
+class ShardedBackend : public CoverageBackend {
+ public:
+  ShardedBackend(std::vector<RrShardClient*> clients, AdId ad, NodeId num_nodes,
+                 std::uint64_t chunk_sets)
+      : clients_(std::move(clients)),
+        ad_(ad),
+        num_nodes_(num_nodes),
+        chunk_sets_(chunk_sets) {
+    TIRM_CHECK(!clients_.empty());
+  }
+
+  void AttachUpTo(std::uint32_t count) override {
+    attached_ = count;
+    const std::size_t words = CoverageWordsFor(count);
+    if (words > covered_words_.size()) covered_words_.resize(words, 0);
+    for (RrShardClient* client : clients_) {
+      const Status attached = client->Attach(ad_, count);
+      TIRM_CHECK(attached.ok()) << attached.ToString();
+    }
+  }
+  std::size_t NumSets() const override { return attached_; }
+  double CoverageOf(NodeId v) const override {
+    const NodeId nodes[1] = {v};
+    std::uint64_t total = 0;
+    for (RrShardClient* client : clients_) {
+      Result<std::vector<std::uint32_t>> counts =
+          client->CoverageCounts(ad_, nodes);
+      TIRM_CHECK(counts.ok()) << counts.status().ToString();
+      total += counts.value()[0];
+    }
+    return static_cast<double>(total);
+  }
+  NodeId BestNode(const std::function<bool(NodeId)>& eligible) override {
+    obs::TraceSpan span("shard_reduce");
+    span.Counter("ad", ad_);
+    const std::size_t num_shards = clients_.size();
+    std::uint32_t top_l = 8;
+    for (int round = 1;; ++round, top_l *= 2) {
+      std::vector<ShardGainSummary> parts;
+      parts.reserve(num_shards);
+      for (RrShardClient* client : clients_) {
+        Result<ShardGainSummary> part = client->Summarize(ad_, top_l);
+        TIRM_CHECK(part.ok()) << part.status().ToString();
+        parts.push_back(part.MoveValue());
+      }
+      const ReducedGainSummary reduced = TreeReduceGainSummaries(parts);
+
+      // Complete every candidate's partial sum with exact counts from the
+      // shards that did not list it (batched per shard, candidate order).
+      std::vector<std::vector<NodeId>> missing(num_shards);
+      for (const ReducedGainSummary::Candidate& cand : reduced.candidates) {
+        for (std::size_t k = 0; k < num_shards; ++k) {
+          if ((cand.shard_mask >> k & 1) == 0) missing[k].push_back(cand.node);
+        }
+      }
+      std::vector<std::vector<std::uint32_t>> fills(num_shards);
+      for (std::size_t k = 0; k < num_shards; ++k) {
+        if (missing[k].empty()) continue;
+        Result<std::vector<std::uint32_t>> counts =
+            clients_[k]->CoverageCounts(ad_, missing[k]);
+        TIRM_CHECK(counts.ok()) << counts.status().ToString();
+        fills[k] = counts.MoveValue();
+      }
+
+      // Candidates arrive in ascending node-id order; strict > therefore
+      // keeps the smallest id among equal totals — the CoverageHeap
+      // tie-break exactly.
+      std::vector<std::size_t> cursor(num_shards, 0);
+      NodeId best = kInvalidNode;
+      std::uint64_t best_total = 0;
+      for (const ReducedGainSummary::Candidate& cand : reduced.candidates) {
+        std::uint64_t total = cand.partial;
+        for (std::size_t k = 0; k < num_shards; ++k) {
+          if ((cand.shard_mask >> k & 1) == 0) total += fills[k][cursor[k]++];
+        }
+        if (total == 0 || !eligible(cand.node)) continue;
+        if (total > best_total) {
+          best_total = total;
+          best = cand.node;
+        }
+      }
+
+      // Any eligible node NO shard listed is bounded by the sum of the
+      // per-shard unlisted bounds; a dry heap contributes 0, so doubling
+      // top_l terminates. Strict > preserves the smallest-id tie-break
+      // against unlisted nodes too.
+      if (reduced.unlisted_bound == 0 || best_total > reduced.unlisted_bound) {
+        span.Counter("rounds", round);
+        span.Counter("top_l", top_l);
+        span.Counter("coverage", static_cast<double>(best_total));
+        return best;
+      }
+    }
+  }
+  double Commit(NodeId v, double /*accept_prob*/) override {
+    return FanCommit(v, /*on_range=*/false, 0);
+  }
+  double CommitOnRange(NodeId v, double /*accept_prob*/,
+                       std::uint32_t first_set) override {
+    return FanCommit(v, /*on_range=*/true, first_set);
+  }
+  double CoveredMass() const override {
+    return static_cast<double>(covered_count_);
+  }
+  std::size_t MemoryBytes() const override {
+    // Coordinator-side global covered bitmap only; shard-side view bytes
+    // are accounted by the per-shard MemoryStats fan in RunTirm.
+    return covered_words_.capacity() * sizeof(std::uint64_t);
+  }
+  void SnapshotCoverage(std::vector<double>& out) const override {
+    out.assign(num_nodes_, 0.0);
+    for (RrShardClient* client : clients_) {
+      Result<std::vector<std::uint32_t>> counts = client->DenseCoverage(ad_);
+      TIRM_CHECK(counts.ok()) << counts.status().ToString();
+      const std::vector<std::uint32_t>& local = counts.value();
+      for (NodeId u = 0; u < num_nodes_; ++u) {
+        out[u] += static_cast<double>(local[u]);
+      }
+    }
+  }
+
+ private:
+  // Fans the commit to every shard and replays the returned packed word
+  // deltas (local set-id space) into the global covered bitmap.
+  double FanCommit(NodeId v, bool on_range, std::uint32_t first_set) {
+    std::uint64_t newly = 0;
+    const int num_shards = static_cast<int>(clients_.size());
+    for (int k = 0; k < num_shards; ++k) {
+      Result<CoveredWordDelta> delta =
+          on_range ? clients_[static_cast<std::size_t>(k)]->CommitOnRange(
+                         ad_, v, first_set)
+                   : clients_[static_cast<std::size_t>(k)]->Commit(ad_, v);
+      TIRM_CHECK(delta.ok()) << delta.status().ToString();
+      for (const auto& [word, bits] : delta.value().words) {
+        std::uint64_t rest = bits;
+        while (rest != 0) {
+          const int bit = std::countr_zero(rest);
+          rest &= rest - 1;
+          const std::uint64_t local_id =
+              std::uint64_t{word} * kCoverageWordBits +
+              static_cast<std::uint64_t>(bit);
+          const std::uint64_t global_id =
+              ShardLocalToGlobalSetId(local_id, chunk_sets_, num_shards, k);
+          TIRM_DCHECK(global_id < attached_);
+          covered_words_[global_id / kCoverageWordBits] |=
+              std::uint64_t{1} << (global_id % kCoverageWordBits);
+        }
+      }
+      newly += delta.value().newly_covered;
+    }
+    covered_count_ += newly;
+    return static_cast<double>(newly);
+  }
+
+  std::vector<RrShardClient*> clients_;
+  AdId ad_;
+  NodeId num_nodes_;
+  std::uint64_t chunk_sets_;
+  std::uint64_t attached_ = 0;
+  std::uint64_t covered_count_ = 0;
+  std::vector<std::uint64_t> covered_words_;
 };
 
 // Per-ad mutable state of the TIRM main loop. Samples live in the store's
@@ -167,24 +356,155 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
   // sweeps, head-to-head runs) serves warm pools; otherwise a private store
   // with the same chunked sampling discipline makes this run bit-identical
   // to a store-backed one at the same seed and thread count.
-  RrSampleStore* store = options.sample_store;
+  //
+  // Sharded mode (the GreeDIMM shape) replaces the single store with K
+  // shard clients — in-process LocalShardClients over a (shared or
+  // private) ShardedRrSampleStore, or caller-injected clients (the serving
+  // router's remote workers). Chunk-interleaved shard pools and the exact
+  // integer reduction protocol keep allocations bit-identical to K = 1.
+  const bool sharded = !options.shard_clients.empty() || options.num_shards > 1;
+  TIRM_CHECK(!sharded || (!options.ctp_aware_coverage && !options.weight_by_ctp))
+      << "sharded TIRM supports the paper-faithful unweighted path only";
+
+  RrSampleStore* store = nullptr;
   std::optional<RrSampleStore> local_store;
-  if (store == nullptr) {
-    std::uint64_t store_seed = options.sample_store_seed;
-    if (store_seed == 0) store_seed = rng.Fork(0x5707).NextUInt64();
-    local_store.emplace(
-        &graph,
-        RrSampleStore::Options{.seed = store_seed,
-                               .num_threads = options.num_threads,
-                               .sampler_kernel = options.sampler_kernel});
-    store = &*local_store;
+  std::optional<ShardedRrSampleStore> local_sharded;
+  std::vector<std::unique_ptr<LocalShardClient>> owned_clients;
+  std::vector<RrShardClient*> clients = options.shard_clients;
+  ShardRunConfig run_config;
+  if (sharded) {
+    run_config.num_ads = h;
+    run_config.coverage_kernel = options.coverage_kernel;
+    run_config.kpt_ell = options.theta.ell;
+    run_config.kpt_max_samples = options.kpt_max_samples;
+    if (clients.empty()) {
+      ShardedRrSampleStore* sharded_store = options.sharded_sample_store;
+      if (sharded_store == nullptr) {
+        std::uint64_t store_seed = options.sample_store_seed;
+        if (store_seed == 0) store_seed = rng.Fork(0x5707).NextUInt64();
+        local_sharded.emplace(
+            &graph,
+            RrSampleStore::Options{.seed = store_seed,
+                                   .num_threads = options.num_threads,
+                                   .sampler_kernel = options.sampler_kernel},
+            options.num_shards);
+        sharded_store = &*local_sharded;
+      } else {
+        TIRM_CHECK(sharded_store->shard(0).graph() == &graph)
+            << "shared ShardedRrSampleStore serves a different graph";
+        result.cache.shared_store = true;
+      }
+      const RrSampleStore::Options& store_options =
+          sharded_store->base_options();
+      run_config.store_seed = store_options.seed;
+      run_config.num_threads = store_options.num_threads;
+      run_config.chunk_sets = store_options.chunk_sets;
+      run_config.sampler_kernel = store_options.sampler_kernel;
+      owned_clients.reserve(
+          static_cast<std::size_t>(sharded_store->num_shards()));
+      for (int k = 0; k < sharded_store->num_shards(); ++k) {
+        owned_clients.push_back(std::make_unique<LocalShardClient>(
+            &sharded_store->shard(k), &instance));
+        clients.push_back(owned_clients.back().get());
+      }
+    } else {
+      // Injected (e.g. remote) clients: pin the store identity exactly the
+      // way the private path derives it, so a router-driven run and an
+      // in-process run at the same options agree bit for bit.
+      std::uint64_t store_seed = options.sample_store_seed;
+      if (store_seed == 0) store_seed = rng.Fork(0x5707).NextUInt64();
+      run_config.store_seed = store_seed;
+      // Resolved (never 0): remote workers build their stores from this
+      // value, and an unresolved 0 would mean "whatever hardware the
+      // worker has" — pools must be a function of the request, not the
+      // machine.
+      run_config.num_threads = ResolveThreadCount(options.num_threads);
+      run_config.chunk_sets = RrSampleStore::Options{}.chunk_sets;
+      run_config.sampler_kernel = options.sampler_kernel;
+    }
+    run_span.Counter("shards", static_cast<double>(clients.size()));
+    for (RrShardClient* client : clients) {
+      const Status begun = client->BeginRun(run_config);
+      TIRM_CHECK(begun.ok()) << begun.ToString();
+    }
+    // Commit-derived eligibility: attention-0 nodes never see an
+    // `assigned` increment, so retire them up front to keep shard-side
+    // eligibility equal to the coordinator's at every round.
+    for (NodeId u = 0; u < n; ++u) {
+      if (instance.AttentionBound(u) != 0) continue;
+      for (RrShardClient* client : clients) {
+        const Status retired = client->Retire(u);
+        TIRM_CHECK(retired.ok()) << retired.ToString();
+      }
+    }
   } else {
-    TIRM_CHECK(store->graph() == &graph)
-        << "shared RrSampleStore serves a different graph";
-    result.cache.shared_store = true;
+    store = options.sample_store;
+    if (store == nullptr) {
+      std::uint64_t store_seed = options.sample_store_seed;
+      if (store_seed == 0) store_seed = rng.Fork(0x5707).NextUInt64();
+      local_store.emplace(
+          &graph,
+          RrSampleStore::Options{.seed = store_seed,
+                                 .num_threads = options.num_threads,
+                                 .sampler_kernel = options.sampler_kernel});
+      store = &*local_store;
+    } else {
+      TIRM_CHECK(store->graph() == &graph)
+          << "shared RrSampleStore serves a different graph";
+      result.cache.shared_store = true;
+    }
   }
 
   std::vector<std::uint16_t> assigned(n, 0);
+
+  // θ growth for one ad, unified over both planes: a single-store top-up,
+  // or a per-shard fan-out with one thread per client (distinct stores
+  // share no mutable state, so the round costs the slowest shard, not the
+  // sum — the per-shard `shard_ensure` spans expose the skew).
+  auto ensure_sets = [&](AdId j, AdState& st, std::uint64_t min_sets,
+                         std::uint64_t already_attached) {
+    if (!sharded) {
+      const RrSampleStore::EnsureResult ensured =
+          store->EnsureSets(st.entry, min_sets, already_attached);
+      result.cache.sampled_sets += ensured.sampled;
+      result.cache.reused_sets += ensured.reused;
+      result.cache.max_traversal =
+          std::max(result.cache.max_traversal, ensured.max_traversal);
+      if (ensured.sampled > 0) ++result.cache.top_ups;
+      return;
+    }
+    const std::size_t num_shards = clients.size();
+    std::vector<RrSampleStore::EnsureResult> ensured(num_shards);
+    std::vector<Status> statuses(num_shards, Status::OK());
+    auto fan = [&](std::size_t k) {
+      Result<RrSampleStore::EnsureResult> local =
+          clients[k]->EnsureSets(j, min_sets, already_attached);
+      if (local.ok()) {
+        ensured[k] = local.MoveValue();
+      } else {
+        statuses[k] = local.status();
+      }
+    };
+    if (num_shards > 1) {
+      std::vector<std::thread> workers;
+      workers.reserve(num_shards - 1);
+      for (std::size_t k = 1; k < num_shards; ++k) workers.emplace_back(fan, k);
+      fan(0);
+      for (std::thread& worker : workers) worker.join();
+    } else {
+      fan(0);
+    }
+    bool any_sampled = false;
+    for (std::size_t k = 0; k < num_shards; ++k) {
+      TIRM_CHECK(statuses[k].ok()) << statuses[k].ToString();
+      result.cache.sampled_sets += ensured[k].sampled;
+      result.cache.reused_sets += ensured[k].reused;
+      result.cache.max_traversal =
+          std::max(result.cache.max_traversal, ensured[k].max_traversal);
+      any_sampled = any_sampled || ensured[k].sampled > 0;
+    }
+    if (any_sampled) ++result.cache.top_ups;
+  };
 
   // ------------------------------------------------ initialization (line 1-3)
   std::vector<std::unique_ptr<AdState>> ads;
@@ -193,29 +513,35 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     obs::TraceSpan init_span("tirm_init");
     init_span.Counter("ad", j);
     auto st = std::make_unique<AdState>();
-    st->entry = store->Acquire(store->SignatureForAd(instance, j),
-                               instance.EdgeProbsForAd(j));
     st->in_seed_set.assign(n, 0);
 
     bool kpt_hit = false;
-    const KptEstimator::Options kpt_options{
-        .ell = options.theta.ell, .max_samples = options.kpt_max_samples};
-    st->kpt = &store->EnsureKpt(st->entry, kpt_options, st->s, &kpt_hit);
+    if (sharded) {
+      // Every shard store derives the same per-ad base seed, so shard 0's
+      // width cache answers KPT*(s) with the single-store value bit for
+      // bit (see rrset/shard_client.h).
+      const Result<double> kpt = clients[0]->KptEstimate(j, st->s, &kpt_hit);
+      TIRM_CHECK(kpt.ok()) << kpt.status().ToString();
+      st->kpt_value = kpt.value();
+    } else {
+      st->entry = store->Acquire(store->SignatureForAd(instance, j),
+                                 instance.EdgeProbsForAd(j));
+      const KptEstimator::Options kpt_options{
+          .ell = options.theta.ell, .max_samples = options.kpt_max_samples};
+      st->kpt = &store->EnsureKpt(st->entry, kpt_options, st->s, &kpt_hit);
+      st->kpt_value = st->kpt->ReEstimate(st->s);
+    }
     ++result.cache.kpt_estimations;
     if (kpt_hit) ++result.cache.kpt_cache_hits;
-    st->kpt_value = st->kpt->ReEstimate(st->s);
 
     const double opt_lb = std::max(st->kpt_value, static_cast<double>(st->s));
     st->theta = ComputeTheta(n, st->s, opt_lb, options.theta);
-    const RrSampleStore::EnsureResult ensured =
-        store->EnsureSets(st->entry, st->theta);
-    result.cache.sampled_sets += ensured.sampled;
-    result.cache.reused_sets += ensured.reused;
-    result.cache.max_traversal =
-        std::max(result.cache.max_traversal, ensured.max_traversal);
-    if (ensured.sampled > 0) ++result.cache.top_ups;
+    ensure_sets(j, *st, st->theta, /*already_attached=*/0);
 
-    if (options.ctp_aware_coverage) {
+    if (sharded) {
+      st->backend = std::make_unique<ShardedBackend>(clients, j, n,
+                                                     run_config.chunk_sets);
+    } else if (options.ctp_aware_coverage) {
       st->backend = std::make_unique<WeightedBackend>(&st->entry->sets(),
                                                       options.coverage_kernel);
     } else {
@@ -257,11 +583,14 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     AdState& st = *ads[static_cast<std::size_t>(j)];
     const auto eligible = make_eligible(j);
     if (options.weight_by_ctp) {
-      // Ablation variant: argmax of δ(u,j)·coverage by linear scan.
+      // Ablation variant: argmax of δ(u,j)·coverage by linear scan over a
+      // dense coverage snapshot (identical values to per-node CoverageOf).
+      std::vector<double> coverage;
+      st.backend->SnapshotCoverage(coverage);
       NodeId best = kInvalidNode;
       double best_score = 0.0;
       for (NodeId u = 0; u < n; ++u) {
-        const double cov = st.backend->CoverageOf(u);
+        const double cov = coverage[u];
         if (cov <= 0.0 || !eligible(u)) continue;
         const double score = static_cast<double>(instance.Delta(u, j)) * cov;
         if (score > best_score) {
@@ -270,7 +599,7 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
         }
       }
       st.cand_node = best;
-      st.cand_cov = best == kInvalidNode ? 0.0 : st.backend->CoverageOf(best);
+      st.cand_cov = best == kInvalidNode ? 0.0 : coverage[best];
     } else {
       // Faithful Algorithm 3: argmax raw coverage subject to attention.
       const NodeId best = st.backend->BestNode(eligible);
@@ -285,12 +614,16 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
         // Top candidate fails to decrease regret, or overshoots the
         // remaining budget gap (a smaller node may then drop regret much
         // further): scan for the largest positive drop (Algorithm 1
-        // semantics). Rare — only near budget saturation.
+        // semantics) over a dense coverage snapshot — one pass (one
+        // per-shard fan-out in sharded mode) instead of n per-node reads.
+        // Rare — only near budget saturation.
+        std::vector<double> coverage;
+        st.backend->SnapshotCoverage(coverage);
         NodeId best = kInvalidNode;
         double best_cov = 0.0;
         double best_drop = options.min_drop;
         for (NodeId u = 0; u < n; ++u) {
-          const double cov = st.backend->CoverageOf(u);
+          const double cov = coverage[u];
           if (cov <= 0.0 || !eligible(u)) continue;
           const double d =
               RegretDrop(instance, j, st.revenue, marginal_of(j, u, cov));
@@ -350,6 +683,15 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     st.seed_coverage.push_back(st.cand_cov);
     st.in_seed_set[v] = 1;
     ++assigned[v];
+    if (sharded && assigned[v] >= instance.AttentionBound(v)) {
+      // v's global attention budget is exhausted — the exact moment the
+      // coordinator's eligibility tightens for every ad, so shard-side
+      // eligibility stays equal (commit-derived, no budget state shipped).
+      for (RrShardClient* client : clients) {
+        const Status retired = client->Retire(v);
+        TIRM_CHECK(retired.ok()) << retired.ToString();
+      }
+    }
     st.revenue += best_marginal;
     st.last_marginal_revenue = best_marginal;
     const double covered = st.backend->Commit(v, delta_v);
@@ -373,7 +715,13 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
       // seed so the regret-drop test (not s) decides termination.
       grow = std::max<std::uint64_t>(grow, 1);
       st.s = std::min<std::uint64_t>(st.s + grow, n);
-      st.kpt_value = st.kpt->ReEstimate(st.s);
+      if (sharded) {
+        const Result<double> kpt = clients[0]->KptEstimate(best_ad, st.s);
+        TIRM_CHECK(kpt.ok()) << kpt.status().ToString();
+        st.kpt_value = kpt.value();
+      } else {
+        st.kpt_value = st.kpt->ReEstimate(st.s);
+      }
 
       // OPT_s ≥ max(KPT*(s), spread estimate of current seeds, s).
       const double covered_fraction =
@@ -391,15 +739,8 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
         expand_span.Counter("new_theta", static_cast<double>(new_theta));
         const auto first_new = static_cast<std::uint32_t>(st.theta);
         // θ growth is a store top-up, not a resample: warm pools serve it
-        // from already-sampled chunks.
-        const RrSampleStore::EnsureResult ensured =
-            store->EnsureSets(st.entry, new_theta, /*already_attached=*/
-                              st.theta);
-        result.cache.sampled_sets += ensured.sampled;
-        result.cache.reused_sets += ensured.reused;
-        result.cache.max_traversal =
-            std::max(result.cache.max_traversal, ensured.max_traversal);
-        if (ensured.sampled > 0) ++result.cache.top_ups;
+        // from already-sampled chunks (fanned per shard in sharded mode).
+        ensure_sets(best_ad, st, new_theta, /*already_attached=*/st.theta);
         const std::uint64_t old_theta = st.theta;
         st.theta = new_theta;
         st.backend->AttachUpTo(static_cast<std::uint32_t>(new_theta));
@@ -446,10 +787,21 @@ TirmResult RunTirm(const ProblemInstance& instance, const TirmOptions& options,
     stats.estimated_revenue = st.revenue;
     stats.expansions = st.expansions;
     result.cache.view_bytes += st.backend->MemoryBytes();
-    if (distinct_pools.insert(st.entry).second) {
+    if (st.entry != nullptr && distinct_pools.insert(st.entry).second) {
       result.cache.arena_bytes += st.entry->sets().MemoryBytes();
     }
     result.total_rr_sets += st.theta;
+  }
+  if (sharded) {
+    // Shard-side accounting (pooled arenas + per-shard views) comes from
+    // one MemoryStats fan; the per-ad loop above only saw the
+    // coordinator-global covered bitmaps.
+    for (RrShardClient* client : clients) {
+      Result<ShardMemoryStats> stats = client->MemoryStats();
+      TIRM_CHECK(stats.ok()) << stats.status().ToString();
+      result.cache.arena_bytes += stats.value().arena_bytes;
+      result.cache.view_bytes += stats.value().view_bytes;
+    }
   }
   result.rr_memory_bytes = result.cache.arena_bytes + result.cache.view_bytes;
   return result;

@@ -103,6 +103,7 @@ Result<AllocatorConfig> AllocatorConfig::FromFlags(const Flags& flags,
   c.ctp_aware_coverage = boolean("ctp_aware_coverage", c.ctp_aware_coverage);
   c.coverage_kernel = flags.GetString("coverage_kernel", c.coverage_kernel);
   c.sampler_kernel = flags.GetString("sampler_kernel", c.sampler_kernel);
+  c.num_shards = static_cast<int>(bounded("num_shards", c.num_shards, 1, 64));
   c.irie_alpha = num("irie_alpha", c.irie_alpha);
   c.irie_rank_iterations = static_cast<int>(
       bounded("irie_rank_iterations", c.irie_rank_iterations, 1, 1000000));
@@ -153,6 +154,15 @@ Status AllocatorConfig::Validate() const {
   if (mc_sims == 0) {
     return Status::InvalidArgument("mc_sims must be >= 1");
   }
+  if (num_shards < 1 || num_shards > 64) {
+    return Status::InvalidArgument("num_shards must be in [1, 64], got " +
+                                   std::to_string(num_shards));
+  }
+  if (num_shards > 1 && (weight_by_ctp || ctp_aware_coverage)) {
+    return Status::InvalidArgument(
+        "num_shards > 1 requires the paper-faithful unweighted path "
+        "(weight_by_ctp and ctp_aware_coverage must be off)");
+  }
   TIRM_RETURN_NOT_OK(ParseCoverageKernel(coverage_kernel).status());
   TIRM_RETURN_NOT_OK(ParseSamplerKernel(sampler_kernel).status());
   return Status::OK();
@@ -179,6 +189,9 @@ TirmOptions AllocatorConfig::MakeTirmOptions() const {
   o.sampler_kernel = sampling.ok() ? sampling.value() : SamplerKernel::kAuto;
   o.sample_store = sample_store;
   o.sample_store_seed = sample_store_seed;
+  o.num_shards = num_shards;
+  o.sharded_sample_store = sharded_sample_store;
+  o.shard_clients = shard_clients;
   return o;
 }
 

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "alloc/greedy.h"
 #include "alloc/irie.h"
@@ -54,6 +55,12 @@ struct AllocatorConfig {
   /// probability rows — statistically equivalent, different random stream;
   /// see rrset/sampler_kernel.h).
   std::string sampler_kernel = "auto";
+  /// Sampling/coverage shards for TIRM (`--num_shards`): 1 = single-store
+  /// path; K > 1 runs the GreeDIMM-shaped sharded plane (chunk-interleaved
+  /// shard pools + tree-reduced selection; allocations bit-identical to
+  /// K = 1). Requires the paper-faithful unweighted path — combining with
+  /// weight_by_ctp or ctp_aware_coverage is rejected.
+  int num_shards = 1;
 
   // -- GREEDY-IRIE knobs.
   double irie_alpha = 0.8;          ///< damping (paper-tuned quality value)
@@ -74,6 +81,12 @@ struct AllocatorConfig {
   /// run rng). Setting it to the shared store's seed makes store-disabled
   /// runs bit-identical to store-enabled ones.
   std::uint64_t sample_store_seed = 0;
+  /// Shared sharded store for num_shards > 1 (not owned; may be null —
+  /// the run then creates a private one with the same discipline).
+  ShardedRrSampleStore* sharded_sample_store = nullptr;
+  /// Externally driven shard clients (not owned) — the serving router's
+  /// remote workers. Non-empty overrides num_shards/sharded_sample_store.
+  std::vector<RrShardClient*> shard_clients;
 
   /// Parses every field from `flags` (`--allocator=tirm --eps=0.1
   /// --theta_cap=...`), on top of `defaults` (callers pre-seed their

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
+#include "common/threading.h"
 #include "rrset/sample_store.h"
 
 namespace tirm {
@@ -126,7 +128,115 @@ Status ForceCoverageSimdTier(std::string_view tier) {
                                  "\" (want portable, avx2, or auto)");
 }
 
+// --------------------------------------------------- shard gain summaries
+
+namespace {
+
+ReducedGainSummary LiftSummary(const ShardGainSummary& part) {
+  TIRM_CHECK(part.shard >= 0 && part.shard < 64);
+  ReducedGainSummary out;
+  out.unlisted_bound = part.unlisted_bound;
+  out.covered_sets = part.covered_sets;
+  out.attached_sets = part.attached_sets;
+  out.candidates.reserve(part.top.size());
+  const std::uint64_t mask = std::uint64_t{1} << part.shard;
+  for (const ShardGainCandidate& c : part.top) {
+    out.candidates.push_back({c.node, c.coverage, mask});
+  }
+  // `top` arrives in CELF pop order (by coverage); the reduction keys on
+  // node id so merges are linear merge-joins.
+  std::sort(out.candidates.begin(), out.candidates.end(),
+            [](const ReducedGainSummary::Candidate& a,
+               const ReducedGainSummary::Candidate& b) {
+              return a.node < b.node;
+            });
+  return out;
+}
+
+ReducedGainSummary MergeReduced(const ReducedGainSummary& a,
+                                const ReducedGainSummary& b) {
+  TIRM_DCHECK((a.unlisted_bound | b.unlisted_bound) <
+              (std::uint64_t{1} << 63));
+  ReducedGainSummary out;
+  out.unlisted_bound = a.unlisted_bound + b.unlisted_bound;
+  out.covered_sets = a.covered_sets + b.covered_sets;
+  out.attached_sets = a.attached_sets + b.attached_sets;
+  out.candidates.reserve(a.candidates.size() + b.candidates.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.candidates.size() || j < b.candidates.size()) {
+    if (j == b.candidates.size() ||
+        (i < a.candidates.size() &&
+         a.candidates[i].node < b.candidates[j].node)) {
+      out.candidates.push_back(a.candidates[i++]);
+    } else if (i == a.candidates.size() ||
+               b.candidates[j].node < a.candidates[i].node) {
+      out.candidates.push_back(b.candidates[j++]);
+    } else {
+      ReducedGainSummary::Candidate merged = a.candidates[i++];
+      merged.partial += b.candidates[j].partial;
+      TIRM_DCHECK((merged.shard_mask & b.candidates[j].shard_mask) == 0u);
+      merged.shard_mask |= b.candidates[j++].shard_mask;
+      out.candidates.push_back(merged);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReducedGainSummary TreeReduceGainSummaries(
+    std::span<const ShardGainSummary> parts) {
+  TIRM_CHECK(!parts.empty());
+  std::vector<ReducedGainSummary> level;
+  level.reserve(parts.size());
+  for (const ShardGainSummary& part : parts) {
+    level.push_back(LiftSummary(part));
+  }
+  // Binary tree: merge adjacent pairs until one summary remains. Every
+  // merge is an associative sum/union, so the shape cannot change the
+  // result — the tree only bounds the reduction depth at log2(K).
+  while (level.size() > 1) {
+    std::vector<ReducedGainSummary> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(MergeReduced(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
 // -------------------------------------------------------------- transpose
+
+namespace {
+
+// Node-range worker for the parallel transpose fill: gathers each owned
+// node's new membership bits from the pool's ascending postings. Workers
+// write disjoint rows, and OR-ing the same bits the serial set-scatter
+// loop writes yields the identical buffer for any thread count.
+void FillRowsFromPostings(const RrSetPool& pool, std::uint64_t* words,
+                          std::size_t stride, std::uint32_t from,
+                          std::uint32_t up_to, NodeId begin, NodeId end) {
+  for (NodeId v = begin; v < end; ++v) {
+    const std::span<const std::uint32_t> postings = pool.Postings(v);
+    auto it = std::lower_bound(postings.begin(), postings.end(), from);
+    std::uint64_t* const row = words + static_cast<std::size_t>(v) * stride;
+    for (; it != postings.end() && *it < up_to; ++it) {
+      row[*it / kCoverageWordBits] |= std::uint64_t{1}
+                                      << (*it % kCoverageWordBits);
+    }
+  }
+}
+
+// Below these sizes thread spawn/join overhead dominates; the serial
+// scatter loop additionally beats the gather on tiny deltas because it
+// never pays the per-node lower_bound.
+constexpr std::uint32_t kMinParallelSets = 2048;
+constexpr NodeId kMinParallelNodes = 4096;
+
+}  // namespace
 
 CoverageTranspose::CoverageTranspose(NodeId num_nodes)
     : num_nodes_(num_nodes) {}
@@ -157,11 +267,35 @@ void CoverageTranspose::ExtendFromPool(const RrSetPool& pool,
     stride_ = new_stride;
   }
 
-  for (std::uint32_t id = built_sets_; id < up_to; ++id) {
-    const std::size_t word = id / kCoverageWordBits;
-    const std::uint64_t bit = std::uint64_t{1} << (id % kCoverageWordBits);
-    for (const NodeId v : pool.SetMembers(id)) {
-      words_[static_cast<std::size_t>(v) * stride_ + word] |= bit;
+  const int threads =
+      (up_to - built_sets_ >= kMinParallelSets &&
+       num_nodes_ >= kMinParallelNodes)
+          ? ResolveThreadCount(0)
+          : 1;
+  if (threads > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads) - 1);
+    const NodeId per =
+        (num_nodes_ + static_cast<NodeId>(threads) - 1) /
+        static_cast<NodeId>(threads);
+    for (int w = 1; w < threads; ++w) {
+      const NodeId begin = std::min(num_nodes_, static_cast<NodeId>(w) * per);
+      const NodeId end = std::min(num_nodes_, begin + per);
+      if (begin >= end) break;
+      workers.emplace_back(FillRowsFromPostings, std::cref(pool),
+                           words_.data(), stride_, built_sets_, up_to, begin,
+                           end);
+    }
+    FillRowsFromPostings(pool, words_.data(), stride_, built_sets_, up_to, 0,
+                         std::min(num_nodes_, per));
+    for (std::thread& t : workers) t.join();
+  } else {
+    for (std::uint32_t id = built_sets_; id < up_to; ++id) {
+      const std::size_t word = id / kCoverageWordBits;
+      const std::uint64_t bit = std::uint64_t{1} << (id % kCoverageWordBits);
+      for (const NodeId v : pool.SetMembers(id)) {
+        words_[static_cast<std::size_t>(v) * stride_ + word] |= bit;
+      }
     }
   }
   built_sets_ = up_to;

@@ -38,7 +38,9 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -145,6 +147,73 @@ bool CoverageAvx2Available();
 /// spawning workers.
 Status ForceCoverageSimdTier(std::string_view tier);
 
+// --------------------------------------------------- shard gain summaries
+//
+// The distributed greedy round (GreeDIMM shape, alloc/tirm.cc): each shard
+// summarizes its CELF heap as a top-L candidate list plus a bound on what
+// it did not list; a coordinator tree-reduces the K summaries, fetches the
+// few exact counts the reduction is missing, and either proves the global
+// argmax (every sum is an exact integer, so the proof is exact and the
+// selection bit-identical to a single global heap) or asks for a larger L.
+
+/// One candidate of a shard's marginal-gain summary: a node and its exact
+/// local marginal coverage (uncovered attached sets containing it).
+struct ShardGainCandidate {
+  NodeId node = 0;
+  std::uint32_t coverage = 0;
+};
+
+/// Compact per-shard contribution to one distributed greedy round.
+struct ShardGainSummary {
+  int shard = 0;
+  /// Top eligible candidates in the shard's CELF pop order: non-increasing
+  /// coverage, ties by ascending node id. Coverages are exact local
+  /// marginals at summary time.
+  std::vector<ShardGainCandidate> top;
+  /// Upper bound on the local coverage of any eligible node NOT in `top`:
+  /// the last popped value, or 0 when the shard's heap ran dry (no
+  /// unlisted node covers anything on this shard).
+  std::uint32_t unlisted_bound = 0;
+  std::uint64_t covered_sets = 0;   ///< shard-local covered-set count
+  std::uint64_t attached_sets = 0;  ///< shard-local attached prefix
+};
+
+/// Tree-reduced merge of up to 64 shard summaries. Candidates are the
+/// union of the per-shard top lists; `partial` sums the coverages of the
+/// shards that listed the node and `shard_mask` records which ones
+/// (bit k = shard k), so the coordinator can fetch only the missing exact
+/// counts before picking the argmax. `unlisted_bound` sums the per-shard
+/// bounds: no node absent from EVERY list can reach a total above it.
+struct ReducedGainSummary {
+  struct Candidate {
+    NodeId node = 0;
+    std::uint64_t partial = 0;
+    std::uint64_t shard_mask = 0;
+  };
+  std::vector<Candidate> candidates;  ///< ascending node id
+  std::uint64_t unlisted_bound = 0;
+  std::uint64_t covered_sets = 0;   ///< Σ shard covered counts
+  std::uint64_t attached_sets = 0;  ///< Σ shard attached prefixes
+};
+
+/// Pairwise binary-tree reduction of shard summaries. All merges are
+/// associative integer sums / sorted unions, so the result is
+/// deterministic and independent of tree shape; shard indices must be
+/// distinct and < 64.
+ReducedGainSummary TreeReduceGainSummaries(
+    std::span<const ShardGainSummary> parts);
+
+/// Packed covered-bitmap delta of one seed commit on one shard: the words
+/// the commit changed in the shard's covered bitmap (shard-LOCAL set-id
+/// space, ascending word index, each word holding only the newly set
+/// bits) plus their popcount. The coordinator replays deltas into its
+/// global covered view, which keeps the reduction's covered-mass
+/// bookkeeping exact without shipping whole bitmaps.
+struct CoveredWordDelta {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> words;
+  std::uint64_t newly_covered = 0;
+};
+
 // -------------------------------------------------------------- transpose
 
 /// Packed node -> set-membership bitmap rows over a pool prefix: bit `s` of
@@ -163,6 +232,9 @@ class CoverageTranspose {
 
   /// Adds membership bits for pool sets [built_sets(), up_to); no-op when
   /// already built that far. `up_to` must not exceed pool.NumSets().
+  /// Large extensions fill rows in parallel across worker threads (each
+  /// worker gathers a disjoint node range from the pool's postings, so
+  /// the bits are identical to the serial build for any thread count).
   void ExtendFromPool(const RrSetPool& pool, std::uint32_t up_to);
 
   /// Membership words of node `v` (words_per_row() words; lanes beyond

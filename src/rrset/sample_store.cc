@@ -13,6 +13,33 @@
 
 namespace tirm {
 
+std::uint64_t ShardPrefixCount(std::uint64_t watermark,
+                               std::uint64_t chunk_sets, int num_shards,
+                               int shard) {
+  TIRM_DCHECK(num_shards >= 1 && shard >= 0 && shard < num_shards);
+  const auto k = static_cast<std::uint64_t>(shard);
+  const auto shards = static_cast<std::uint64_t>(num_shards);
+  const std::uint64_t full_chunks = watermark / chunk_sets;
+  const std::uint64_t tail = watermark % chunk_sets;
+  // Owned full chunks among global chunks [0, full_chunks), plus the
+  // partial tail chunk when this shard owns it.
+  std::uint64_t owned = full_chunks / shards + (full_chunks % shards > k);
+  std::uint64_t count = owned * chunk_sets;
+  if (tail != 0 && full_chunks % shards == k) count += tail;
+  return count;
+}
+
+std::uint64_t ShardLocalToGlobalSetId(std::uint64_t local_id,
+                                      std::uint64_t chunk_sets,
+                                      int num_shards, int shard) {
+  TIRM_DCHECK(num_shards >= 1 && shard >= 0 && shard < num_shards);
+  const std::uint64_t local_chunk = local_id / chunk_sets;
+  const std::uint64_t global_chunk =
+      local_chunk * static_cast<std::uint64_t>(num_shards) +
+      static_cast<std::uint64_t>(shard);
+  return global_chunk * chunk_sets + local_id % chunk_sets;
+}
+
 // ------------------------------------------------------------------ RrSetPool
 
 namespace {
@@ -146,6 +173,9 @@ RrSampleStore::RrSampleStore(const Graph* graph, Options options)
     : graph_(graph), options_(options) {
   TIRM_CHECK(graph_ != nullptr);
   TIRM_CHECK_GE(options_.chunk_sets, 1u);
+  TIRM_CHECK_GE(options_.num_shards, 1);
+  TIRM_CHECK(options_.shard_index >= 0 &&
+             options_.shard_index < options_.num_shards);
 }
 
 RrSampleStore::~RrSampleStore() = default;
@@ -200,23 +230,41 @@ RrSampleStore::AdPool* RrSampleStore::Acquire(
 RrSampleStore::EnsureResult RrSampleStore::EnsureSets(
     AdPool* entry, std::uint64_t min_sets, std::uint64_t already_attached) {
   TIRM_CHECK(entry != nullptr);
+  const int shards = options_.num_shards;
+  const int shard = options_.shard_index;
   MutexLock lock(entry->mutex_);
   EnsureResult result;
   result.had_before = entry->pool_.NumSets();
-  const std::uint64_t served = std::min(min_sets, result.had_before);
-  result.reused = served > already_attached ? served - already_attached : 0;
+  // In sharded mode the watermarks are global: project both onto this
+  // shard's local id space before any accounting (identity when K == 1).
+  const std::uint64_t local_min =
+      ShardPrefixCount(min_sets, options_.chunk_sets, shards, shard);
+  const std::uint64_t local_attached =
+      ShardPrefixCount(already_attached, options_.chunk_sets, shards, shard);
+  const std::uint64_t served = std::min(local_min, result.had_before);
+  result.reused = served > local_attached ? served - local_attached : 0;
   reused_sets_.fetch_add(result.reused, std::memory_order_relaxed);
-  if (min_sets <= result.had_before) return result;
+  if (local_min <= result.had_before) return result;
 
   obs::TraceSpan span("store_top_up");
   const std::uint64_t chunk = options_.chunk_sets;
-  const std::uint64_t target_chunks = (min_sets + chunk - 1) / chunk;
+  const std::uint64_t global_target = (min_sets + chunk - 1) / chunk;
+  // Local chunk t materializes global chunk t*K + shard; this shard owns
+  // ceil((global_target - shard) / K) of the global chunks below target.
+  const auto k64 = static_cast<std::uint64_t>(shards);
+  const std::uint64_t target_chunks =
+      global_target > static_cast<std::uint64_t>(shard)
+          ? (global_target - static_cast<std::uint64_t>(shard) + k64 - 1) / k64
+          : 0;
   span.Counter("chunks",
                static_cast<double>(target_chunks - entry->chunks_sampled_));
-  for (std::uint64_t c = entry->chunks_sampled_; c < target_chunks; ++c) {
-    // One independent substream per chunk index: the pool prefix is a pure
-    // function of (seed, signature, chunk_sets, thread count, kernel),
-    // never of how θ growth was split across EnsureSets calls.
+  for (std::uint64_t t = entry->chunks_sampled_; t < target_chunks; ++t) {
+    // One independent substream per GLOBAL chunk index: chunk contents are
+    // a pure function of (seed, signature, chunk_sets, thread count,
+    // kernel) — never of how θ growth was split across EnsureSets calls,
+    // and never of the shard layout, so every K partitions the same
+    // global pool and K=1 reproduces it whole.
+    const std::uint64_t c = t * k64 + static_cast<std::uint64_t>(shard);
     Rng master(MixHash(entry->base_seed_, 0x2000 + c));
     // Arena-direct top-up: adopt each worker's flattened buffer wholesale,
     // in deterministic worker order (see the file comment) — set ids and

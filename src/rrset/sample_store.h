@@ -63,6 +63,24 @@ class CoverageTranspose;  // rrset/coverage_bitmap.h
 class ParallelRrBuilder;  // rrset/parallel_rr_builder.h
 class ProblemInstance;    // topic/instance.h
 
+/// Chunk-interleaved shard ownership: global sampling chunk c belongs to
+/// shard c % num_shards (chunk contents are independent of the shard
+/// layout, so every K partitions the SAME global pool). Returns how many
+/// of the global set ids [0, watermark) shard `shard` owns — i.e. the
+/// local pool prefix that serves a global watermark. Identity for
+/// num_shards == 1.
+std::uint64_t ShardPrefixCount(std::uint64_t watermark,
+                               std::uint64_t chunk_sets, int num_shards,
+                               int shard);
+
+/// Maps a shard-local set id back to its global id (the inverse numbering
+/// of ShardPrefixCount): local id l in shard k lives in that shard's local
+/// chunk l / chunk_sets, which is global chunk (l / chunk_sets) *
+/// num_shards + k.
+std::uint64_t ShardLocalToGlobalSetId(std::uint64_t local_id,
+                                      std::uint64_t chunk_sets,
+                                      int num_shards, int shard);
+
 /// Append-only flattened storage of RR sets plus the node -> set-id
 /// inverted index. Sets already appended are immutable; coverage views
 /// (RrCollection / WeightedRrCollection) borrow member spans and postings
@@ -192,6 +210,15 @@ class RrSampleStore {
     /// are additionally a function of the resolved kernel — kAuto resolves
     /// to the classic golden reference.
     SamplerKernel sampler_kernel = SamplerKernel::kAuto;
+    /// Shard coordinates for distributed sampling (rrset/sharded_store.h).
+    /// The global chunk sequence is interleaved across shards — global
+    /// chunk c belongs to shard c % num_shards and keeps its single-store
+    /// RNG substream — so the union of the K shard pools is bit-identical
+    /// to the pool a default (1-shard) store with the same seed samples,
+    /// for every K. A sharded store's EnsureSets still takes GLOBAL
+    /// watermarks but grows (and reports) only the chunks this shard owns.
+    int num_shards = 1;
+    int shard_index = 0;
   };
 
   /// One pooled ad: sets + sampling state + cached KPT widths. Opaque
@@ -277,6 +304,12 @@ class RrSampleStore {
   /// incremental θ growth is not double-counted. Thread-safe; concurrent
   /// calls for one entry serialize and the pool content is independent of
   /// how the growth was split across calls.
+  ///
+  /// Sharded stores (options().num_shards > 1): `min_sets` and
+  /// `already_attached` stay GLOBAL watermarks — the call grows the local
+  /// pool to ShardPrefixCount(min_sets) by sampling only the global chunks
+  /// this shard owns (with their single-store substreams), and the counts
+  /// in the result are local set counts.
   EnsureResult EnsureSets(AdPool* entry, std::uint64_t min_sets,
                           std::uint64_t already_attached = 0)
       TIRM_EXCLUDES(entry->mutex_);

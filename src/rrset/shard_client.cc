@@ -1,0 +1,269 @@
+#include "rrset/shard_client.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/trace.h"
+#include "topic/instance.h"
+
+namespace tirm {
+
+RrShardClient::~RrShardClient() = default;
+
+LocalShardClient::LocalShardClient(RrSampleStore* store,
+                                   const ProblemInstance* instance)
+    : store_(store), instance_(instance) {
+  TIRM_CHECK(store_ != nullptr);
+  TIRM_CHECK(instance_ != nullptr);
+  TIRM_CHECK(store_->graph() == &instance_->graph())
+      << "shard store serves a different graph";
+}
+
+LocalShardClient::~LocalShardClient() = default;
+
+int LocalShardClient::shard_index() const {
+  return store_->options().shard_index;
+}
+
+int LocalShardClient::num_shards() const {
+  return store_->options().num_shards;
+}
+
+Status LocalShardClient::BeginRun(const ShardRunConfig& run) {
+  const RrSampleStore::Options& opts = store_->options();
+  if (run.store_seed != opts.seed || run.num_threads != opts.num_threads ||
+      run.chunk_sets != opts.chunk_sets ||
+      run.sampler_kernel != opts.sampler_kernel) {
+    return Status::InvalidArgument(
+        "shard run config does not match this shard's store (seed, threads, "
+        "chunking, and sampler kernel must agree or pools diverge)");
+  }
+  if (run.num_ads < 0 || run.num_ads > instance_->num_ads()) {
+    return Status::InvalidArgument("shard run num_ads out of range");
+  }
+  run_ = run;
+  slots_.clear();
+  slots_.resize(static_cast<std::size_t>(run.num_ads));
+  retired_.assign(store_->graph()->num_nodes(), 0);
+  run_active_ = true;
+  return Status::OK();
+}
+
+Status LocalShardClient::EnsureAd(AdId ad) {
+  if (!run_active_) {
+    return Status::FailedPrecondition("shard op before BeginRun");
+  }
+  if (ad < 0 || static_cast<std::size_t>(ad) >= slots_.size()) {
+    return Status::InvalidArgument("shard op for unknown ad " +
+                                   std::to_string(ad));
+  }
+  AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  if (slot.entry == nullptr) {
+    slot.entry = store_->Acquire(store_->SignatureForAd(*instance_, ad),
+                                 instance_->EdgeProbsForAd(ad));
+    slot.view = std::make_unique<RrCollection>(&slot.entry->sets(),
+                                               run_.coverage_kernel);
+    slot.in_seed_set.assign(store_->graph()->num_nodes(), 0);
+  }
+  return Status::OK();
+}
+
+Result<RrSampleStore::EnsureResult> LocalShardClient::EnsureSets(
+    AdId ad, std::uint64_t global_min_sets,
+    std::uint64_t global_already_attached) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  // Per-shard span: shard skew (one shard's sampling dominating a fan-out
+  // round) shows up directly in trace exports.
+  obs::TraceSpan span("shard_ensure");
+  span.Counter("shard", shard_index());
+  span.Counter("ad", ad);
+  const RrSampleStore::EnsureResult ensured =
+      store_->EnsureSets(slot.entry, global_min_sets, global_already_attached);
+  span.Counter("sampled", static_cast<double>(ensured.sampled));
+  return ensured;
+}
+
+Result<double> LocalShardClient::KptEstimate(AdId ad, std::uint64_t s,
+                                             bool* cache_hit) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  if (slot.kpt == nullptr) {
+    const KptEstimator::Options kpt_options{
+        .ell = run_.kpt_ell, .max_samples = run_.kpt_max_samples};
+    slot.kpt = &store_->EnsureKpt(slot.entry, kpt_options, s, cache_hit);
+  } else if (cache_hit != nullptr) {
+    *cache_hit = true;
+  }
+  // Same evaluation the single-store path uses: the width cache answers
+  // any s; shard stores share the per-ad base seed, so shard 0's value
+  // equals the single-store value bit for bit.
+  return slot.kpt->ReEstimate(s);
+}
+
+Status LocalShardClient::Attach(AdId ad, std::uint64_t global_count) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  const std::uint64_t local = ShardPrefixCount(
+      global_count, run_.chunk_sets, num_shards(), shard_index());
+  if (local > slot.entry->sets().NumSets()) {
+    return Status::FailedPrecondition(
+        "shard attach beyond the sampled pool (EnsureSets first)");
+  }
+  slot.view->AttachUpTo(static_cast<std::uint32_t>(local));
+  if (slot.heap == nullptr) {
+    slot.heap = std::make_unique<CoverageHeap>(slot.view.get());
+  } else {
+    slot.heap->Rebuild();
+  }
+  return Status::OK();
+}
+
+Result<ShardGainSummary> LocalShardClient::Summarize(AdId ad,
+                                                     std::uint32_t top_l) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  ShardGainSummary out;
+  out.shard = shard_index();
+  out.covered_sets = slot.view->NumCovered();
+  out.attached_sets = slot.view->NumSets();
+  if (slot.heap == nullptr || top_l == 0) return out;
+  const auto eligible = [this, &slot](NodeId u) {
+    return retired_[u] == 0 && slot.in_seed_set[u] == 0;
+  };
+  // CELF pop order: non-increasing current coverages. The last popped
+  // value bounds every eligible node the summary does NOT list; a dry
+  // heap means nothing unlisted covers anything here.
+  out.top.reserve(top_l);
+  std::uint32_t last = 0;
+  bool dry = false;
+  for (std::uint32_t i = 0; i < top_l; ++i) {
+    const NodeId v = slot.heap->PopBest(eligible);
+    if (v == kInvalidNode) {
+      dry = true;
+      break;
+    }
+    last = slot.view->CoverageOf(v);
+    out.top.push_back({v, last});
+  }
+  out.unlisted_bound = dry ? 0 : last;
+  // The pops were tentative (the coordinator may pick another shard's
+  // candidate): reinsert — the lazy heap tolerates duplicates.
+  for (const ShardGainCandidate& c : out.top) {
+    slot.heap->Push(c.node, c.coverage);
+  }
+  return out;
+}
+
+Result<std::vector<std::uint32_t>> LocalShardClient::CoverageCounts(
+    AdId ad, std::span<const NodeId> nodes) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  const AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  std::vector<std::uint32_t> counts;
+  counts.reserve(nodes.size());
+  for (const NodeId v : nodes) {
+    if (v >= slot.view->num_nodes()) {
+      return Status::InvalidArgument("coverage count for unknown node");
+    }
+    counts.push_back(slot.view->CoverageOf(v));
+  }
+  return counts;
+}
+
+Result<std::vector<std::uint32_t>> LocalShardClient::DenseCoverage(AdId ad) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  const AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  std::vector<std::uint32_t> counts;
+  slot.view->AccumulateCoverage(counts);
+  return counts;
+}
+
+CoveredWordDelta LocalShardClient::DeltaFor(const AdSlot& slot, NodeId v,
+                                            std::uint32_t local_first) const {
+  CoveredWordDelta delta;
+  const auto attached = static_cast<std::uint32_t>(slot.view->NumSets());
+  std::uint32_t cur_word = 0;
+  std::uint64_t cur_bits = 0;
+  for (const std::uint32_t id : slot.entry->sets().Postings(v)) {
+    if (id < local_first) continue;
+    if (id >= attached) break;  // postings are ascending
+    if (slot.view->IsCovered(id)) continue;
+    const auto word = static_cast<std::uint32_t>(id / kCoverageWordBits);
+    if (word != cur_word && cur_bits != 0) {
+      delta.words.emplace_back(cur_word, cur_bits);
+      cur_bits = 0;
+    }
+    cur_word = word;
+    cur_bits |= std::uint64_t{1} << (id % kCoverageWordBits);
+    ++delta.newly_covered;
+  }
+  if (cur_bits != 0) delta.words.emplace_back(cur_word, cur_bits);
+  return delta;
+}
+
+Result<CoveredWordDelta> LocalShardClient::Commit(AdId ad, NodeId v) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  if (v >= slot.view->num_nodes()) {
+    return Status::InvalidArgument("commit for unknown node");
+  }
+  CoveredWordDelta delta = DeltaFor(slot, v, 0);
+  const std::uint32_t newly = slot.view->CommitSeed(v);
+  TIRM_CHECK_EQ(static_cast<std::uint64_t>(newly), delta.newly_covered);
+  slot.in_seed_set[v] = 1;
+  return delta;
+}
+
+Result<CoveredWordDelta> LocalShardClient::CommitOnRange(
+    AdId ad, NodeId v, std::uint64_t global_first_set) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  AdSlot& slot = slots_[static_cast<std::size_t>(ad)];
+  if (v >= slot.view->num_nodes()) {
+    return Status::InvalidArgument("commit for unknown node");
+  }
+  const std::uint64_t local_first = ShardPrefixCount(
+      global_first_set, run_.chunk_sets, num_shards(), shard_index());
+  CoveredWordDelta delta =
+      DeltaFor(slot, v, static_cast<std::uint32_t>(local_first));
+  const std::uint32_t newly = slot.view->CommitSeedOnRange(
+      v, static_cast<std::uint32_t>(local_first));
+  TIRM_CHECK_EQ(static_cast<std::uint64_t>(newly), delta.newly_covered);
+  return delta;
+}
+
+Status LocalShardClient::Retire(NodeId v) {
+  if (!run_active_) {
+    return Status::FailedPrecondition("shard op before BeginRun");
+  }
+  if (v >= retired_.size()) {
+    return Status::InvalidArgument("retire for unknown node");
+  }
+  retired_[v] = 1;
+  return Status::OK();
+}
+
+Result<std::uint64_t> LocalShardClient::CoveredSets(AdId ad) {
+  TIRM_RETURN_NOT_OK(EnsureAd(ad));
+  return static_cast<std::uint64_t>(
+      slots_[static_cast<std::size_t>(ad)].view->NumCovered());
+}
+
+Result<ShardMemoryStats> LocalShardClient::MemoryStats() {
+  if (!run_active_) {
+    return Status::FailedPrecondition("shard op before BeginRun");
+  }
+  ShardMemoryStats stats;
+  std::unordered_set<const RrSampleStore::AdPool*> distinct;
+  for (const AdSlot& slot : slots_) {
+    if (slot.entry == nullptr) continue;
+    if (distinct.insert(slot.entry).second) {
+      stats.arena_bytes += slot.entry->sets().MemoryBytes();
+    }
+    stats.view_bytes += slot.view->MemoryBytes();
+  }
+  return stats;
+}
+
+}  // namespace tirm

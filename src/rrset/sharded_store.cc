@@ -1,0 +1,43 @@
+#include "rrset/sharded_store.h"
+
+#include <algorithm>
+
+namespace tirm {
+
+ShardedRrSampleStore::ShardedRrSampleStore(const Graph* graph,
+                                           RrSampleStore::Options base,
+                                           int num_shards) {
+  TIRM_CHECK_GE(num_shards, 1);
+  base.num_shards = num_shards;
+  base.shard_index = 0;
+  base_ = base;
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int k = 0; k < num_shards; ++k) {
+    RrSampleStore::Options options = base;
+    options.shard_index = k;
+    shards_.push_back(std::make_unique<RrSampleStore>(graph, options));
+  }
+}
+
+SampleCacheStats ShardedRrSampleStore::LifetimeStats() const {
+  SampleCacheStats total;
+  for (const auto& store : shards_) {
+    const SampleCacheStats s = store->LifetimeStats();
+    total.reused_sets += s.reused_sets;
+    total.sampled_sets += s.sampled_sets;
+    total.top_ups += s.top_ups;
+    total.kpt_cache_hits += s.kpt_cache_hits;
+    total.kpt_estimations += s.kpt_estimations;
+    total.arena_bytes += s.arena_bytes;
+    total.max_traversal = std::max(total.max_traversal, s.max_traversal);
+  }
+  return total;
+}
+
+std::size_t ShardedRrSampleStore::TotalArenaBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& store : shards_) bytes += store->TotalArenaBytes();
+  return bytes;
+}
+
+}  // namespace tirm

@@ -46,7 +46,7 @@ const std::set<std::string>& RequestConfigKeys() {
       "max_total_seeds", "min_drop", "eps", "ell", "theta_cap", "theta_min",
       "kpt_max_samples", "threads", "weight_by_ctp",
       "exact_selection_fallback", "ctp_aware_coverage", "coverage_kernel",
-      "sampler_kernel", "irie_alpha", "irie_rank_iterations",
+      "sampler_kernel", "num_shards", "irie_alpha", "irie_rank_iterations",
       "irie_ap_truncation", "irie_max_push_hops", "mc_sims"};
   return kKeys;
 }
@@ -118,6 +118,7 @@ void WriteConfig(JsonWriter& w, const AllocatorConfig& c) {
   w.Field("ctp_aware_coverage", c.ctp_aware_coverage);
   w.Field("coverage_kernel", c.coverage_kernel);
   w.Field("sampler_kernel", c.sampler_kernel);
+  w.Field("num_shards", c.num_shards);
   w.Field("irie_alpha", c.irie_alpha);
   w.Field("irie_rank_iterations", c.irie_rank_iterations);
   w.Field("irie_ap_truncation", c.irie_ap_truncation);
